@@ -1,0 +1,109 @@
+// Ablation study for the exact VMC checker's two design choices:
+//   - eager read closure (schedule enabled pure reads without branching),
+//   - search-state memoization.
+// Both are soundness-preserving; the bench shows what each buys on
+// contended coherent traces and on incoherent (fault-injected) ones.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "vmc/exact.hpp"
+#include "workload/random.hpp"
+
+namespace {
+
+using namespace vermem;
+
+workload::GeneratedTrace contended_trace(std::size_t histories,
+                                         std::size_t ops_per_history,
+                                         std::uint64_t seed) {
+  workload::SingleAddressParams params;
+  params.num_histories = histories;
+  params.ops_per_history = ops_per_history;
+  params.num_values = 3;  // few values => many candidate interleavings
+  params.write_fraction = 0.5;
+  Xoshiro256ss rng(seed);
+  return workload::generate_coherent(params, rng);
+}
+
+void run_config(benchmark::State& state, bool eager, bool memo) {
+  const auto trace = contended_trace(static_cast<std::size_t>(state.range(0)),
+                                     static_cast<std::size_t>(state.range(1)), 1);
+  const vmc::VmcInstance instance{trace.execution, 0};
+  vmc::ExactOptions options;
+  options.eager_reads = eager;
+  options.memoize = memo;
+  options.max_states = 50'000'000;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto result = vmc::check_exact(instance, options);
+    if (result.verdict == vmc::Verdict::kUnknown)
+      state.SkipWithError("budget exhausted");
+    states = result.stats.states_visited;
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+
+void BM_EagerMemo(benchmark::State& state) { run_config(state, true, true); }
+void BM_NoEager(benchmark::State& state) { run_config(state, false, true); }
+void BM_NoMemo(benchmark::State& state) { run_config(state, true, false); }
+void BM_Neither(benchmark::State& state) { run_config(state, false, false); }
+
+BENCHMARK(BM_EagerMemo)->Args({4, 12})->Args({6, 12})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NoEager)->Args({4, 12})->Args({6, 12})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NoMemo)->Args({4, 8})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Neither)->Args({4, 8})->Unit(benchmark::kMicrosecond);
+
+void print_ablation_table() {
+  std::cout << "\n== exact-checker ablation (6 histories x 12 ops, coherent + "
+               "faulted) ==\n";
+  TextTable table({"configuration", "coherent: time / states",
+                   "incoherent: time / states"});
+
+  const auto trace = contended_trace(6, 12, 7);
+  Xoshiro256ss rng(8);
+  const auto faulted =
+      workload::inject_fault(trace, workload::Fault::kFabricatedRead, rng);
+
+  struct Config {
+    const char* name;
+    bool eager, memo;
+  };
+  const Config configs[] = {
+      {"eager reads + memoization", true, true},
+      {"memoization only", false, true},
+      {"eager reads only", true, false},
+      {"plain backtracking", false, false},
+  };
+  for (const Config& config : configs) {
+    vmc::ExactOptions options;
+    options.eager_reads = config.eager;
+    options.memoize = config.memo;
+    options.deadline = Deadline::after_ms(20000);
+
+    auto describe = [&](const Execution& exec) -> std::string {
+      const vmc::VmcInstance instance{exec, 0};
+      Stopwatch sw;
+      const auto result = vmc::check_exact(instance, options);
+      if (result.verdict == vmc::Verdict::kUnknown) return "timeout";
+      return human_nanos(sw.seconds() * 1e9) + " / " +
+             std::to_string(result.stats.states_visited);
+    };
+    table.add_row({config.name, describe(trace.execution),
+                   faulted ? describe(*faulted) : "n/a"});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_ablation_table();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Section 6.2: the consistency-model spread. Regenerates the litmus
+// admissibility matrix with per-model decision times, measures the
+// operational checkers' scaling on SC-by-construction traces, and times
+// the single-location collapse (every model == coherence on one address).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "models/checker.hpp"
+#include "models/litmus.hpp"
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "workload/random.hpp"
+
+namespace {
+
+using namespace vermem;
+using models::Model;
+
+void BM_ModelCheck(benchmark::State& state) {
+  const Model m = models::kAllModels[static_cast<std::size_t>(state.range(0))];
+  const auto ops = static_cast<std::size_t>(state.range(1));
+  Xoshiro256ss rng(1);
+  workload::MultiAddressParams params;
+  params.num_processes = 4;
+  params.ops_per_process = ops / 4;
+  params.num_addresses = 4;
+  const auto trace = workload::generate_sc(params, rng);
+  for (auto _ : state) {
+    const auto result = models::check_model(trace.execution, m);
+    if (!result.coherent()) state.SkipWithError("SC trace rejected");
+  }
+  state.SetLabel(models::to_string(m));
+}
+BENCHMARK(BM_ModelCheck)
+    ->Args({0, 32})->Args({0, 64})    // SC
+    ->Args({1, 32})->Args({1, 64})    // TSO
+    ->Args({2, 32})->Args({2, 64})    // PSO
+    ->Args({3, 32})->Args({3, 128})   // coherence-only
+    ->Unit(benchmark::kMicrosecond);
+
+void print_matrix() {
+  std::cout << "\n== litmus admissibility matrix with decision times ==\n";
+  TextTable table({"test", "SC", "TSO", "PSO", "Coherence", "slowest check"});
+  for (const auto& test : models::standard_litmus_suite()) {
+    std::vector<std::string> row{test.name};
+    double slowest = 0;
+    for (const Model m : models::kAllModels) {
+      Stopwatch sw;
+      const auto result = models::check_model(test.execution, m);
+      slowest = std::max(slowest, sw.seconds());
+      row.push_back(result.coherent() ? "allow" : "forbid");
+    }
+    row.push_back(human_nanos(slowest * 1e9));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n== single-location collapse (Section 6.2) ==\n";
+  Xoshiro256ss rng(3);
+  int agree = 0, total = 0;
+  Stopwatch sw;
+  for (int trial = 0; trial < 20; ++trial) {
+    workload::SingleAddressParams params;
+    params.num_histories = 3;
+    params.ops_per_history = 4;
+    const auto trace = workload::generate_coherent(params, rng);
+    std::vector<Execution> cases{trace.execution};
+    if (auto faulted =
+            workload::inject_fault(trace, workload::Fault::kStaleRead, rng))
+      cases.push_back(std::move(*faulted));
+    for (const auto& exec : cases) {
+      ++total;
+      const bool coherent =
+          models::check_model(exec, Model::kCoherenceOnly).coherent();
+      bool all = true;
+      for (const Model m : models::kAllModels)
+        all &= models::check_model(exec, m).coherent() == coherent;
+      agree += all;
+    }
+  }
+  std::cout << "all four models agreed with the coherence verdict on " << agree
+            << "/" << total << " single-address traces (" << human_nanos(sw.seconds() * 1e9)
+            << " total)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_matrix();
+  return 0;
+}

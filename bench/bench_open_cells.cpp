@@ -1,0 +1,137 @@
+// The question-mark cells of Figure 5.3 (the paper's open problems,
+// Section 7): the complexity of VMC with exactly TWO simple operations
+// per process, and of all-RMW instances with values written at most
+// TWICE, is unknown.
+//
+// This bench cannot settle either question, but it maps the empirical
+// landscape: on random instances of both shapes the exact search's
+// visited-state counts grow tamely (nothing like the blowup on the
+// NP-complete cells' reduced instances). That is consistent with both
+// "the cells are in P" and "random instances are easy" — the table
+// records what a practitioner can expect, not a complexity claim.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "vmc/exact.hpp"
+#include "vmc/instance.hpp"
+#include "workload/random.hpp"
+
+namespace {
+
+using namespace vermem;
+
+workload::GeneratedTrace two_op_trace(std::size_t histories, std::uint64_t seed) {
+  workload::SingleAddressParams params;
+  params.num_histories = histories;
+  params.ops_per_history = 2;
+  params.num_values = 3;  // heavy value collisions
+  params.write_fraction = 0.5;
+  Xoshiro256ss rng(seed);
+  return workload::generate_coherent(params, rng);
+}
+
+void BM_TwoOpsPerProcess(benchmark::State& state) {
+  const auto histories = static_cast<std::size_t>(state.range(0));
+  const auto trace = two_op_trace(histories, 1);
+  const vmc::VmcInstance instance{trace.execution, 0};
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    vmc::ExactOptions options;
+    options.max_transitions = 2'000'000;
+    const auto result = vmc::check_exact(instance, options);
+    states = result.stats.states_visited;
+    benchmark::DoNotOptimize(result.verdict);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_TwoOpsPerProcess)
+    ->Arg(8)->Arg(16)->Arg(24)
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void print_open_cells() {
+  std::cout << "\n== open cell 1: two simple ops/process (random instances, "
+               "exact search) ==\n";
+  TextTable two({"histories (n=2k ops)", "avg states", "max states",
+                 "avg time", "outcomes"});
+  for (const std::size_t k : {6, 10, 14, 18, 22}) {
+    std::uint64_t total_states = 0, max_states = 0;
+    double total_seconds = 0;
+    int coherent = 0, budgeted = 0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      const auto trace = two_op_trace(k, 100 + t);
+      const vmc::VmcInstance instance{trace.execution, 0};
+      vmc::ExactOptions options;
+      options.max_transitions = 2'000'000;
+      Stopwatch sw;
+      const auto result = vmc::check_exact(instance, options);
+      total_seconds += sw.seconds();
+      total_states += result.stats.states_visited;
+      max_states = std::max(max_states, result.stats.states_visited);
+      coherent += result.coherent();
+      budgeted += result.verdict == vmc::Verdict::kUnknown;
+    }
+    two.add_row({std::to_string(k), std::to_string(total_states / trials),
+                 std::to_string(max_states),
+                 human_nanos(total_seconds / trials * 1e9),
+                 std::to_string(coherent) + " coherent / " +
+                     std::to_string(budgeted) + " over budget"});
+  }
+  two.print(std::cout);
+  std::cout << "(note: even at two ops per process the *frontier* grows\n"
+               "combinatorially in the process count; the open question is\n"
+               "whether a smarter algorithm avoids it)\n";
+
+  std::cout << "\n== open cell 2: all-RMW, values written at most twice ==\n";
+  TextTable rmw({"ops", "instances found", "avg states", "max states",
+                 "avg time"});
+  Xoshiro256ss rng(7);
+  for (const std::size_t n : {16, 32, 64, 128}) {
+    std::uint64_t total_states = 0, max_states = 0;
+    double total_seconds = 0;
+    int found = 0;
+    // Rejection-sample all-RMW traces whose write multiplicity is <= 2.
+    for (int attempt = 0; attempt < 200 && found < 8; ++attempt) {
+      workload::SingleAddressParams params;
+      params.num_histories = 4;
+      params.ops_per_history = n / 4;
+      params.num_values = 4 * n;  // keeps triples rare; filter to <= 2
+      params.write_fraction = 1.0;
+      params.rmw_fraction = 1.0;
+      const auto trace = workload::generate_coherent(params, rng);
+      const vmc::VmcInstance instance{trace.execution, 0};
+      if (instance.max_writes_per_value() > 2) continue;
+      ++found;
+      vmc::ExactOptions options;
+      options.max_transitions = 2'000'000;
+      Stopwatch sw;
+      const auto result = vmc::check_exact(instance, options);
+      total_seconds += sw.seconds();
+      total_states += result.stats.states_visited;
+      max_states = std::max(max_states, result.stats.states_visited);
+    }
+    rmw.add_row({std::to_string(n), std::to_string(found),
+                 found ? std::to_string(total_states / found) : "-",
+                 std::to_string(max_states),
+                 found ? human_nanos(total_seconds / found * 1e9) : "-"});
+  }
+  rmw.print(std::cout);
+  std::cout << "\n(no complexity conclusion is drawn: random instances of "
+               "NP-complete problems are often easy too — see the Fig 5.1/5.2 "
+               "benches for the contrast)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_open_cells();
+  return 0;
+}

@@ -1,0 +1,39 @@
+#pragma once
+// Shared helpers for the per-figure benchmark binaries: log-log slope
+// fitting (to compare measured scaling against the paper's claimed
+// bounds) and workload shorthand.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vermem::bench {
+
+/// Least-squares slope of log(y) against log(x): the empirical scaling
+/// exponent. y values must be positive.
+inline double loglog_slope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const auto count = static_cast<double>(n);
+  const double denom = count * sxx - sx * sx;
+  return denom == 0 ? 0.0 : (count * sxy - sx * sy) / denom;
+}
+
+inline std::string format_slope(double slope) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "n^%.2f", slope);
+  return buf;
+}
+
+}  // namespace vermem::bench

@@ -1,0 +1,94 @@
+// Section 6.3's positive result: given one coherent schedule per address,
+// merging them into a sequentially consistent schedule (VSC-Conflict) is
+// O(n log n). Measures merge scaling on SC-by-construction traces and the
+// end-to-end VSCC pipeline with recorded write-orders.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "vsc/conflict.hpp"
+#include "vsc/vscc.hpp"
+#include "workload/random.hpp"
+
+namespace {
+
+using namespace vermem;
+
+workload::GeneratedMultiTrace trace_of(std::size_t total_ops, std::uint64_t seed) {
+  workload::MultiAddressParams params;
+  params.num_processes = 8;
+  params.ops_per_process = total_ops / 8;
+  params.num_addresses = 8;
+  Xoshiro256ss rng(seed);
+  return workload::generate_sc(params, rng);
+}
+
+vsc::CoherentSchedules schedules_from_witness(
+    const workload::GeneratedMultiTrace& trace) {
+  vsc::CoherentSchedules schedules;
+  for (const OpRef ref : trace.witness)
+    schedules[trace.execution.op(ref).addr].push_back(ref);
+  return schedules;
+}
+
+void BM_ConflictMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trace = trace_of(n, 1);
+  const auto schedules = schedules_from_witness(trace);
+  for (auto _ : state) {
+    const auto result = vsc::check_sc_conflict(trace.execution, schedules);
+    if (!result.coherent()) state.SkipWithError("merge failed on witness set");
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConflictMerge)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+void BM_VsccWithWriteOrders(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trace = trace_of(n, 2);
+  for (auto _ : state) {
+    vsc::VsccOptions options;
+    options.write_orders = &trace.write_orders;
+    options.fallback_to_exact_sc = false;
+    const auto report = vsc::check_vscc(trace.execution, options);
+    benchmark::DoNotOptimize(report.sc.verdict);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VsccWithWriteOrders)
+    ->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void print_merge_table() {
+  using bench::format_slope;
+  std::cout << "\n== VSC-Conflict scaling (claim: O(n log n)) ==\n";
+  TextTable table({"total ops", "merge time", "merge outcome"});
+  std::vector<double> xs, ys;
+  for (const std::size_t n : {1024, 4096, 16384, 65536}) {
+    const auto trace = trace_of(n, 3);
+    const auto schedules = schedules_from_witness(trace);
+    Stopwatch sw;
+    const auto result = vsc::check_sc_conflict(trace.execution, schedules);
+    const double seconds = sw.seconds();
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(seconds + 1e-12);
+    table.add_row({std::to_string(n), human_nanos(seconds * 1e9),
+                   to_string(result.verdict)});
+  }
+  table.print(std::cout);
+  std::cout << "measured scaling: " << format_slope(bench::loglog_slope(xs, ys))
+            << " (expect ~n^1)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_merge_table();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Directory machine explorer: runs the message-passing workload on the
+// 3-hop MSI directory machine and demonstrates, live, the paper's
+// Section 6 distinction — a protocol relaxation ("eager writes": commit
+// before invalidation acks) that keeps every address coherent while
+// breaking sequential consistency.
+//
+// Build & run:  ./build/examples/directory_explorer
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/directory.hpp"
+#include "support/table.hpp"
+#include "trace/stats.hpp"
+#include "vmc/checker.hpp"
+#include "vsc/exact.hpp"
+
+int main() {
+  using namespace vermem;
+
+  // Message passing: node 0 writes payload then flag; node 1 polls both.
+  auto mp_programs = [](std::size_t rounds) {
+    std::vector<sim::Program> programs(2);
+    for (std::size_t round = 1; round <= rounds; ++round) {
+      programs[0].push_back(
+          {sim::Request::Kind::kStore, 0, static_cast<Value>(round)});
+      programs[0].push_back(
+          {sim::Request::Kind::kStore, 1, static_cast<Value>(round)});
+      programs[1].push_back({sim::Request::Kind::kLoad, 1, 0});
+      programs[1].push_back({sim::Request::Kind::kLoad, 0, 0});
+    }
+    return programs;
+  };
+
+  TextTable table({"seed", "mode", "coherent?", "SC?", "msgs", "3-hop fwds"});
+  int eager_sc_violations = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const bool shown = seed <= 4 || eager_sc_violations == 0;
+    if (!shown && seed > 4) break;  // stop once a violation is on the table
+    for (const bool eager : {false, true}) {
+      sim::DirectoryConfig config;
+      config.num_nodes = 2;
+      config.cache_lines = 4;
+      config.seed = seed;
+      config.min_latency = 1;
+      config.max_latency = 24;
+      config.eager_writes = eager;
+      const auto result = sim::run_programs_directory(mp_programs(10), config);
+
+      const auto coherence = vmc::verify_coherence_with_write_order(
+          result.execution, result.write_orders);
+      vsc::ScOptions sc_options;
+      sc_options.max_transitions = 5'000'000;
+      const auto sc = vsc::check_sc_exact(result.execution, sc_options);
+      if (eager && sc.verdict == vmc::Verdict::kIncoherent)
+        ++eager_sc_violations;
+
+      table.add_row({std::to_string(seed),
+                     eager ? "eager writes" : "ack-collecting",
+                     to_string(coherence.verdict), to_string(sc.verdict),
+                     std::to_string(result.stats.messages),
+                     std::to_string(result.stats.forwards)});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nThe ack-collecting protocol is SC; skipping the ack wait kept every\n"
+      "address coherent but produced %d non-SC runs — verifying coherence\n"
+      "is not the same problem as verifying consistency (paper, Section 6).\n",
+      eager_sc_violations);
+
+  // Bonus: trace shape of a bigger run.
+  Xoshiro256ss rng(99);
+  sim::RandomProgramParams params;
+  params.num_cores = 4;
+  params.requests_per_core = 500;
+  params.num_addresses = 12;
+  sim::DirectoryConfig config;
+  config.num_nodes = 4;
+  config.seed = 99;
+  const auto big = sim::run_programs_directory(
+      sim::random_programs(params, rng), config);
+  std::printf("\nbigger run: %s\n", summarize(compute_stats(big.execution)).c_str());
+  std::printf("directory stats: %llu msgs, %llu forwards, peak home queue %llu, "
+              "%llu ticks\n",
+              static_cast<unsigned long long>(big.stats.messages),
+              static_cast<unsigned long long>(big.stats.forwards),
+              static_cast<unsigned long long>(big.stats.max_home_queue),
+              static_cast<unsigned long long>(big.stats.ticks));
+  return eager_sc_violations > 0 ? 0 : 1;
+}

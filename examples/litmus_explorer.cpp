@@ -1,0 +1,61 @@
+// Litmus explorer: classify the standard litmus shapes under SC, TSO,
+// PSO and coherence-only (Section 6.2's model spread), and demonstrate
+// the paper's restriction argument — on a single location, every model
+// collapses to coherence.
+//
+// Build & run:  ./build/examples/litmus_explorer
+
+#include <cstdio>
+#include <iostream>
+
+#include "models/checker.hpp"
+#include "models/litmus.hpp"
+#include "support/table.hpp"
+#include "workload/random.hpp"
+
+int main() {
+  using namespace vermem;
+  using models::Model;
+
+  std::printf("== litmus admissibility matrix ==\n");
+  TextTable table({"test", "SC", "TSO", "PSO", "Coherence", "description"});
+  for (const auto& test : models::standard_litmus_suite()) {
+    std::vector<std::string> row{test.name};
+    for (const Model m : models::kAllModels) {
+      const auto result = models::check_model(test.execution, m);
+      row.push_back(result.coherent() ? "allow" : "forbid");
+    }
+    row.push_back(test.description);
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\n== single-location restriction (Section 6.2) ==\n"
+      "On one shared location every hardware model reduces to coherence;\n"
+      "checking 30 random single-address traces (some perturbed):\n");
+  Xoshiro256ss rng(5);
+  int agreements = 0, total = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    workload::SingleAddressParams params;
+    params.num_histories = 3;
+    params.ops_per_history = 4;
+    const auto trace = workload::generate_coherent(params, rng);
+    std::vector<Execution> cases{trace.execution};
+    if (auto faulted =
+            workload::inject_fault(trace, workload::Fault::kStaleRead, rng))
+      cases.push_back(std::move(*faulted));
+    for (const auto& exec : cases) {
+      ++total;
+      const bool coherent =
+          models::check_model(exec, Model::kCoherenceOnly).coherent();
+      bool all_agree = true;
+      for (const Model m : models::kAllModels)
+        all_agree &= models::check_model(exec, m).coherent() == coherent;
+      agreements += all_agree;
+    }
+  }
+  std::printf("models agreed with the coherence verdict on %d/%d traces\n",
+              agreements, total);
+  return agreements == total ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Dynamic verification of a simulated multiprocessor (the paper's
+// motivating scenario): run workloads on the MESI machine, record the
+// trace and the bus write-order, and verify coherence with the
+// polynomial Section 5.2 checker. Then break the protocol in four
+// different ways and measure how often each bug is caught.
+//
+// Build & run:  ./build/examples/simulate_and_check
+
+#include <cstdio>
+
+#include "sim/machine.hpp"
+#include "sim/program.hpp"
+#include "support/table.hpp"
+#include "vmc/checker.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace vermem;
+
+  // --- Part 1: a healthy machine always verifies -----------------------
+  std::printf("== healthy machine ==\n");
+  {
+    Xoshiro256ss rng(42);
+    sim::RandomProgramParams params;
+    params.num_cores = 4;
+    params.requests_per_core = 200;
+    params.num_addresses = 12;
+    const auto programs = sim::random_programs(params, rng);
+
+    sim::SimConfig config;
+    config.num_cores = 4;
+    config.cache_lines = 4;
+    config.seed = 42;
+    const sim::SimResult result = sim::run_programs(programs, config);
+
+    const auto report = vmc::verify_coherence_with_write_order(
+        result.execution, result.write_orders);
+    std::printf(
+        "%zu ops, %llu bus reads, %llu invalidations, %llu writebacks -> %s\n",
+        result.execution.num_operations(),
+        static_cast<unsigned long long>(result.stats.bus_reads),
+        static_cast<unsigned long long>(result.stats.invalidations),
+        static_cast<unsigned long long>(result.stats.writebacks),
+        to_string(report.verdict));
+  }
+
+  // --- Part 2: fault-injection detection rates -------------------------
+  std::printf("\n== fault injection (20 seeds each) ==\n");
+  struct Scenario {
+    const char* name;
+    sim::FaultPlan plan;
+  };
+  const Scenario scenarios[] = {
+      {"drop-invalidation", {.drop_invalidation = 0.2}},
+      {"stale-fill", {.stale_fill = 0.3}},
+      {"lost-writeback", {.lost_writeback = 0.3}},
+      {"corrupt-value", {.corrupt_value = 0.05}},
+  };
+
+  TextTable table({"fault", "runs-with-fault", "flagged", "detection"});
+  for (const Scenario& scenario : scenarios) {
+    int with_fault = 0, flagged = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      Xoshiro256ss rng(seed);
+      sim::RandomProgramParams params;
+      params.num_cores = 4;
+      params.requests_per_core = 60;
+      params.num_addresses = 6;
+      const auto programs = sim::random_programs(params, rng);
+      sim::SimConfig config;
+      config.num_cores = 4;
+      config.cache_lines = 4;
+      config.seed = seed;
+      config.faults = scenario.plan;
+      const sim::SimResult result = sim::run_programs(programs, config);
+      if (result.stats.faults_injected == 0) continue;
+      ++with_fault;
+      const auto report = vmc::verify_coherence_with_write_order(
+          result.execution, result.write_orders);
+      flagged += report.verdict == vmc::Verdict::kIncoherent;
+    }
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.0f%%",
+                  with_fault ? 100.0 * flagged / with_fault : 0.0);
+    table.add_row({scenario.name, std::to_string(with_fault),
+                   std::to_string(flagged), rate});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nnote: a flagged run proves the trace has NO coherent schedule; an\n"
+      "unflagged faulty run means the perturbed values happened to coincide\n"
+      "with some legal execution (undetectable from the trace alone).\n");
+  return 0;
+}

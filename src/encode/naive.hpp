@@ -1,0 +1,50 @@
+#pragma once
+// Baseline "textbook" CNF encoding of VMC: a strict total order over ALL
+// operations (reads included), with interval constraints quantified over
+// every write.
+//
+// This is the encoding one writes first; the production encoder in
+// vmc_to_cnf.hpp exploits the observation that only writes need order
+// variables (reads anchor to a write and commute within their gap),
+// which shrinks the formula from O(n^3) transitivity clauses over all
+// operations to O(W^3) over writes only. bench_ablation_encoding
+// measures the difference. Kept fully functional — it doubles as an
+// independent oracle in the encoder's property tests.
+
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::encode {
+
+struct NaiveEncoding {
+  sat::Cnf cnf;
+  /// All operations in (process, index) order; op i's order variables
+  /// live in the triangular array below.
+  std::vector<OpRef> ops;
+  std::vector<sat::Var> order_vars;
+  bool trivially_incoherent = false;
+  std::string note;
+
+  [[nodiscard]] std::size_t num_ops() const noexcept { return ops.size(); }
+  [[nodiscard]] sat::Var order_var(std::size_t i, std::size_t j) const {
+    const std::size_t n = ops.size();
+    return order_vars[i * n - i * (i + 1) / 2 + (j - i - 1)];
+  }
+
+  /// Reconstructs the full schedule from a model (ranks by predecessor
+  /// count).
+  [[nodiscard]] Schedule decode_schedule(const std::vector<bool>& model) const;
+};
+
+/// Builds the naive encoding.
+[[nodiscard]] NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance);
+
+/// End-to-end check through the naive encoding, with the decoded schedule
+/// certified by the schedule validator.
+[[nodiscard]] vmc::CheckResult check_via_sat_naive(
+    const vmc::VmcInstance& instance,
+    const sat::SolverOptions& solver_options = {});
+
+}  // namespace vermem::encode

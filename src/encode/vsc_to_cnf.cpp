@@ -1,0 +1,186 @@
+#include "encode/vsc_to_cnf.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace vermem::encode {
+
+Schedule VscEncoding::decode_schedule(const std::vector<bool>& model) const {
+  const std::size_t n = ops.size();
+  std::vector<std::size_t> rank(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (model[order_var(i, j)])
+        ++rank[j];
+      else
+        ++rank[i];
+    }
+  }
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  std::sort(indices.begin(), indices.end(),
+            [&](std::size_t a, std::size_t b) { return rank[a] < rank[b]; });
+  Schedule schedule;
+  schedule.reserve(n);
+  for (const std::size_t i : indices) schedule.push_back(ops[i]);
+  return schedule;
+}
+
+VscEncoding encode_vsc(const Execution& exec) {
+  VscEncoding enc;
+
+  // Index every operation; bucket the writes per address.
+  std::unordered_map<Addr, std::vector<std::size_t>> writes_of;
+  for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
+    for (std::uint32_t i = 0; i < exec.history(p).size(); ++i) {
+      const Operation& op = exec.history(p)[i];
+      if (op.writes_memory()) writes_of[op.addr].push_back(enc.ops.size());
+      enc.ops.push_back(OpRef{p, i});
+    }
+  }
+  const std::size_t n = enc.ops.size();
+
+  enc.order_vars.resize(n * (n - 1) / 2);
+  for (auto& var : enc.order_vars) var = enc.cnf.new_var();
+  auto order_lit = [&](std::size_t i, std::size_t j) {
+    return i < j ? sat::pos(enc.order_var(i, j)) : sat::neg(enc.order_var(j, i));
+  };
+
+  // Transitivity over all ordered triples.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      for (std::size_t l = 0; l < n; ++l) {
+        if (l == i || l == j) continue;
+        enc.cnf.add_ternary(~order_lit(i, j), ~order_lit(j, l), order_lit(i, l));
+      }
+    }
+
+  // Program order.
+  {
+    std::size_t base = 0;
+    for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
+      for (std::size_t i = 0; i + 1 < exec.history(p).size(); ++i)
+        enc.cnf.add_unit(order_lit(base + i, base + i + 1));
+      base += exec.history(p).size();
+    }
+  }
+
+  // Read semantics, per read, over its own address's writes.
+  for (std::size_t node = 0; node < n; ++node) {
+    const Operation& op = exec.op(enc.ops[node]);
+    if (!op.reads_memory()) continue;
+    const Addr addr = op.addr;
+    const Value initial = exec.initial_value(addr);
+    const auto& addr_writes = writes_of[addr];
+
+    std::vector<std::size_t> candidates;
+    for (const std::size_t w : addr_writes) {
+      if (w == node) continue;  // an RMW cannot observe its own write
+      if (exec.op(enc.ops[w]).value_written != op.value_read) continue;
+      candidates.push_back(w);
+    }
+    const bool initial_ok = op.value_read == initial;
+    if (candidates.empty() && !initial_ok) {
+      enc.trivially_unsatisfiable = true;
+      enc.note = "a read observes a value never written to its address";
+      enc.cnf.add_clause({});
+      return enc;
+    }
+
+    sat::Clause alo;
+    std::vector<sat::Var> map_vars(candidates.size());
+    for (auto& var : map_vars) {
+      var = enc.cnf.new_var();
+      alo.push_back(sat::pos(var));
+    }
+    sat::Var initial_var = 0;
+    if (initial_ok) {
+      initial_var = enc.cnf.new_var();
+      alo.push_back(sat::pos(initial_var));
+    }
+    enc.cnf.add_clause(std::move(alo));
+
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const std::size_t w = candidates[c];
+      const sat::Lit m = sat::pos(map_vars[c]);
+      enc.cnf.add_binary(~m, order_lit(w, node));
+      for (const std::size_t other : addr_writes) {
+        if (other == w || other == node) continue;
+        enc.cnf.add_ternary(~m, order_lit(other, w), order_lit(node, other));
+      }
+    }
+    if (initial_ok) {
+      for (const std::size_t w : addr_writes) {
+        if (w == node) continue;
+        enc.cnf.add_binary(sat::neg(initial_var), order_lit(node, w));
+      }
+    }
+  }
+
+  // Final-value constraints per address.
+  for (const auto& [addr, fin] : exec.final_values()) {
+    const auto it = writes_of.find(addr);
+    const auto& addr_writes =
+        it == writes_of.end() ? std::vector<std::size_t>{} : it->second;
+    if (addr_writes.empty()) {
+      if (fin != exec.initial_value(addr)) {
+        enc.trivially_unsatisfiable = true;
+        enc.note = "final value of an unwritten address differs from initial";
+        enc.cnf.add_clause({});
+        return enc;
+      }
+      continue;
+    }
+    std::vector<std::size_t> last_candidates;
+    for (const std::size_t w : addr_writes)
+      if (exec.op(enc.ops[w]).value_written == fin) last_candidates.push_back(w);
+    if (last_candidates.empty()) {
+      enc.trivially_unsatisfiable = true;
+      enc.note = "final value of address " + std::to_string(addr) +
+                 " is never written";
+      enc.cnf.add_clause({});
+      return enc;
+    }
+    sat::Clause alo;
+    for (const std::size_t w : last_candidates) {
+      const sat::Var l = enc.cnf.new_var();
+      alo.push_back(sat::pos(l));
+      for (const std::size_t other : addr_writes)
+        if (other != w) enc.cnf.add_binary(sat::neg(l), order_lit(other, w));
+    }
+    enc.cnf.add_clause(std::move(alo));
+  }
+  return enc;
+}
+
+vmc::CheckResult check_sc_via_sat(const Execution& exec,
+                                  const sat::SolverOptions& solver_options) {
+  const VscEncoding enc = encode_vsc(exec);
+  if (enc.trivially_unsatisfiable) return vmc::CheckResult::no(enc.note);
+
+  const sat::SolveResult solved = sat::solve(enc.cnf, solver_options);
+  vmc::SearchStats stats;
+  stats.states_visited = solved.stats.decisions;
+  stats.transitions = solved.stats.propagations;
+
+  switch (solved.status) {
+    case sat::Status::kUnsat:
+      return vmc::CheckResult::no("SC encoding is unsatisfiable", stats);
+    case sat::Status::kUnknown:
+      return vmc::CheckResult::unknown("SAT solver gave up", stats);
+    case sat::Status::kSat:
+      break;
+  }
+  Schedule schedule = enc.decode_schedule(solved.model);
+  const auto valid = check_sc_schedule(exec, schedule);
+  if (!valid.ok)
+    return vmc::CheckResult::unknown(
+        "internal: SC model failed certification: " + valid.violation, stats);
+  vmc::CheckResult result = vmc::CheckResult::yes(std::move(schedule), stats);
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace vermem::encode

@@ -1,0 +1,157 @@
+#include "models/litmus.hpp"
+
+namespace vermem::models {
+
+namespace {
+
+constexpr Addr kX = 0, kY = 1, kLock = 9;
+
+LitmusTest make(std::string name, std::string description, Execution exec,
+                bool sc, bool tso, bool pso, bool coherence) {
+  LitmusTest test;
+  test.name = std::move(name);
+  test.description = std::move(description);
+  test.execution = std::move(exec);
+  test.allowed[0] = sc;
+  test.allowed[1] = tso;
+  test.allowed[2] = pso;
+  test.allowed[3] = coherence;
+  return test;
+}
+
+}  // namespace
+
+std::vector<LitmusTest> standard_litmus_suite() {
+  std::vector<LitmusTest> suite;
+
+  suite.push_back(make(
+      "SB", "store buffering: both loads read the initial value",
+      ExecutionBuilder()
+          .process(W(kX, 1), R(kY, 0))
+          .process(W(kY, 1), R(kX, 0))
+          .build(),
+      /*sc=*/false, /*tso=*/true, /*pso=*/true, /*coherence=*/true));
+
+  suite.push_back(make(
+      "SB+sync", "store buffering with a fence after each store",
+      ExecutionBuilder()
+          .process(W(kX, 1), Rel(kLock), R(kY, 0))
+          .process(W(kY, 1), Rel(kLock), R(kX, 0))
+          .build(),
+      false, false, false, true));
+
+  suite.push_back(make(
+      "SB+fwd", "store buffering; each processor forwards its own store",
+      ExecutionBuilder()
+          .process(W(kX, 1), R(kX, 1), R(kY, 0))
+          .process(W(kY, 1), R(kY, 1), R(kX, 0))
+          .build(),
+      false, true, true, true));
+
+  suite.push_back(make(
+      "MP", "message passing: flag observed but payload stale",
+      ExecutionBuilder()
+          .process(W(kX, 1), W(kY, 1))
+          .process(R(kY, 1), R(kX, 0))
+          .build(),
+      false, false, true, true));
+
+  suite.push_back(make(
+      "LB", "load buffering: both loads observe the other's later store",
+      ExecutionBuilder()
+          .process(R(kX, 1), W(kY, 1))
+          .process(R(kY, 1), W(kX, 1))
+          .build(),
+      false, false, false, true));
+
+  suite.push_back(make(
+      "IRIW", "independent readers see independent writes in opposite orders",
+      ExecutionBuilder()
+          .process(W(kX, 1))
+          .process(W(kY, 1))
+          .process(R(kX, 1), R(kY, 0))
+          .process(R(kY, 1), R(kX, 0))
+          .build(),
+      false, false, false, true));
+
+  suite.push_back(make(
+      "WRC", "write-to-read causality chains through a middleman",
+      ExecutionBuilder()
+          .process(W(kX, 1))
+          .process(R(kX, 1), W(kY, 1))
+          .process(R(kY, 1), R(kX, 0))
+          .build(),
+      false, false, false, true));
+
+  {
+    // 2+2W: both addresses end at the *first* processor's value, so each
+    // pair of same-address stores must have committed in anti-program
+    // order somewhere. PSO's per-address buffers allow it; TSO's FIFO
+    // does not.
+    auto exec = ExecutionBuilder()
+                    .process(W(kX, 1), W(kY, 2))
+                    .process(W(kY, 1), W(kX, 2))
+                    .build();
+    exec.set_final_value(kX, 1);
+    exec.set_final_value(kY, 1);
+    suite.push_back(make(
+        "2+2W", "cross-coupled store pairs, finals pick the early stores",
+        std::move(exec), false, false, true, true));
+  }
+
+  {
+    // S: the middleman observes the flag, then its store must lose to the
+    // first processor's earlier store — needs store-store reordering.
+    auto exec = ExecutionBuilder()
+                    .process(W(kX, 2), W(kY, 1))
+                    .process(R(kY, 1), W(kX, 1))
+                    .build();
+    exec.set_final_value(kX, 2);
+    suite.push_back(make("S", "observed flag, yet the earlier store wins",
+                         std::move(exec), false, false, true, true));
+  }
+
+  suite.push_back(make(
+      "CoRR", "coherence of read-read: second read goes back in time",
+      ExecutionBuilder()
+          .process(W(kX, 1))
+          .process(R(kX, 1), R(kX, 0))
+          .build(),
+      false, false, false, false));
+
+  {
+    auto exec = ExecutionBuilder().process(W(kX, 1), W(kX, 2)).build();
+    exec.set_final_value(kX, 1);
+    suite.push_back(make(
+        "CoWW", "coherence of write-write: same-address stores reorder",
+        std::move(exec), false, false, false, false));
+  }
+
+  suite.push_back(make(
+      "CoRW-fwd", "a processor reads its own store before it is visible",
+      ExecutionBuilder()
+          .process(W(kX, 1), R(kX, 1))
+          .process(R(kX, 0))
+          .build(),
+      true, true, true, true));
+
+  suite.push_back(make(
+      "RMW-serialize", "two atomics claim the same old value",
+      ExecutionBuilder()
+          .process(RW(kX, 0, 1))
+          .process(RW(kX, 0, 2))
+          .build(),
+      false, false, false, false));
+
+  suite.push_back(make(
+      "RMW-chain", "atomics hand off in sequence",
+      ExecutionBuilder()
+          .process(RW(kX, 0, 1))
+          .process(RW(kX, 1, 2))
+          .build(),
+      true, true, true, true));
+
+  return suite;
+}
+
+}  // namespace vermem::models

@@ -1,0 +1,37 @@
+#pragma once
+// Standard litmus tests with per-model expected admissibility.
+//
+// These are the classic two-to-four-process shapes the memory-model
+// literature uses to tell models apart. Each test records, for every
+// model in kAllModels, whether the observed outcome is allowed. The test
+// suite asserts check_model reproduces every entry, which pins down the
+// operational checkers against community consensus (SPARC v9 TSO/PSO,
+// Lamport SC).
+
+#include <string>
+#include <vector>
+
+#include "models/model.hpp"
+#include "trace/execution.hpp"
+
+namespace vermem::models {
+
+struct LitmusTest {
+  std::string name;
+  std::string description;
+  Execution execution;
+  /// allowed[i] corresponds to kAllModels[i] (SC, TSO, PSO, Coherence).
+  bool allowed[4] = {false, false, false, false};
+
+  [[nodiscard]] bool allowed_under(Model m) const noexcept {
+    for (std::size_t i = 0; i < 4; ++i)
+      if (kAllModels[i] == m) return allowed[i];
+    return false;
+  }
+};
+
+/// The standard suite: SB, MP, LB, IRIW, CoRR, CoWW, CoRW, fenced SB, and
+/// same-address forwarding shapes.
+[[nodiscard]] std::vector<LitmusTest> standard_litmus_suite();
+
+}  // namespace vermem::models

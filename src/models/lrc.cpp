@@ -1,0 +1,49 @@
+#include "models/lrc.hpp"
+
+#include "reductions/sync_wrap.hpp"
+
+namespace vermem::models {
+
+bool is_fully_wrapped(const Execution& exec, Addr lock) {
+  for (const auto& history : exec.histories()) {
+    const auto& ops = history.ops();
+    if (ops.size() % 3 != 0) return false;
+    for (std::size_t i = 0; i < ops.size(); i += 3) {
+      if (!(ops[i] == Acq(lock))) return false;
+      if (ops[i + 1].is_sync()) return false;
+      if (!(ops[i + 2] == Rel(lock))) return false;
+    }
+  }
+  return true;
+}
+
+vmc::CheckResult check_lrc_wrapped(const Execution& exec, Addr lock,
+                                   const vmc::ExactOptions& options) {
+  if (!is_fully_wrapped(exec, lock))
+    return vmc::CheckResult::unknown(
+        "not applicable: execution is not fully Acq/Rel-wrapped on lock " +
+        std::to_string(lock));
+
+  // One data op per critical section + a single lock means the critical
+  // sections of each location must serialize coherently; sections of
+  // different locations impose no mutual constraints under LRC (its
+  // happens-before only transports values through the lock order, which
+  // the per-address schedules embody).
+  const Execution stripped = reductions::strip_synchronization(exec, lock);
+  const auto report = vmc::verify_coherence(stripped, options);
+  switch (report.verdict) {
+    case vmc::Verdict::kCoherent:
+      return vmc::CheckResult::yes({});
+    case vmc::Verdict::kIncoherent: {
+      const auto* violation = report.first_violation();
+      return vmc::CheckResult::no(
+          "no LRC-admissible section order for address " +
+          std::to_string(violation ? violation->addr : 0));
+    }
+    case vmc::Verdict::kUnknown:
+      return vmc::CheckResult::unknown("per-address check exceeded budget");
+  }
+  return vmc::CheckResult::unknown("unreachable");
+}
+
+}  // namespace vermem::models

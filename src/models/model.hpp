@@ -1,0 +1,51 @@
+#pragma once
+// Memory consistency models (Section 6.2).
+//
+// The paper's Section 6 argument is generic: every hardware-implemented
+// consistency model reduces to memory coherence when the execution
+// touches one shared location, so verifying any of them inherits VMC's
+// NP-hardness. This module makes that concrete by implementing
+// operational checkers for a representative spread of models:
+//
+//   SC   sequential consistency (Lamport): one interleaving, program
+//        order fully respected.
+//   TSO  total store order (SPARC/x86): per-processor FIFO store buffer
+//        with forwarding; loads may pass buffered stores to other
+//        addresses.
+//   PSO  partial store order: TSO + stores to different addresses may
+//        reorder (per-address FIFO buffers).
+//   COHERENCE_ONLY  the weakest model considered: each address must be
+//        coherent, nothing relates different addresses (an upper bound
+//        for models like LRC once synchronization is accounted for).
+//
+// Each checker decides "could a machine implementing this model have
+// produced the observed execution" by state-space search over the model's
+// operational semantics, memoized like the VMC/VSC searches.
+
+#include <cstdint>
+
+namespace vermem::models {
+
+enum class Model : std::uint8_t {
+  kSc,
+  kTso,
+  kPso,
+  kCoherenceOnly,
+};
+
+[[nodiscard]] constexpr const char* to_string(Model m) noexcept {
+  switch (m) {
+    case Model::kSc: return "SC";
+    case Model::kTso: return "TSO";
+    case Model::kPso: return "PSO";
+    case Model::kCoherenceOnly: return "Coherence";
+  }
+  return "?";
+}
+
+/// Models ordered from strongest to weakest; an execution accepted by a
+/// stronger model is accepted by every weaker one (tested property).
+inline constexpr Model kAllModels[] = {Model::kSc, Model::kTso, Model::kPso,
+                                       Model::kCoherenceOnly};
+
+}  // namespace vermem::models

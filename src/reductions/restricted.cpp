@@ -1,0 +1,172 @@
+#include "reductions/restricted.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vermem::reductions {
+
+namespace {
+
+constexpr Addr kAddr = 0;
+
+void require_3sat(const sat::Cnf& cnf) {
+  if (!cnf.is_ksat(3))
+    throw std::invalid_argument("restricted reductions require exactly-3SAT");
+}
+
+}  // namespace
+
+RestrictedVmc three_sat_to_vmc_3ops(const sat::Cnf& cnf) {
+  require_3sat(cnf);
+  RestrictedVmc out;
+  out.num_vars = cnf.num_vars;
+  out.num_clauses = cnf.num_clauses();
+  Execution& exec = out.instance.execution;
+  out.instance.addr = kAddr;
+
+  const auto m = static_cast<Value>(cnf.num_vars);
+  const auto n = static_cast<Value>(cnf.num_clauses());
+  // Value layout: 0 = d_I; literal values; clause slot values; tokens.
+  auto d_lit = [&](sat::Lit lit) {
+    return 1 + 2 * static_cast<Value>(lit.var()) + (lit.negated() ? 1 : 0);
+  };
+  auto d_slot = [&](std::size_t j, std::size_t k) {
+    return 1 + 2 * m + 3 * static_cast<Value>(j) + static_cast<Value>(k);
+  };
+  auto token = [&](std::size_t j) {
+    return 1 + 2 * m + 3 * n + static_cast<Value>(j);
+  };
+
+  // h1/h2 batches: first writes of the literal values, three per history.
+  for (const bool negated : {false, true}) {
+    auto& batches = negated ? out.neg_batches : out.pos_batches;
+    std::vector<Operation> ops;
+    for (sat::Var v = 0; v < cnf.num_vars; ++v) {
+      ops.push_back(W(kAddr, d_lit(sat::Lit(v, negated))));
+      if (ops.size() == 3) {
+        batches.push_back(exec.add_history(ProcessHistory{std::move(ops)}));
+        ops.clear();
+      }
+    }
+    if (!ops.empty())
+      batches.push_back(exec.add_history(ProcessHistory{std::move(ops)}));
+  }
+
+  // Starter token.
+  exec.add_history(ProcessHistory{{W(kAddr, token(0))}});
+
+  // Occurrence histories.
+  for (std::size_t j = 0; j < cnf.clauses.size(); ++j) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      const sat::Lit lit = cnf.clauses[j][k];
+      exec.add_history(ProcessHistory{{R(kAddr, d_lit(lit)),
+                                       R(kAddr, d_lit(~lit)),
+                                       W(kAddr, d_slot(j, k))}});
+    }
+  }
+
+  // Slot cycles.
+  for (std::size_t j = 0; j < cnf.clauses.size(); ++j)
+    for (std::size_t k = 0; k < 3; ++k)
+      exec.add_history(ProcessHistory{
+          {R(kAddr, d_slot(j, k)), W(kAddr, d_slot(j, (k + 1) % 3))}});
+
+  // Relays.
+  for (std::size_t j = 0; j < cnf.clauses.size(); ++j)
+    exec.add_history(ProcessHistory{
+        {R(kAddr, token(j)), R(kAddr, d_slot(j, 0)), W(kAddr, token(j + 1))}});
+
+  // Gates: the second writes, released by the final token.
+  for (sat::Var v = 0; v < cnf.num_vars; ++v)
+    exec.add_history(
+        ProcessHistory{{R(kAddr, token(cnf.clauses.size())),
+                        W(kAddr, d_lit(sat::pos(v))), W(kAddr, d_lit(sat::neg(v)))}});
+
+  exec.set_initial_value(kAddr, 0);
+  assert(out.instance.max_ops_per_process() <= 3);
+  assert(out.instance.max_writes_per_value() <= 2);
+  return out;
+}
+
+RestrictedVmc three_sat_to_vmc_rmw(const sat::Cnf& cnf) {
+  require_3sat(cnf);
+  if (cnf.num_vars == 0 || cnf.clauses.empty())
+    throw std::invalid_argument("rmw reduction needs >=1 variable and clause");
+  RestrictedVmc out;
+  out.num_vars = cnf.num_vars;
+  out.num_clauses = cnf.num_clauses();
+  Execution& exec = out.instance.execution;
+  out.instance.addr = kAddr;
+
+  const auto m = static_cast<Value>(cnf.num_vars);
+  const auto n = static_cast<Value>(cnf.num_clauses());
+  // Value layout: 0 = d_I; batons B_0..B_m; tokens t_0..t_{n-1}; clause
+  // values c_0..c_{n-1}; gate G; final F; then per-branch intermediates.
+  auto baton = [&](std::size_t i) { return 1 + static_cast<Value>(i); };
+  auto t_tok = [&](std::size_t j) { return 2 + m + static_cast<Value>(j); };
+  auto c_tok = [&](std::size_t j) { return 2 + m + n + static_cast<Value>(j); };
+  const Value gate = 2 + m + 2 * n;
+  const Value fin = gate + 1;
+  Value next_fresh = fin + 1;
+
+  // After the last clause: the relay hands to G (first pass ends), the
+  // loop's second op hands to F (second pass ends).
+  auto t_or_gate = [&](std::size_t j) {
+    return j < cnf.clauses.size() ? t_tok(j) : gate;
+  };
+  auto t_or_final = [&](std::size_t j) {
+    return j < cnf.clauses.size() ? t_tok(j) : fin;
+  };
+
+  // h1: open pass one.
+  exec.add_history(
+      ProcessHistory{{RW(kAddr, 0, baton(0)), RW(kAddr, baton(m), t_tok(0))}});
+
+  // Branch histories.
+  for (sat::Var v = 0; v < cnf.num_vars; ++v) {
+    for (const bool negated : {false, true}) {
+      const sat::Lit lit(v, negated);
+      // Occurrences of this literal, in clause order.
+      std::vector<std::size_t> occurs;
+      for (std::size_t j = 0; j < cnf.clauses.size(); ++j)
+        for (const sat::Lit l : cnf.clauses[j])
+          if (l == lit) occurs.push_back(j);
+
+      if (occurs.empty()) {
+        exec.add_history(
+            ProcessHistory{{RW(kAddr, baton(v), baton(v + 1))}});
+        continue;
+      }
+      Value chain = baton(v);
+      for (std::size_t l = 0; l < occurs.size(); ++l) {
+        const Value next =
+            l + 1 == occurs.size() ? baton(v + 1) : next_fresh++;
+        exec.add_history(ProcessHistory{
+            {RW(kAddr, chain, next),
+             RW(kAddr, t_tok(occurs[l]), c_tok(occurs[l]))}});
+        chain = next;
+      }
+    }
+  }
+
+  // Per-clause relay and loop histories.
+  for (std::size_t j = 0; j < cnf.clauses.size(); ++j) {
+    exec.add_history(ProcessHistory{{RW(kAddr, c_tok(j), t_or_gate(j + 1))}});
+    exec.add_history(ProcessHistory{{RW(kAddr, c_tok(j), t_tok(j)),
+                                     RW(kAddr, c_tok(j), t_or_final(j + 1))}});
+  }
+
+  // Second pass: starter re-issues the first baton, converter re-opens
+  // the clause sweep.
+  exec.add_history(ProcessHistory{{RW(kAddr, gate, baton(0))}});
+  exec.add_history(ProcessHistory{{RW(kAddr, baton(m), t_tok(0))}});
+
+  exec.set_initial_value(kAddr, 0);
+  exec.set_final_value(kAddr, fin);
+  assert(out.instance.all_rmw());
+  assert(out.instance.max_ops_per_process() <= 2);
+  assert(out.instance.max_writes_per_value() <= 3);
+  return out;
+}
+
+}  // namespace vermem::reductions

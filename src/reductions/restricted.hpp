@@ -1,0 +1,80 @@
+#pragma once
+// The restricted-case reductions of Section 5.1.
+//
+// Figure 5.1: 3SAT -> VMC with at most THREE simple operations per
+// process and every value written at most TWICE.
+// Figure 5.2: 3SAT -> VMC with at most TWO read-modify-writes per process
+// and every value written at most THREE times.
+//
+// Both constructions here follow the paper's gadget inventory (variable
+// batches, per-occurrence literal histories, clause token cycles/relays,
+// gated second writes) with the token plumbing spelled out explicitly;
+// the equivalence "instance coherent <=> formula satisfiable" is enforced
+// by machine: reductions_test round-trips random formulas against the
+// brute-force SAT oracle, and the structural caps are asserted by
+// instance introspection (max_ops_per_process / max_writes_per_value).
+//
+// ---- Figure 5.1 construction (simple ops, <=3 per process, <=2 writes
+//      per value) -------------------------------------------------------
+// Values: d_u / d_ubar per variable; d(j,k) per clause j and slot k
+// (k = 0,1,2); tokens t_0..t_n ("clauses 0..j-1 satisfied").
+// Histories:
+//   batches    W-batches of h1-values (3 per history) and of h2-values;
+//   starter    [W(t_0)]
+//   occurrence per literal occurrence (j,k):
+//                [R(d_lit), R(d_opposite), W(d(j,k))]
+//              — readable only while the literal is true (eq. 4.1), or
+//              after the gated second writes;
+//   cycle      per clause j, slot k: [R(d(j,k)), W(d(j,(k+1)%3))]
+//              — makes d(j,0) reachable from whichever slot fired;
+//   relay      per clause j: [R(t_j), R(d(j,0)), W(t_{j+1})]
+//              — advances the token iff clause j produced a slot value;
+//   gate       per variable: [R(t_n), W(d_u), W(d_ubar)]
+//              — the "second writes", released only when every clause
+//              was satisfied, letting false-literal histories finish.
+//
+// ---- Figure 5.2 construction (all RMW, <=2 per process, <=3 writes per
+//      value) ------------------------------------------------------------
+// One location, RMW-only: a coherent schedule is a single hand-off chain
+// from d_I, which makes every value a consumable token.
+// Values: batons B_0..B_m; per-branch chain intermediates; clause tokens
+// t_j / c_j; gate G; final d_F.
+//   h1         [RW(d_I, B_0), RW(B_m, t_0)]   -- opens both passes
+//   branch     per variable and sign, one history per occurrence l:
+//                op1: RW(chain_{l-1}, chain_l)  (chain_0 = B_i,
+//                     chain_last = B_{i+1}; pass-through [RW(B_i,B_{i+1})]
+//                     when the literal never occurs)
+//                op2: RW(t_j, c_j)              (its clause's token)
+//   relay      per clause j: [RW(c_j, t_{j+1})] (t_n meaning G)
+//   loop       per clause j: [RW(c_j, t_j), RW(c_j, t_{j+1})]
+//              (t_n meaning d_F for the second op)
+//   starter    [RW(G, B_0)]                    -- opens the second pass
+//   converter  [RW(B_m, t_0)]                  -- second clause sweep
+// Final value d_F forces the chain to run to completion, so every gadget
+// executes exactly once; the first pass can only advance clause j via a
+// true literal's op2, which encodes satisfiability.
+
+#include "sat/cnf.hpp"
+#include "vmc/instance.hpp"
+
+namespace vermem::reductions {
+
+struct RestrictedVmc {
+  vmc::VmcInstance instance;
+  std::size_t num_vars = 0, num_clauses = 0;
+  /// For the 3-ops construction: history indices of the h1/h2 write
+  /// batches, ordered; used by tests to decode assignments.
+  std::vector<std::size_t> pos_batches, neg_batches;
+};
+
+/// Figure 5.1: requires an exactly-3SAT formula (every clause width 3).
+/// The result satisfies max_ops_per_process() <= 3 and
+/// max_writes_per_value() <= 2.
+[[nodiscard]] RestrictedVmc three_sat_to_vmc_3ops(const sat::Cnf& cnf);
+
+/// Figure 5.2: requires exactly-3SAT, at least one variable and clause.
+/// The result is all-RMW with max_ops_per_process() <= 2 and
+/// max_writes_per_value() <= 3, and carries a final-value constraint.
+[[nodiscard]] RestrictedVmc three_sat_to_vmc_rmw(const sat::Cnf& cnf);
+
+}  // namespace vermem::reductions

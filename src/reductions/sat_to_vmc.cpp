@@ -1,0 +1,73 @@
+#include "reductions/sat_to_vmc.hpp"
+
+namespace vermem::reductions {
+
+std::vector<bool> SatToVmc::assignment_from_schedule(
+    const Schedule& schedule) const {
+  std::vector<std::size_t> pos_h1(num_vars, 0), pos_h2(num_vars, 0);
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    const OpRef ref = schedule[s];
+    if (ref.process == h1 && ref.index < num_vars) pos_h1[ref.index] = s;
+    if (ref.process == h2 && ref.index < num_vars) pos_h2[ref.index] = s;
+  }
+  std::vector<bool> assignment(num_vars);
+  for (std::size_t i = 0; i < num_vars; ++i)
+    assignment[i] = pos_h1[i] < pos_h2[i];
+  return assignment;
+}
+
+SatToVmc sat_to_vmc(const sat::Cnf& cnf) {
+  SatToVmc out;
+  out.num_vars = cnf.num_vars;
+  out.num_clauses = cnf.num_clauses();
+  constexpr Addr kAddr = 0;
+  Execution& exec = out.instance.execution;
+  out.instance.addr = kAddr;
+
+  // h1 / h2: first writes of every variable's two values.
+  {
+    std::vector<Operation> ops1, ops2;
+    for (sat::Var v = 0; v < cnf.num_vars; ++v) {
+      ops1.push_back(W(kAddr, out.value_of_literal(sat::pos(v))));
+      ops2.push_back(W(kAddr, out.value_of_literal(sat::neg(v))));
+    }
+    out.h1 = exec.add_history(ProcessHistory{std::move(ops1)});
+    out.h2 = exec.add_history(ProcessHistory{std::move(ops2)});
+  }
+
+  // Literal histories: the two reads in the "literal is true" order, then
+  // one clause-value write per occurrence.
+  out.history_of_pos_literal.resize(cnf.num_vars);
+  out.history_of_neg_literal.resize(cnf.num_vars);
+  for (sat::Var v = 0; v < cnf.num_vars; ++v) {
+    for (const bool negated : {false, true}) {
+      const sat::Lit lit(v, negated);
+      std::vector<Operation> ops{R(kAddr, out.value_of_literal(lit)),
+                                 R(kAddr, out.value_of_literal(~lit))};
+      for (std::size_t c = 0; c < cnf.clauses.size(); ++c) {
+        for (const sat::Lit l : cnf.clauses[c])
+          if (l == lit) ops.push_back(W(kAddr, out.value_of_clause(c)));
+      }
+      const std::size_t h = exec.add_history(ProcessHistory{std::move(ops)});
+      (negated ? out.history_of_neg_literal : out.history_of_pos_literal)[v] = h;
+    }
+  }
+
+  // h3: reads every clause value, then the second writes of all variable
+  // values (so the false-literal histories can complete).
+  {
+    std::vector<Operation> ops;
+    for (std::size_t c = 0; c < cnf.clauses.size(); ++c)
+      ops.push_back(R(kAddr, out.value_of_clause(c)));
+    for (sat::Var v = 0; v < cnf.num_vars; ++v)
+      ops.push_back(W(kAddr, out.value_of_literal(sat::pos(v))));
+    for (sat::Var v = 0; v < cnf.num_vars; ++v)
+      ops.push_back(W(kAddr, out.value_of_literal(sat::neg(v))));
+    out.h3 = exec.add_history(ProcessHistory{std::move(ops)});
+  }
+
+  exec.set_initial_value(kAddr, 0);
+  return out;
+}
+
+}  // namespace vermem::reductions

@@ -1,0 +1,50 @@
+#pragma once
+// The SAT -> VMC reduction of Figure 4.1 (Theorem 4.2).
+//
+// Given a CNF formula Q over variables u_1..u_m and clauses c_1..c_n, the
+// constructed single-address instance V has a coherent schedule iff Q is
+// satisfiable:
+//   - values d_{u_i} / d_{\bar u_i} encode each variable's truth by the
+//     order in which h1 and h2 write them (equation 4.1);
+//   - one history per literal reads the two values in the order that
+//     corresponds to the literal being true, then writes d_c for every
+//     clause c it appears in;
+//   - h3 reads every d_c (possible only when every clause is satisfied)
+//     and then rewrites all variable values so the histories of false
+//     literals can complete.
+// 2m+3 histories and O(mn) operations, as in the paper.
+
+#include "sat/cnf.hpp"
+#include "vmc/instance.hpp"
+
+namespace vermem::reductions {
+
+struct SatToVmc {
+  vmc::VmcInstance instance;
+
+  // Layout metadata (history indices in instance.execution).
+  std::size_t h1 = 0, h2 = 1, h3 = 0;
+  std::vector<std::size_t> history_of_pos_literal;  ///< per variable
+  std::vector<std::size_t> history_of_neg_literal;  ///< per variable
+  std::size_t num_vars = 0, num_clauses = 0;
+
+  /// Data values used by the construction.
+  [[nodiscard]] Value value_of_literal(sat::Lit lit) const noexcept {
+    return 1 + 2 * static_cast<Value>(lit.var()) + (lit.negated() ? 1 : 0);
+  }
+  [[nodiscard]] Value value_of_clause(std::size_t c) const noexcept {
+    return 1 + 2 * static_cast<Value>(num_vars) + static_cast<Value>(c);
+  }
+
+  /// Reads the truth assignment off a coherent schedule: u_i is true iff
+  /// h1's W(d_{u_i}) precedes h2's W(d_{\bar u_i}) (equation 4.1).
+  [[nodiscard]] std::vector<bool> assignment_from_schedule(
+      const Schedule& schedule) const;
+};
+
+/// Builds the Figure 4.1 instance. The formula may have clauses of any
+/// width (SAT, not just 3SAT); empty clauses yield an instance that is
+/// trivially incoherent (h3 reads a value nobody can write).
+[[nodiscard]] SatToVmc sat_to_vmc(const sat::Cnf& cnf);
+
+}  // namespace vermem::reductions

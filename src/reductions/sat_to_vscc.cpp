@@ -1,0 +1,75 @@
+#include "reductions/sat_to_vscc.hpp"
+
+namespace vermem::reductions {
+
+std::vector<bool> SatToVscc::assignment_from_schedule(
+    const Schedule& schedule) const {
+  std::vector<std::size_t> pos_h1(num_vars, 0), pos_h2(num_vars, 0);
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    const OpRef ref = schedule[s];
+    if (ref.process == h1 && ref.index < num_vars) pos_h1[ref.index] = s;
+    if (ref.process == h2 && ref.index < num_vars) pos_h2[ref.index] = s;
+  }
+  std::vector<bool> assignment(num_vars);
+  for (std::size_t i = 0; i < num_vars; ++i)
+    assignment[i] = pos_h1[i] < pos_h2[i];
+  return assignment;
+}
+
+SatToVscc sat_to_vscc(const sat::Cnf& cnf) {
+  SatToVscc out;
+  out.num_vars = cnf.num_vars;
+  out.num_clauses = cnf.num_clauses();
+  Execution& exec = out.execution;
+
+  // h1: first writes X to every a_u, reads the gate, then writes Y.
+  {
+    std::vector<Operation> ops1, ops2;
+    for (sat::Var v = 0; v < cnf.num_vars; ++v) {
+      ops1.push_back(W(out.addr_of_var(v), SatToVscc::kX));
+      ops2.push_back(W(out.addr_of_var(v), SatToVscc::kY));
+    }
+    ops1.push_back(R(out.addr_delta(), SatToVscc::kZ));
+    ops1.insert(ops1.end(), ops2.begin(), ops2.end());
+    out.h1 = exec.add_history(ProcessHistory{std::move(ops1)});
+  }
+  // h2: symmetric, Y then X.
+  {
+    std::vector<Operation> ops1, ops2;
+    for (sat::Var v = 0; v < cnf.num_vars; ++v) {
+      ops1.push_back(W(out.addr_of_var(v), SatToVscc::kY));
+      ops2.push_back(W(out.addr_of_var(v), SatToVscc::kX));
+    }
+    ops1.push_back(R(out.addr_delta(), SatToVscc::kZ));
+    ops1.insert(ops1.end(), ops2.begin(), ops2.end());
+    out.h2 = exec.add_history(ProcessHistory{std::move(ops1)});
+  }
+
+  // Literal histories.
+  for (sat::Var v = 0; v < cnf.num_vars; ++v) {
+    for (const bool negated : {false, true}) {
+      const sat::Lit lit(v, negated);
+      std::vector<Operation> ops{
+          R(out.addr_of_var(v), negated ? SatToVscc::kY : SatToVscc::kX),
+          R(out.addr_of_var(v), negated ? SatToVscc::kX : SatToVscc::kY)};
+      for (std::size_t c = 0; c < cnf.clauses.size(); ++c)
+        for (const sat::Lit l : cnf.clauses[c])
+          if (l == lit) ops.push_back(W(out.addr_of_clause(c), SatToVscc::kZ));
+      exec.add_history(ProcessHistory{std::move(ops)});
+    }
+  }
+
+  // h3: reads every clause address, then writes the gate.
+  {
+    std::vector<Operation> ops;
+    for (std::size_t c = 0; c < cnf.clauses.size(); ++c)
+      ops.push_back(R(out.addr_of_clause(c), SatToVscc::kZ));
+    ops.push_back(W(out.addr_delta(), SatToVscc::kZ));
+    out.h3 = exec.add_history(ProcessHistory{std::move(ops)});
+  }
+
+  for (Addr a = 0; a <= out.addr_delta(); ++a) exec.set_initial_value(a, 0);
+  return out;
+}
+
+}  // namespace vermem::reductions

@@ -1,0 +1,49 @@
+#pragma once
+// SAT -> VSCC (Figure 6.2): reduces satisfiability to verifying
+// sequential consistency of an execution that is coherent BY CONSTRUCTION
+// (Figure 6.3 argues per-address coherence; our tests verify it with the
+// actual checkers). This separates the hardness of consistency from the
+// hardness of coherence: even knowing every address is coherent — and
+// even given per-address write-orders making that checkable in P — SC
+// verification remains NP-complete.
+//
+// Construction (2m+3 processes, m+n+1 addresses, values {d_I, X, Y, Z}):
+//   a_{u_i}  per variable: h1 writes X then (after the gate) Y; h2 writes
+//            Y then X; the pre-gate order of the first writes encodes T.
+//   h_u      reads (X, Y) from a_u — passable iff u true — then writes Z
+//            to a_c for each clause c containing u; h_ubar symmetric.
+//   a_c      per clause: written Z by its literals' histories, read by h3.
+//   a_delta  gate: h3 writes Z after reading every a_c; h1/h2 read it
+//            before their second writes.
+
+#include "sat/cnf.hpp"
+#include "trace/execution.hpp"
+#include "trace/schedule.hpp"
+
+namespace vermem::reductions {
+
+struct SatToVscc {
+  Execution execution;
+  std::size_t num_vars = 0, num_clauses = 0;
+  std::size_t h1 = 0, h2 = 1, h3 = 0;
+
+  static constexpr Value kX = 1, kY = 2, kZ = 3;
+  [[nodiscard]] Addr addr_of_var(std::size_t v) const noexcept {
+    return static_cast<Addr>(v);
+  }
+  [[nodiscard]] Addr addr_of_clause(std::size_t c) const noexcept {
+    return static_cast<Addr>(num_vars + c);
+  }
+  [[nodiscard]] Addr addr_delta() const noexcept {
+    return static_cast<Addr>(num_vars + num_clauses);
+  }
+
+  /// u_i true iff h1's W(a_{u_i}, X) precedes h2's W(a_{u_i}, Y) in the
+  /// SC schedule (equation 6.1).
+  [[nodiscard]] std::vector<bool> assignment_from_schedule(
+      const Schedule& schedule) const;
+};
+
+[[nodiscard]] SatToVscc sat_to_vscc(const sat::Cnf& cnf);
+
+}  // namespace vermem::reductions

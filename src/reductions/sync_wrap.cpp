@@ -1,0 +1,47 @@
+#include "reductions/sync_wrap.hpp"
+
+namespace vermem::reductions {
+
+namespace {
+
+Execution rebuild(const Execution& exec,
+                  const std::vector<std::vector<Operation>>& histories) {
+  std::vector<ProcessHistory> wrapped;
+  wrapped.reserve(histories.size());
+  for (const auto& ops : histories) wrapped.emplace_back(ops);
+  Execution out{std::move(wrapped)};
+  for (const auto& [a, v] : exec.initial_values()) out.set_initial_value(a, v);
+  for (const auto& [a, v] : exec.final_values()) out.set_final_value(a, v);
+  return out;
+}
+
+}  // namespace
+
+Execution wrap_with_synchronization(const Execution& exec, Addr lock) {
+  std::vector<std::vector<Operation>> histories(exec.num_processes());
+  for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
+    for (const Operation& op : exec.history(p)) {
+      if (op.is_sync()) {
+        histories[p].push_back(op);
+        continue;
+      }
+      histories[p].push_back(Acq(lock));
+      histories[p].push_back(op);
+      histories[p].push_back(Rel(lock));
+    }
+  }
+  return rebuild(exec, histories);
+}
+
+Execution strip_synchronization(const Execution& exec, Addr lock) {
+  std::vector<std::vector<Operation>> histories(exec.num_processes());
+  for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
+    for (const Operation& op : exec.history(p)) {
+      if (op.is_sync() && op.addr == lock) continue;
+      histories[p].push_back(op);
+    }
+  }
+  return rebuild(exec, histories);
+}
+
+}  // namespace vermem::reductions

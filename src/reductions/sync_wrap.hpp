@@ -1,0 +1,23 @@
+#pragma once
+// Figure 6.1: extending the reductions to consistency models that relax
+// coherence (e.g. Lazy Release Consistency) by wrapping every memory
+// operation in acquire/release of one lock. Under any model that orders
+// critical sections of the same lock (every useful weak model does, via
+// its synchronization primitives), the wrapped operations must appear
+// serialized — restoring exactly the premise the VMC reduction needs.
+
+#include "trace/execution.hpp"
+
+namespace vermem::reductions {
+
+/// Wraps each non-sync operation of every history as Acq(lock) op
+/// Rel(lock). Initial/final values are preserved.
+[[nodiscard]] Execution wrap_with_synchronization(const Execution& exec,
+                                                  Addr lock);
+
+/// Inverse projection: strips Acq/Rel of `lock`, recovering the data-op
+/// execution (used to feed the wrapped instance to the plain checkers
+/// after the model's synchronization order has been accounted for).
+[[nodiscard]] Execution strip_synchronization(const Execution& exec, Addr lock);
+
+}  // namespace vermem::reductions

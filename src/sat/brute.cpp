@@ -1,0 +1,36 @@
+#include "sat/brute.hpp"
+
+#include <cassert>
+
+namespace vermem::sat {
+
+namespace {
+
+std::vector<bool> decode(std::uint64_t bits, Var n) {
+  std::vector<bool> model(n);
+  for (Var v = 0; v < n; ++v) model[v] = (bits >> v) & 1U;
+  return model;
+}
+
+}  // namespace
+
+std::optional<std::vector<bool>> solve_brute(const Cnf& cnf) {
+  assert(cnf.num_vars <= 30);
+  const std::uint64_t limit = std::uint64_t{1} << cnf.num_vars;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    const auto model = decode(bits, cnf.num_vars);
+    if (cnf.satisfied_by(model)) return model;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t count_models(const Cnf& cnf) {
+  assert(cnf.num_vars <= 30);
+  const std::uint64_t limit = std::uint64_t{1} << cnf.num_vars;
+  std::uint64_t count = 0;
+  for (std::uint64_t bits = 0; bits < limit; ++bits)
+    if (cnf.satisfied_by(decode(bits, cnf.num_vars))) ++count;
+  return count;
+}
+
+}  // namespace vermem::sat

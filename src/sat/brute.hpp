@@ -1,0 +1,19 @@
+#pragma once
+// Exhaustive truth-table SAT solver. The ground-truth oracle for property
+// tests: feasible up to ~24 variables, and trivially correct by
+// inspection.
+
+#include <optional>
+
+#include "sat/cnf.hpp"
+
+namespace vermem::sat {
+
+/// Tries all 2^num_vars assignments; returns a satisfying model or
+/// nullopt when unsatisfiable. Requires num_vars <= 30.
+[[nodiscard]] std::optional<std::vector<bool>> solve_brute(const Cnf& cnf);
+
+/// Number of satisfying assignments (exact model count, same size limit).
+[[nodiscard]] std::uint64_t count_models(const Cnf& cnf);
+
+}  // namespace vermem::sat

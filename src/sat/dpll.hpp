@@ -1,0 +1,28 @@
+#pragma once
+// Classic DPLL (unit propagation + chronological backtracking, no clause
+// learning). Serves as the "no learning" arm of the SAT ablation study
+// and as an independent implementation for cross-checking the CDCL solver
+// on small/medium instances.
+
+#include "sat/solver.hpp"
+
+namespace vermem::sat {
+
+struct DpllStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t backtracks = 0;
+};
+
+struct DpllResult {
+  Status status = Status::kUnknown;
+  std::vector<bool> model;
+  DpllStats stats;
+};
+
+/// Solves by recursive DPLL. `deadline` bounds wall-clock time (result is
+/// kUnknown when exceeded).
+[[nodiscard]] DpllResult solve_dpll(const Cnf& cnf,
+                                    Deadline deadline = Deadline::never());
+
+}  // namespace vermem::sat

@@ -1,0 +1,75 @@
+#include "sat/gen.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vermem::sat {
+
+namespace {
+
+Clause random_clause(Var num_vars, std::size_t k, Xoshiro256ss& rng) {
+  Clause clause;
+  while (clause.size() < k) {
+    const Var v = static_cast<Var>(rng.below(num_vars));
+    bool duplicate = false;
+    for (const Lit l : clause) duplicate |= l.var() == v;
+    if (!duplicate) clause.push_back(Lit(v, rng.chance(0.5)));
+  }
+  return clause;
+}
+
+}  // namespace
+
+Cnf random_ksat(Var num_vars, std::size_t num_clauses, std::size_t k,
+                Xoshiro256ss& rng) {
+  if (num_vars < 1 || k < 1 || k > num_vars)
+    throw std::invalid_argument("random_ksat: need 1 <= k <= num_vars");
+  Cnf cnf;
+  cnf.reserve_vars(num_vars);
+  for (std::size_t c = 0; c < num_clauses; ++c)
+    cnf.add_clause(random_clause(num_vars, k, rng));
+  return cnf;
+}
+
+Cnf planted_ksat(Var num_vars, std::size_t num_clauses, std::size_t k,
+                 Xoshiro256ss& rng, std::vector<bool>& planted) {
+  if (num_vars < 1 || k < 1 || k > num_vars)
+    throw std::invalid_argument("planted_ksat: need 1 <= k <= num_vars");
+  planted.resize(num_vars);
+  for (Var v = 0; v < num_vars; ++v) planted[v] = rng.chance(0.5);
+
+  Cnf cnf;
+  cnf.reserve_vars(num_vars);
+  while (cnf.clauses.size() < num_clauses) {
+    Clause clause = random_clause(num_vars, k, rng);
+    bool satisfied = false;
+    for (const Lit l : clause) satisfied |= planted[l.var()] != l.negated();
+    if (satisfied) cnf.add_clause(std::move(clause));
+  }
+  return cnf;
+}
+
+Cnf pigeonhole(std::size_t holes) {
+  if (holes < 1) throw std::invalid_argument("pigeonhole: need holes >= 1");
+  const std::size_t pigeons = holes + 1;
+  Cnf cnf;
+  // Variable p*holes + h: pigeon p sits in hole h.
+  cnf.reserve_vars(static_cast<Var>(pigeons * holes));
+  auto var_of = [&](std::size_t p, std::size_t h) {
+    return static_cast<Var>(p * holes + h);
+  };
+  // Every pigeon sits somewhere.
+  for (std::size_t p = 0; p < pigeons; ++p) {
+    Clause clause;
+    for (std::size_t h = 0; h < holes; ++h) clause.push_back(pos(var_of(p, h)));
+    cnf.add_clause(std::move(clause));
+  }
+  // No two pigeons share a hole.
+  for (std::size_t h = 0; h < holes; ++h)
+    for (std::size_t p1 = 0; p1 < pigeons; ++p1)
+      for (std::size_t p2 = p1 + 1; p2 < pigeons; ++p2)
+        cnf.add_binary(neg(var_of(p1, h)), neg(var_of(p2, h)));
+  return cnf;
+}
+
+}  // namespace vermem::sat

@@ -1,0 +1,29 @@
+#pragma once
+// SAT instance generators for the reduction experiments.
+//
+// Random k-SAT at a chosen clause/variable ratio drives the scaling
+// benches (the hard region for 3-SAT sits near ratio 4.26); planted
+// instances guarantee satisfiability so round-trip tests can always check
+// the SAT->VMC->schedule direction; pigeonhole gives a guaranteed-UNSAT
+// family with known exponential resolution lower bounds.
+
+#include "sat/cnf.hpp"
+#include "support/rng.hpp"
+
+namespace vermem::sat {
+
+/// Uniform random k-SAT: `num_clauses` clauses of exactly k distinct
+/// variables each, signs fair coins. Requires k <= num_vars, num_vars >= 1.
+[[nodiscard]] Cnf random_ksat(Var num_vars, std::size_t num_clauses, std::size_t k,
+                              Xoshiro256ss& rng);
+
+/// Random k-SAT with a planted satisfying assignment: every clause is
+/// rejected and resampled until it is true under the hidden assignment.
+/// The planted model is returned through `planted`.
+[[nodiscard]] Cnf planted_ksat(Var num_vars, std::size_t num_clauses, std::size_t k,
+                               Xoshiro256ss& rng, std::vector<bool>& planted);
+
+/// Pigeonhole principle PHP(holes+1, holes): unsatisfiable for holes >= 1.
+[[nodiscard]] Cnf pigeonhole(std::size_t holes);
+
+}  // namespace vermem::sat

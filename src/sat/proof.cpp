@@ -1,0 +1,116 @@
+#include "sat/proof.hpp"
+
+namespace vermem::sat {
+
+namespace {
+
+constexpr int kUndef = 0, kTrue = 1, kFalse = -1;
+
+/// Minimal occurrence-list unit propagator over a growing clause set.
+class RupChecker {
+ public:
+  explicit RupChecker(const Cnf& cnf) : num_vars_(cnf.num_vars) {
+    occurrences_.resize(2 * num_vars_);
+    for (const Clause& clause : cnf.clauses) add_clause(clause);
+  }
+
+  void add_clause(const Clause& clause) {
+    const std::size_t index = clauses_.size();
+    clauses_.push_back(clause);
+    for (const Lit l : clause) {
+      if (l.var() >= num_vars_) grow(l.var() + 1);
+      occurrences_[(~l).code()].push_back(index);
+    }
+  }
+
+  /// True iff asserting the negation of `clause` and unit-propagating
+  /// yields a conflict (i.e. the clause is RUP).
+  [[nodiscard]] bool is_rup(const Clause& clause) {
+    assigns_.assign(num_vars_, kUndef);
+    trail_.clear();
+    // Assert the negation; a literal already forced true by a duplicate
+    // is a tautology corner (~l and l both in clause): conflict trivially.
+    for (const Lit l : clause) {
+      const int v = value(~l);
+      if (v == kFalse) return true;  // clause contains l and ~l
+      if (v == kUndef) assign(~l);
+    }
+    return !propagate();
+  }
+
+ private:
+  void grow(Var n) {
+    num_vars_ = n;
+    occurrences_.resize(2 * num_vars_);
+  }
+
+  [[nodiscard]] int value(Lit l) const {
+    const int v = assigns_[l.var()];
+    return l.negated() ? -v : v;
+  }
+  void assign(Lit l) {
+    assigns_[l.var()] = l.negated() ? kFalse : kTrue;
+    trail_.push_back(l);
+  }
+
+  /// Returns false on conflict. Seeds from unit clauses in the database
+  /// plus the already-asserted trail.
+  bool propagate() {
+    // First force every unit clause of the database.
+    for (const Clause& clause : clauses_) {
+      if (clause.size() != 1) continue;
+      const int v = value(clause[0]);
+      if (v == kFalse) return false;
+      if (v == kUndef) assign(clause[0]);
+    }
+    std::size_t head = 0;
+    while (head < trail_.size()) {
+      const Lit p = trail_[head++];
+      for (const std::size_t index : occurrences_[p.code()]) {
+        const Clause& clause = clauses_[index];
+        Lit unit{};
+        int unassigned = 0;
+        bool satisfied = false;
+        for (const Lit l : clause) {
+          const int v = value(l);
+          if (v == kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == kUndef) {
+            ++unassigned;
+            unit = l;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned == 0) return false;  // conflict
+        if (unassigned == 1) assign(unit);
+      }
+    }
+    return true;
+  }
+
+  Var num_vars_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::size_t>> occurrences_;
+  std::vector<int> assigns_;
+  std::vector<Lit> trail_;
+};
+
+}  // namespace
+
+bool check_rup_proof(const Cnf& cnf, const Proof& proof) {
+  RupChecker checker(cnf);
+  bool derived_empty = false;
+  for (const Clause& step : proof) {
+    if (!checker.is_rup(step)) return false;
+    if (step.empty()) {
+      derived_empty = true;
+      break;  // refutation complete; later steps are irrelevant
+    }
+    checker.add_clause(step);
+  }
+  return derived_empty;
+}
+
+}  // namespace vermem::sat

@@ -1,0 +1,67 @@
+#pragma once
+// Configuration, statistics, and fault plan for the multiprocessor
+// simulator.
+//
+// The simulator plays the role of the paper's "shared-memory
+// multiprocessor being tested": it executes per-core programs over
+// private MESI caches joined by an atomic split-free bus, records the
+// observed execution trace (what the paper's dynamic verifier would
+// capture), and records the bus serialization of writes (the Section 5.2
+// write-order augmentation). The fault plan injects protocol bugs so the
+// checkers have something to catch.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vermem::sim {
+
+/// Protocol fault injection probabilities (per opportunity; 0 = never).
+/// Each models a real failure mode of a broken coherence implementation.
+struct FaultPlan {
+  /// A sharer misses an invalidation on BusRdX/BusUpgr and keeps serving
+  /// stale data.
+  double drop_invalidation = 0.0;
+  /// A BusRd is served from memory although another cache holds the line
+  /// Modified (lost intervention).
+  double stale_fill = 0.0;
+  /// An evicted Modified line is dropped instead of written back.
+  double lost_writeback = 0.0;
+  /// A cache line's value is corrupted in place (bit flip / SEU).
+  double corrupt_value = 0.0;
+  /// The *recorded* write-order log swaps two adjacent entries even
+  /// though the execution itself was correct (broken verification
+  /// hardware rather than broken protocol).
+  double corrupt_write_log = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop_invalidation > 0 || stale_fill > 0 || lost_writeback > 0 ||
+           corrupt_value > 0 || corrupt_write_log > 0;
+  }
+};
+
+struct SimConfig {
+  std::size_t num_cores = 4;
+  /// Direct-mapped private cache size, in lines (one word per line — the
+  /// paper assumes aligned word accesses, so spatial aliasing is out of
+  /// scope; small sizes force evictions and writebacks).
+  std::size_t cache_lines = 8;
+  std::uint64_t seed = 1;  ///< drives the interleaving and the faults
+  FaultPlan faults;
+};
+
+struct SimStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bus_reads = 0;
+  std::uint64_t bus_read_exclusives = 0;
+  std::uint64_t bus_upgrades = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t interventions = 0;  ///< dirty data supplied cache-to-cache
+  std::uint64_t faults_injected = 0;
+};
+
+}  // namespace vermem::sim

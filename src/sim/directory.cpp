@@ -1,0 +1,417 @@
+#include "sim/directory.hpp"
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/rng.hpp"
+
+namespace vermem::sim {
+
+namespace {
+
+enum class LineState : std::uint8_t { kInvalid, kShared, kModified };
+
+struct CacheLine {
+  Addr addr = 0;
+  LineState state = LineState::kInvalid;
+  Value value = 0;
+};
+
+/// Directory entry: at most one owner (Modified) or a sharer set.
+struct DirEntry {
+  std::size_t owner = SIZE_MAX;  ///< SIZE_MAX = no dirty owner
+  std::unordered_set<std::size_t> sharers;
+  bool busy = false;                     ///< transaction in flight
+  std::deque<std::size_t> pending;       ///< queued requester nodes
+};
+
+class DirectoryMachine {
+ public:
+  DirectoryMachine(const std::vector<Program>& programs,
+                   const DirectoryConfig& config)
+      : programs_(programs),
+        config_(config),
+        rng_(config.seed),
+        caches_(config.num_nodes, std::vector<CacheLine>(config.cache_lines)),
+        next_request_(config.num_nodes, 0),
+        histories_(config.num_nodes) {}
+
+  DirectoryResult run() {
+    for (std::size_t node = 0; node < config_.num_nodes; ++node)
+      schedule(1, [this, node] { issue_next(node); });
+    while (!events_.empty()) {
+      const Event event = events_.top();
+      events_.pop();
+      now_ = event.time;
+      event.action();
+    }
+    return finish();
+  }
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;  ///< tie-break so ordering is deterministic
+    std::function<void()> action;
+    bool operator<(const Event& other) const {
+      // priority_queue is a max-heap; invert for earliest-first.
+      return std::tie(time, seq) > std::tie(other.time, other.seq);
+    }
+  };
+
+  void schedule(std::uint64_t delay, std::function<void()> action) {
+    events_.push(Event{now_ + delay, event_seq_++, std::move(action)});
+  }
+
+  std::uint64_t latency() {
+    return config_.min_latency +
+           rng_.below(config_.max_latency - config_.min_latency + 1);
+  }
+
+  /// One network hop; counts the message.
+  void send(std::function<void()> on_arrival) {
+    ++stats_.messages;
+    schedule(latency(), std::move(on_arrival));
+  }
+
+  CacheLine& line_of(std::size_t node, Addr addr) {
+    return caches_[node][addr % config_.cache_lines];
+  }
+  [[nodiscard]] bool holds(std::size_t node, Addr addr) const {
+    const CacheLine& line = caches_[node][addr % config_.cache_lines];
+    return line.state != LineState::kInvalid && line.addr == addr;
+  }
+  Value memory_value(Addr addr) const {
+    const auto it = memory_.find(addr);
+    return it == memory_.end() ? Value{0} : it->second;
+  }
+  DirEntry& dir(Addr addr) { return directory_[addr]; }
+
+  // ---- core side --------------------------------------------------------
+
+  void issue_next(std::size_t node) {
+    if (next_request_[node] >= programs_[node].size()) return;
+    const Request& req = programs_[node][next_request_[node]];
+    switch (req.kind) {
+      case Request::Kind::kLoad:
+        ++stats_.base.loads;
+        if (holds(node, req.addr)) {
+          ++stats_.base.hits;
+          complete_load(node, req.addr, line_of(node, req.addr).value);
+          return;
+        }
+        ++stats_.base.misses;
+        request_home(node, req.addr, /*exclusive=*/false);
+        return;
+      case Request::Kind::kStore:
+        ++stats_.base.stores;
+        if (holds(node, req.addr) &&
+            line_of(node, req.addr).state == LineState::kModified) {
+          ++stats_.base.hits;
+          commit_write(node, req.addr, req.operand, /*rmw_old=*/std::nullopt);
+          return;
+        }
+        ++stats_.base.misses;
+        request_home(node, req.addr, /*exclusive=*/true);
+        return;
+      case Request::Kind::kFetchAdd:
+        ++stats_.base.rmws;
+        if (holds(node, req.addr) &&
+            line_of(node, req.addr).state == LineState::kModified) {
+          ++stats_.base.hits;
+          const Value old_value = line_of(node, req.addr).value;
+          commit_write(node, req.addr, old_value + req.operand, old_value);
+          return;
+        }
+        ++stats_.base.misses;
+        request_home(node, req.addr, /*exclusive=*/true);
+        return;
+    }
+  }
+
+  void complete_load(std::size_t node, Addr addr, Value observed) {
+    commit_order_.push_back(
+        OpRef{static_cast<std::uint32_t>(node),
+              static_cast<std::uint32_t>(histories_[node].size())});
+    histories_[node].push_back(R(addr, observed));
+    ++next_request_[node];
+    schedule(1, [this, node] { issue_next(node); });
+  }
+
+  /// Installs the final value in the local (Modified) line, records the
+  /// operation and the write-order entry, and resumes the core.
+  void commit_write(std::size_t node, Addr addr, Value new_value,
+                    std::optional<Value> rmw_old) {
+    CacheLine& line = line_of(node, addr);
+    line.addr = addr;
+    line.state = LineState::kModified;
+    line.value = new_value;
+    if (rng_.chance(config_.faults.corrupt_value)) {
+      line.value += 0x5eed;
+      ++stats_.base.faults_injected;
+    }
+    const OpRef ref{static_cast<std::uint32_t>(node),
+                    static_cast<std::uint32_t>(histories_[node].size())};
+    commit_order_.push_back(ref);
+    if (rmw_old) {
+      histories_[node].push_back(RW(addr, *rmw_old, new_value));
+    } else {
+      histories_[node].push_back(W(addr, new_value));
+    }
+    write_orders_[addr].push_back(ref);
+    ++next_request_[node];
+    schedule(1, [this, node] { issue_next(node); });
+  }
+
+  // ---- directory side ---------------------------------------------------
+
+  void request_home(std::size_t node, Addr addr, bool exclusive) {
+    (exclusive ? stats_.base.bus_read_exclusives : stats_.base.bus_reads) += 1;
+    send([this, node, addr, exclusive] { home_receive(node, addr, exclusive); });
+  }
+
+  void home_receive(std::size_t node, Addr addr, bool exclusive) {
+    DirEntry& entry = dir(addr);
+    if (entry.busy) {
+      entry.pending.push_back(node);
+      pending_kind_[key(node, addr)] = exclusive;
+      stats_.max_home_queue =
+          std::max<std::uint64_t>(stats_.max_home_queue, entry.pending.size());
+      return;
+    }
+    entry.busy = true;
+    exclusive ? process_getx(node, addr) : process_gets(node, addr);
+  }
+
+  void process_gets(std::size_t requester, Addr addr) {
+    DirEntry& entry = dir(addr);
+    if (entry.owner != SIZE_MAX) {
+      // 3-hop: forward to the dirty owner; it supplies data and
+      // downgrades to Shared, writing back through the home.
+      ++stats_.forwards;
+      ++stats_.base.interventions;
+      const std::size_t owner = entry.owner;
+      send([this, requester, owner, addr] {
+        Value data = memory_value(addr);
+        if (holds(owner, addr) &&
+            line_of(owner, addr).state == LineState::kModified) {
+          if (rng_.chance(config_.faults.stale_fill)) {
+            ++stats_.base.faults_injected;  // stale memory data forwarded
+          } else {
+            data = line_of(owner, addr).value;
+            memory_[addr] = data;
+            ++stats_.base.writebacks;
+          }
+          line_of(owner, addr).state = LineState::kShared;
+        }
+        DirEntry& dir_entry = dir(addr);
+        dir_entry.sharers.insert(owner);
+        dir_entry.owner = SIZE_MAX;
+        send([this, requester, addr, data] { deliver_gets(requester, addr, data); });
+      });
+      return;
+    }
+    const Value data = memory_value(addr);
+    send([this, requester, addr, data] { deliver_gets(requester, addr, data); });
+  }
+
+  void deliver_gets(std::size_t requester, Addr addr, Value data) {
+    install(requester, addr, LineState::kShared, data);
+    dir(addr).sharers.insert(requester);
+    complete_load(requester, addr, line_of(requester, addr).value);
+    // Ack the home so the next pending transaction proceeds.
+    send([this, addr] { home_unlock(addr); });
+  }
+
+  /// Outstanding exclusive transaction at a requesting node: the commit
+  /// fires once the data AND every invalidation ack have arrived (unless
+  /// eager_writes skips the ack wait).
+  struct PendingGetX {
+    Addr addr = 0;
+    bool data_arrived = false;
+    Value data = 0;
+    std::size_t acks_needed = 0;
+    std::size_t acks_received = 0;
+    bool committed = false;
+  };
+
+  void process_getx(std::size_t requester, Addr addr) {
+    DirEntry& entry = dir(addr);
+    // Collect the data source first.
+    Value data = memory_value(addr);
+    if (entry.owner != SIZE_MAX && entry.owner != requester) {
+      ++stats_.forwards;
+      ++stats_.base.interventions;
+      if (holds(entry.owner, addr) &&
+          line_of(entry.owner, addr).state == LineState::kModified) {
+        if (rng_.chance(config_.faults.stale_fill)) {
+          ++stats_.base.faults_injected;
+        } else {
+          data = line_of(entry.owner, addr).value;
+        }
+        line_of(entry.owner, addr).state = LineState::kInvalid;
+        ++stats_.base.invalidations;
+      }
+    }
+
+    // Start the pending record before any ack can arrive.
+    PendingGetX pending;
+    pending.addr = addr;
+    pending.data = data;  // may be overwritten at data arrival (same value)
+    for (const std::size_t sharer : entry.sharers)
+      pending.acks_needed += sharer != requester;
+    pending_getx_[requester] = pending;
+
+    // Invalidate every sharer (requester excluded); each may drop the
+    // invalidation (the fault) but always acks the requester.
+    for (const std::size_t sharer : entry.sharers) {
+      if (sharer == requester) continue;
+      ++stats_.base.bus_upgrades;
+      const std::size_t target = sharer;
+      send([this, target, requester, addr] {
+        if (rng_.chance(config_.faults.drop_invalidation)) {
+          ++stats_.base.faults_injected;  // stale copy survives; still acks
+        } else if (holds(target, addr)) {
+          line_of(target, addr).state = LineState::kInvalid;
+          ++stats_.base.invalidations;
+        }
+        send([this, requester] { getx_ack(requester); });
+      });
+    }
+    entry.sharers.clear();
+    entry.owner = requester;
+
+    send([this, requester] {
+      PendingGetX& p = pending_getx_[requester];
+      p.data_arrived = true;
+      maybe_commit_getx(requester);
+    });
+  }
+
+  void getx_ack(std::size_t requester) {
+    PendingGetX& p = pending_getx_[requester];
+    ++p.acks_received;
+    maybe_commit_getx(requester);
+  }
+
+  void maybe_commit_getx(std::size_t requester) {
+    PendingGetX& p = pending_getx_[requester];
+    if (!p.data_arrived) return;
+    if (!config_.eager_writes && p.acks_received < p.acks_needed) return;
+    if (p.committed) return;
+    p.committed = true;
+
+    const Addr addr = p.addr;
+    const Value data = p.data;
+    const Request& req = programs_[requester][next_request_[requester]];
+    install(requester, addr, LineState::kModified, data);
+    if (req.kind == Request::Kind::kFetchAdd) {
+      commit_write(requester, addr, data + req.operand, data);
+    } else {
+      commit_write(requester, addr, req.operand, std::nullopt);
+    }
+    send([this, addr] { home_unlock(addr); });
+  }
+
+  void home_unlock(Addr addr) {
+    DirEntry& entry = dir(addr);
+    entry.busy = false;
+    if (entry.pending.empty()) return;
+    const std::size_t node = entry.pending.front();
+    entry.pending.pop_front();
+    const bool exclusive = pending_kind_[key(node, addr)];
+    entry.busy = true;
+    exclusive ? process_getx(node, addr) : process_gets(node, addr);
+  }
+
+  /// Installs a line, evicting (and possibly writing back) the previous
+  /// occupant. Evictions apply to the directory immediately — a
+  /// "replacement hint" — which keeps clean runs race-free.
+  void install(std::size_t node, Addr addr, LineState state, Value value) {
+    CacheLine& line = line_of(node, addr);
+    if (line.state != LineState::kInvalid && line.addr != addr) {
+      DirEntry& old_entry = dir(line.addr);
+      if (line.state == LineState::kModified) {
+        if (rng_.chance(config_.faults.lost_writeback)) {
+          ++stats_.base.faults_injected;
+        } else {
+          memory_[line.addr] = line.value;
+          ++stats_.base.writebacks;
+        }
+        if (old_entry.owner == node) old_entry.owner = SIZE_MAX;
+      }
+      old_entry.sharers.erase(node);
+    }
+    line.addr = addr;
+    line.state = state;
+    line.value = value;
+  }
+
+  static std::uint64_t key(std::size_t node, Addr addr) {
+    return (static_cast<std::uint64_t>(node) << 32) | addr;
+  }
+
+  DirectoryResult finish() {
+    // Flush dirty lines into memory for the final image.
+    for (std::size_t node = 0; node < config_.num_nodes; ++node) {
+      for (CacheLine& line : caches_[node]) {
+        if (line.state != LineState::kModified) continue;
+        memory_[line.addr] = line.value;
+        ++stats_.base.writebacks;
+        line.state = LineState::kInvalid;
+      }
+    }
+    DirectoryResult result;
+    for (auto& ops : histories_)
+      result.execution.add_history(ProcessHistory{std::move(ops)});
+    for (const Addr addr : result.execution.addresses()) {
+      result.execution.set_initial_value(addr, 0);
+      result.execution.set_final_value(addr, memory_value(addr));
+    }
+    for (auto& [addr, order] : write_orders_) {
+      if (order.size() >= 2 && rng_.chance(config_.faults.corrupt_write_log)) {
+        const std::size_t i = rng_.below(order.size() - 1);
+        std::swap(order[i], order[i + 1]);
+        ++stats_.base.faults_injected;
+      }
+    }
+    result.write_orders = std::move(write_orders_);
+    result.commit_order = std::move(commit_order_);
+    stats_.ticks = now_;
+    result.stats = stats_;
+    return result;
+  }
+
+  const std::vector<Program>& programs_;
+  const DirectoryConfig& config_;
+  Xoshiro256ss rng_;
+
+  std::priority_queue<Event> events_;
+  std::uint64_t now_ = 0;
+  std::uint64_t event_seq_ = 0;
+
+  std::vector<std::vector<CacheLine>> caches_;
+  std::unordered_map<Addr, DirEntry> directory_;
+  std::unordered_map<Addr, Value> memory_;
+  std::unordered_map<std::uint64_t, bool> pending_kind_;
+  std::unordered_map<std::size_t, PendingGetX> pending_getx_;
+  std::vector<std::size_t> next_request_;
+  std::vector<std::vector<Operation>> histories_;
+  vmc::WriteOrderMap write_orders_;
+  Schedule commit_order_;
+  DirectoryStats stats_;
+};
+
+}  // namespace
+
+DirectoryResult run_programs_directory(const std::vector<Program>& programs,
+                                       const DirectoryConfig& config) {
+  DirectoryMachine machine(programs, config);
+  return machine.run();
+}
+
+}  // namespace vermem::sim

@@ -1,0 +1,64 @@
+#pragma once
+// Directory-based coherence simulator (the "distributed memory
+// controllers, multiple networks" machine class from the paper's
+// introduction, next to the snooping-bus machine in machine.hpp).
+//
+// N nodes, each with a core and a private cache; physical memory and the
+// directory are interleaved across nodes by address (home(a) = a mod N).
+// Nodes exchange messages (GetS / GetX / Fwd / Inv / Data / Ack /
+// WriteBack) over a network with randomized per-message latency, driven
+// by a global event queue — so transactions to *different* addresses
+// interleave at message granularity. Per address the home node
+// serializes transactions (a textbook blocking MSI directory), which is
+// exactly what makes the recorded per-address write-order trustworthy.
+//
+// The same FaultPlan as the bus machine applies, reinterpreted for a
+// directory world: dropped invalidations leave stale sharers, stale
+// fills serve memory data while a dirty owner exists, lost writebacks
+// drop dirty data on eviction/downgrade, and corrupt_value flips cached
+// words.
+
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/program.hpp"
+
+namespace vermem::sim {
+
+struct DirectoryConfig {
+  std::size_t num_nodes = 4;
+  std::size_t cache_lines = 8;  ///< per-node private cache (direct-mapped)
+  std::uint64_t seed = 1;
+  /// Message latency is uniform in [min_latency, max_latency] ticks;
+  /// widening the window increases cross-address interleaving.
+  std::uint32_t min_latency = 1;
+  std::uint32_t max_latency = 8;
+  /// Protocol relaxation (not a fault): when true, a writer commits as
+  /// soon as its data arrives, without waiting for invalidation acks.
+  /// The machine remains *coherent* (a stale sharer can never observe
+  /// new-then-old on one location) but is no longer sequentially
+  /// consistent — the live version of the paper's Section 6 distinction.
+  bool eager_writes = false;
+  FaultPlan faults;
+};
+
+struct DirectoryStats {
+  SimStats base;
+  std::uint64_t messages = 0;
+  std::uint64_t forwards = 0;      ///< 3-hop transactions (dirty owner)
+  std::uint64_t ticks = 0;         ///< simulated time at completion
+  std::uint64_t max_home_queue = 0;///< peak per-address pending requests
+};
+
+struct DirectoryResult {
+  Execution execution;
+  vmc::WriteOrderMap write_orders;  ///< home-node serialization per address
+  /// Global completion order (event time) of every operation.
+  Schedule commit_order;
+  DirectoryStats stats;
+};
+
+/// Runs the per-node programs to completion on the directory machine.
+[[nodiscard]] DirectoryResult run_programs_directory(
+    const std::vector<Program>& programs, const DirectoryConfig& config);
+
+}  // namespace vermem::sim

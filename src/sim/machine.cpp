@@ -1,0 +1,278 @@
+#include "sim/machine.hpp"
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace vermem::sim {
+
+namespace {
+
+enum class LineState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+struct CacheLine {
+  Addr addr = 0;
+  LineState state = LineState::kInvalid;
+  Value value = 0;
+};
+
+class Machine {
+ public:
+  Machine(const std::vector<Program>& programs, const SimConfig& config)
+      : programs_(programs),
+        config_(config),
+        rng_(config.seed),
+        caches_(config.num_cores, std::vector<CacheLine>(config.cache_lines)),
+        next_request_(config.num_cores, 0),
+        histories_(config.num_cores) {}
+
+  SimResult run() {
+    std::size_t remaining = 0;
+    for (const auto& program : programs_) remaining += program.size();
+
+    while (remaining > 0) {
+      const std::size_t core = pick_core();
+      const Request& req = programs_[core][next_request_[core]++];
+      --remaining;
+      switch (req.kind) {
+        case Request::Kind::kLoad: {
+          ++stats_.loads;
+          const Value observed = load(core, req.addr);
+          record(core, R(req.addr, observed));
+          break;
+        }
+        case Request::Kind::kStore: {
+          ++stats_.stores;
+          acquire_exclusive(core, req.addr, /*need_data=*/false);
+          line_of(core, req.addr).value = req.operand;
+          maybe_corrupt(core, req.addr);
+          record_write(core, W(req.addr, req.operand));
+          break;
+        }
+        case Request::Kind::kFetchAdd: {
+          ++stats_.rmws;
+          acquire_exclusive(core, req.addr, /*need_data=*/true);
+          CacheLine& line = line_of(core, req.addr);
+          const Value old_value = line.value;
+          line.value = old_value + req.operand;
+          maybe_corrupt(core, req.addr);
+          record_write(core, RW(req.addr, old_value, old_value + req.operand));
+          break;
+        }
+      }
+    }
+    return finish();
+  }
+
+ private:
+  std::size_t pick_core() {
+    // Uniform over cores with work left (seeded => reproducible).
+    std::size_t alive = 0;
+    for (std::size_t core = 0; core < config_.num_cores; ++core)
+      alive += next_request_[core] < programs_[core].size();
+    std::uint64_t target = rng_.below(alive);
+    for (std::size_t core = 0; core < config_.num_cores; ++core) {
+      if (next_request_[core] >= programs_[core].size()) continue;
+      if (target == 0) return core;
+      --target;
+    }
+    return config_.num_cores - 1;
+  }
+
+  CacheLine& line_of(std::size_t core, Addr addr) {
+    return caches_[core][addr % config_.cache_lines];
+  }
+
+  [[nodiscard]] bool holds(std::size_t core, Addr addr) const {
+    const CacheLine& line = caches_[core][addr % config_.cache_lines];
+    return line.state != LineState::kInvalid && line.addr == addr;
+  }
+
+  Value memory_value(Addr addr) const {
+    const auto it = memory_.find(addr);
+    return it == memory_.end() ? Value{0} : it->second;
+  }
+
+  /// Makes room for addr in core's cache (possible writeback of the
+  /// evicted line).
+  void evict_for(std::size_t core, Addr addr) {
+    CacheLine& line = line_of(core, addr);
+    if (line.state == LineState::kInvalid || line.addr == addr) return;
+    if (line.state == LineState::kModified) {
+      if (rng_.chance(config_.faults.lost_writeback)) {
+        ++stats_.faults_injected;  // dirty data silently dropped
+      } else {
+        memory_[line.addr] = line.value;
+        ++stats_.writebacks;
+      }
+    }
+    line.state = LineState::kInvalid;
+  }
+
+  /// Load path: returns the observed value, filling the cache on a miss.
+  Value load(std::size_t core, Addr addr) {
+    if (holds(core, addr)) {
+      ++stats_.hits;
+      return line_of(core, addr).value;
+    }
+    ++stats_.misses;
+    ++stats_.bus_reads;
+    evict_for(core, addr);
+
+    Value data = memory_value(addr);
+    bool someone_else_holds = false;
+    for (std::size_t other = 0; other < config_.num_cores; ++other) {
+      if (other == core || !holds(other, addr)) continue;
+      someone_else_holds = true;
+      CacheLine& theirs = line_of(other, addr);
+      if (theirs.state == LineState::kModified) {
+        if (rng_.chance(config_.faults.stale_fill)) {
+          ++stats_.faults_injected;  // intervention lost; stale memory data
+        } else {
+          data = theirs.value;
+          memory_[addr] = theirs.value;
+          theirs.state = LineState::kShared;
+          ++stats_.interventions;
+          ++stats_.writebacks;
+        }
+      } else {
+        theirs.state = LineState::kShared;
+      }
+    }
+    CacheLine& line = line_of(core, addr);
+    line.addr = addr;
+    line.value = data;
+    line.state = someone_else_holds ? LineState::kShared : LineState::kExclusive;
+    return data;
+  }
+
+  /// Store/RMW path: obtains the line in Modified state. When need_data
+  /// is true the current value is fetched (RMW); plain stores overwrite
+  /// the whole word and skip the data transfer.
+  void acquire_exclusive(std::size_t core, Addr addr, bool need_data) {
+    if (holds(core, addr)) {
+      ++stats_.hits;
+      CacheLine& line = line_of(core, addr);
+      if (line.state == LineState::kShared) {
+        ++stats_.bus_upgrades;
+        invalidate_others(core, addr);
+      }
+      line.state = LineState::kModified;
+      return;
+    }
+    ++stats_.misses;
+    ++stats_.bus_read_exclusives;
+    evict_for(core, addr);
+
+    Value data = memory_value(addr);
+    for (std::size_t other = 0; other < config_.num_cores; ++other) {
+      if (other == core || !holds(other, addr)) continue;
+      CacheLine& theirs = line_of(other, addr);
+      if (theirs.state == LineState::kModified) {
+        if (rng_.chance(config_.faults.stale_fill)) {
+          ++stats_.faults_injected;
+        } else {
+          data = theirs.value;
+          memory_[addr] = theirs.value;
+          ++stats_.interventions;
+          ++stats_.writebacks;
+        }
+      }
+    }
+    invalidate_others(core, addr);
+
+    CacheLine& line = line_of(core, addr);
+    line.addr = addr;
+    line.value = need_data ? data : Value{0};
+    line.state = LineState::kModified;
+  }
+
+  void invalidate_others(std::size_t core, Addr addr) {
+    for (std::size_t other = 0; other < config_.num_cores; ++other) {
+      if (other == core || !holds(other, addr)) continue;
+      if (rng_.chance(config_.faults.drop_invalidation)) {
+        ++stats_.faults_injected;  // sharer keeps serving stale data
+        continue;
+      }
+      line_of(other, addr).state = LineState::kInvalid;
+      ++stats_.invalidations;
+    }
+  }
+
+  void maybe_corrupt(std::size_t core, Addr addr) {
+    if (rng_.chance(config_.faults.corrupt_value)) {
+      line_of(core, addr).value += 0x5eed;
+      ++stats_.faults_injected;
+    }
+  }
+
+  void record(std::size_t core, const Operation& op) {
+    commit_order_.push_back(OpRef{static_cast<std::uint32_t>(core),
+                                  static_cast<std::uint32_t>(histories_[core].size())});
+    histories_[core].push_back(op);
+  }
+
+  void record_write(std::size_t core, const Operation& op) {
+    const OpRef ref{static_cast<std::uint32_t>(core),
+                    static_cast<std::uint32_t>(histories_[core].size())};
+    record(core, op);
+    write_orders_[op.addr].push_back(ref);
+  }
+
+  SimResult finish() {
+    // Flush dirty lines so memory holds the final image.
+    for (std::size_t core = 0; core < config_.num_cores; ++core) {
+      for (CacheLine& line : caches_[core]) {
+        if (line.state != LineState::kModified) continue;
+        memory_[line.addr] = line.value;
+        ++stats_.writebacks;
+        line.state = LineState::kInvalid;
+      }
+    }
+
+    SimResult result;
+    for (auto& ops : histories_)
+      result.execution.add_history(ProcessHistory{std::move(ops)});
+    // Initial values are all zero; record finals for touched addresses.
+    for (const Addr addr : result.execution.addresses()) {
+      result.execution.set_initial_value(addr, 0);
+      result.execution.set_final_value(addr, memory_value(addr));
+    }
+
+    // Optionally corrupt the write-order log (verification-hardware bug,
+    // independent of the protocol's correctness).
+    for (auto& [addr, order] : write_orders_) {
+      if (order.size() >= 2 && rng_.chance(config_.faults.corrupt_write_log)) {
+        const std::size_t i = rng_.below(order.size() - 1);
+        std::swap(order[i], order[i + 1]);
+        ++stats_.faults_injected;
+      }
+    }
+    result.write_orders = std::move(write_orders_);
+    result.commit_order = std::move(commit_order_);
+    result.stats = stats_;
+    return result;
+  }
+
+  const std::vector<Program>& programs_;
+  const SimConfig& config_;
+  Xoshiro256ss rng_;
+
+  std::vector<std::vector<CacheLine>> caches_;
+  std::unordered_map<Addr, Value> memory_;
+  std::vector<std::size_t> next_request_;
+  std::vector<std::vector<Operation>> histories_;
+  vmc::WriteOrderMap write_orders_;
+  Schedule commit_order_;
+  SimStats stats_;
+};
+
+}  // namespace
+
+SimResult run_programs(const std::vector<Program>& programs,
+                       const SimConfig& config) {
+  Machine machine(programs, config);
+  return machine.run();
+}
+
+}  // namespace vermem::sim

@@ -1,0 +1,71 @@
+#include "sim/program.hpp"
+
+namespace vermem::sim {
+
+std::vector<Program> random_programs(const RandomProgramParams& params,
+                                     Xoshiro256ss& rng) {
+  std::vector<Program> programs(params.num_cores);
+  Value next_value = 1;
+  for (std::size_t core = 0; core < params.num_cores; ++core) {
+    Program& program = programs[core];
+    program.reserve(params.requests_per_core);
+    for (std::size_t i = 0; i < params.requests_per_core; ++i) {
+      Request req;
+      req.addr = static_cast<Addr>(rng.below(params.num_addresses));
+      if (rng.chance(params.rmw_fraction)) {
+        req.kind = Request::Kind::kFetchAdd;
+        req.operand = 1 + static_cast<Value>(rng.below(3));
+      } else if (rng.chance(params.store_fraction)) {
+        req.kind = Request::Kind::kStore;
+        req.operand = next_value++;
+      } else {
+        req.kind = Request::Kind::kLoad;
+      }
+      program.push_back(req);
+    }
+  }
+  return programs;
+}
+
+std::vector<Program> producer_consumer(std::size_t num_cores, std::size_t rounds) {
+  // Address 0 = flag, addresses 1..3 = payload.
+  std::vector<Program> programs(num_cores);
+  Value stamp = 1;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (Addr payload = 1; payload <= 3; ++payload)
+      programs[0].push_back({Request::Kind::kStore, payload, stamp});
+    programs[0].push_back({Request::Kind::kStore, 0, stamp});
+    for (std::size_t core = 1; core < num_cores; ++core) {
+      programs[core].push_back({Request::Kind::kLoad, 0, 0});
+      for (Addr payload = 1; payload <= 3; ++payload)
+        programs[core].push_back({Request::Kind::kLoad, payload, 0});
+    }
+    ++stamp;
+  }
+  return programs;
+}
+
+std::vector<Program> ping_pong(std::size_t rounds) {
+  std::vector<Program> programs(2);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    programs[0].push_back({Request::Kind::kFetchAdd, 0, 1});
+    programs[1].push_back({Request::Kind::kFetchAdd, 0, 1});
+  }
+  return programs;
+}
+
+std::vector<Program> lock_contention(std::size_t num_cores, std::size_t rounds) {
+  // Address 0 = ticket counter (fetch-add), address 1 = protected data.
+  std::vector<Program> programs(num_cores);
+  for (std::size_t core = 0; core < num_cores; ++core) {
+    for (std::size_t round = 0; round < rounds; ++round) {
+      programs[core].push_back({Request::Kind::kFetchAdd, 0, 1});
+      programs[core].push_back({Request::Kind::kLoad, 1, 0});
+      programs[core].push_back(
+          {Request::Kind::kStore, 1, static_cast<Value>(1000 * (core + 1) + round)});
+    }
+  }
+  return programs;
+}
+
+}  // namespace vermem::sim

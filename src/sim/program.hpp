@@ -1,0 +1,50 @@
+#pragma once
+// Per-core programs for the simulator, plus generators for the sharing
+// patterns the paper's introduction motivates (true sharing, migratory
+// data, producer/consumer handoff, lock contention).
+
+#include <vector>
+
+#include "support/rng.hpp"
+#include "trace/operation.hpp"
+
+namespace vermem::sim {
+
+struct Request {
+  enum class Kind : std::uint8_t { kLoad, kStore, kFetchAdd };
+  Kind kind = Kind::kLoad;
+  Addr addr = 0;
+  Value operand = 0;  ///< store value, or fetch-add delta
+};
+
+using Program = std::vector<Request>;
+
+struct RandomProgramParams {
+  std::size_t num_cores = 4;
+  std::size_t requests_per_core = 64;
+  std::size_t num_addresses = 8;
+  double store_fraction = 0.4;
+  double rmw_fraction = 0.05;
+};
+
+/// Uniform random mix over a shared address range. Store values are
+/// drawn unique-per-core so checker value-collision hardness stays
+/// realistic rather than adversarial.
+[[nodiscard]] std::vector<Program> random_programs(const RandomProgramParams& params,
+                                                   Xoshiro256ss& rng);
+
+/// Producer/consumer: core 0 writes payload then sets a flag; the other
+/// cores poll the flag and read the payload. Classic MP at scale.
+[[nodiscard]] std::vector<Program> producer_consumer(std::size_t num_cores,
+                                                     std::size_t rounds);
+
+/// Ping-pong: two cores alternately increment one counter via fetch-add
+/// (migratory sharing; the line bounces M-state between caches).
+[[nodiscard]] std::vector<Program> ping_pong(std::size_t rounds);
+
+/// Lock contention: every core loops { fetch-add the lock word, touch the
+/// protected data }. Exercises RMW serialization plus data handoff.
+[[nodiscard]] std::vector<Program> lock_contention(std::size_t num_cores,
+                                                   std::size_t rounds);
+
+}  // namespace vermem::sim

@@ -1,0 +1,67 @@
+#pragma once
+// A dense, dynamically sized bitset. std::vector<bool> offers similar
+// storage but no word-level access; the SAT solver and the frontier
+// searches want fast clear/test/set plus "count" over words.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vermem {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits, bool value = false)
+      : bits_(bits), words_((bits + 63) / 64, value ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void resize(std::size_t bits, bool value = false) {
+    words_.resize((bits + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    bits_ = bits;
+    trim();
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+  void set(std::size_t i) noexcept { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  void assign(std::size_t i, bool v) noexcept { v ? set(i) : reset(i); }
+
+  void clear_all() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  friend bool operator==(const DynamicBitset&, const DynamicBitset&) = default;
+
+ private:
+  void trim() noexcept {
+    // Keep unused high bits of the last word zero so count()/== stay exact.
+    const std::size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty())
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace vermem

@@ -1,0 +1,92 @@
+#include "support/format.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace vermem {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_ws(std::string_view text) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) fields.push_back(text.substr(start, i - start));
+  }
+  return fields;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+namespace {
+
+std::string with_suffix(double value, const char* suffix) {
+  char buf[48];
+  if (value >= 100)
+    std::snprintf(buf, sizeof buf, "%.0f%s", value, suffix);
+  else if (value >= 10)
+    std::snprintf(buf, sizeof buf, "%.1f%s", value, suffix);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f%s", value, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string human_count(double value) {
+  const double mag = std::fabs(value);
+  if (mag >= 1e9) return with_suffix(value / 1e9, "G");
+  if (mag >= 1e6) return with_suffix(value / 1e6, "M");
+  if (mag >= 1e3) return with_suffix(value / 1e3, "k");
+  return with_suffix(value, "");
+}
+
+std::string human_nanos(double nanos) {
+  const double mag = std::fabs(nanos);
+  if (mag >= 1e9) return with_suffix(nanos / 1e9, "s");
+  if (mag >= 1e6) return with_suffix(nanos / 1e6, "ms");
+  if (mag >= 1e3) return with_suffix(nanos / 1e3, "us");
+  return with_suffix(nanos, "ns");
+}
+
+bool parse_i64(std::string_view text, long long& out) noexcept {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace vermem

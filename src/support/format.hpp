@@ -1,0 +1,38 @@
+#pragma once
+// Small string/formatting helpers shared by trace I/O, the experiment
+// harnesses and error messages. Kept deliberately tiny: no locale, no
+// allocator cleverness.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vermem {
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits on any whitespace run; empty fields are dropped.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] constexpr bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// Human-readable count: 1234567 -> "1.23M".
+[[nodiscard]] std::string human_count(double value);
+
+/// Human-readable duration from nanoseconds: 1530000 -> "1.53ms".
+[[nodiscard]] std::string human_nanos(double nanos);
+
+/// Parses a signed 64-bit integer; returns false on any malformation.
+[[nodiscard]] bool parse_i64(std::string_view text, long long& out) noexcept;
+
+}  // namespace vermem

@@ -1,0 +1,64 @@
+#pragma once
+// Minimal fork-join parallelism for embarrassingly parallel sweeps.
+//
+// Coherence verification decomposes perfectly by address (coherence is a
+// per-location property), and the experiment harnesses sweep independent
+// seeds/sizes; parallel_for_each covers both. Deliberately tiny: spawn N
+// workers over an atomic index — no work stealing, no futures, no
+// executor framework. Exceptions from tasks are captured and rethrown
+// (first one wins) after all workers join, so RAII cleanup still runs.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace vermem {
+
+/// Number of workers to use for `requested` (0 = hardware concurrency).
+[[nodiscard]] inline std::size_t effective_workers(std::size_t requested,
+                                                   std::size_t items) {
+  std::size_t workers =
+      requested != 0 ? requested
+                     : std::max<unsigned>(1, std::thread::hardware_concurrency());
+  return std::min(workers, std::max<std::size_t>(1, items));
+}
+
+/// Applies `work(index)` for every index in [0, count), distributing
+/// indices over `workers` threads (0 = hardware concurrency). Runs
+/// inline when count <= 1 or one worker suffices.
+template <typename Work>
+void parallel_for_each(std::size_t count, std::size_t workers, Work&& work) {
+  const std::size_t n = effective_workers(workers, count);
+  if (count == 0) return;
+  if (n <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) work(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        work(i);
+      } catch (...) {
+        if (!failed.exchange(true)) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vermem

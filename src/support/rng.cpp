@@ -1,0 +1,35 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+namespace vermem {
+
+std::uint64_t Xoshiro256ss::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256ss::range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(width));
+}
+
+std::vector<std::size_t> Xoshiro256ss::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  shuffle(std::span<std::size_t>(perm));
+  return perm;
+}
+
+}  // namespace vermem

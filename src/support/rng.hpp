@@ -1,0 +1,94 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components in vermem (workload generators, random SAT
+// instances, fault injection) draw from Xoshiro256ss so that every
+// experiment is reproducible from a single 64-bit seed. We deliberately do
+// not use std::mt19937: its state is large, it is slow to seed, and its
+// stream is not guaranteed identical across standard library versions for
+// the distribution adaptors; we implement the distributions we need here.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vermem {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+/// Public because tests and benches use it as a cheap hash/mixer too.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — small, fast, high-quality 64-bit PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit value via SplitMix64.
+  explicit constexpr Xoshiro256ss(std::uint64_t seed = 0x1d872b41eULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Fisher–Yates shuffle of a span, using this generator.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks one element uniformly from a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  /// A random permutation of [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace vermem

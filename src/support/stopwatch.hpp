@@ -1,0 +1,56 @@
+#pragma once
+// Monotonic wall-clock stopwatch used by checkers (for time budgets) and
+// by the experiment harnesses (for reporting).
+
+#include <chrono>
+#include <cstdint>
+
+namespace vermem {
+
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const noexcept {
+    return Clock::now() - start_;
+  }
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] std::int64_t nanos() const noexcept { return elapsed().count(); }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Soft deadline checked cooperatively by the exponential-time checkers so
+/// that benches can bound worst-case instances. A zero budget means "no
+/// limit".
+class Deadline {
+ public:
+  Deadline() noexcept = default;
+  explicit Deadline(std::chrono::nanoseconds budget) noexcept
+      : limited_(budget.count() > 0),
+        end_(Stopwatch::Clock::now() + budget) {}
+
+  static Deadline never() noexcept { return Deadline{}; }
+  static Deadline after_ms(std::int64_t ms) noexcept {
+    return Deadline{std::chrono::milliseconds(ms)};
+  }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return limited_ && Stopwatch::Clock::now() >= end_;
+  }
+  [[nodiscard]] bool limited() const noexcept { return limited_; }
+
+ private:
+  bool limited_ = false;
+  Stopwatch::Clock::time_point end_{};
+};
+
+}  // namespace vermem

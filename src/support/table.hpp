@@ -1,0 +1,31 @@
+#pragma once
+// Plain-text table printer used by the experiment harnesses to emit the
+// paper-style result tables (e.g. the Figure 5.3 summary) on stdout.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vermem {
+
+class TextTable {
+ public:
+  /// Creates a table with a header row; column count is fixed by it.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with aligned columns and an underline beneath the header.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vermem

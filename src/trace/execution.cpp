@@ -1,0 +1,91 @@
+#include "trace/execution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace vermem {
+
+std::string to_string(const Operation& op) {
+  char buf[80];
+  switch (op.kind) {
+    case OpKind::kRead:
+      std::snprintf(buf, sizeof buf, "R(%u,%lld)", op.addr,
+                    static_cast<long long>(op.value_read));
+      break;
+    case OpKind::kWrite:
+      std::snprintf(buf, sizeof buf, "W(%u,%lld)", op.addr,
+                    static_cast<long long>(op.value_written));
+      break;
+    case OpKind::kRmw:
+      std::snprintf(buf, sizeof buf, "RW(%u,%lld,%lld)", op.addr,
+                    static_cast<long long>(op.value_read),
+                    static_cast<long long>(op.value_written));
+      break;
+    case OpKind::kAcquire:
+      std::snprintf(buf, sizeof buf, "Acq(%u)", op.addr);
+      break;
+    case OpKind::kRelease:
+      std::snprintf(buf, sizeof buf, "Rel(%u)", op.addr);
+      break;
+  }
+  return buf;
+}
+
+std::size_t Execution::num_operations() const noexcept {
+  std::size_t total = 0;
+  for (const auto& h : histories_) total += h.size();
+  return total;
+}
+
+std::size_t Execution::add_history(ProcessHistory history) {
+  histories_.push_back(std::move(history));
+  return histories_.size() - 1;
+}
+
+Value Execution::initial_value(Addr a) const noexcept {
+  const auto it = initial_.find(a);
+  return it == initial_.end() ? Value{0} : it->second;
+}
+
+std::optional<Value> Execution::final_value(Addr a) const noexcept {
+  const auto it = final_.find(a);
+  if (it == final_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Addr> Execution::addresses() const {
+  std::unordered_set<Addr> seen;
+  std::vector<Addr> out;
+  for (const auto& h : histories_) {
+    for (const auto& op : h) {
+      if (op.is_sync()) continue;
+      if (seen.insert(op.addr).second) out.push_back(op.addr);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ExecutionProjection Execution::project(Addr a) const {
+  ExecutionProjection proj;
+  for (std::size_t p = 0; p < histories_.size(); ++p) {
+    std::vector<Operation> ops;
+    std::vector<OpRef> refs;
+    for (std::size_t i = 0; i < histories_[p].size(); ++i) {
+      const Operation& op = histories_[p][i];
+      if (op.is_sync() || op.addr != a) continue;
+      ops.push_back(op);
+      refs.push_back(OpRef{static_cast<std::uint32_t>(p), static_cast<std::uint32_t>(i)});
+    }
+    if (!ops.empty()) {
+      proj.execution.add_history(ProcessHistory{std::move(ops)});
+      proj.origin.push_back(std::move(refs));
+    }
+  }
+  proj.execution.set_initial_value(a, initial_value(a));
+  if (const auto fin = final_value(a)) proj.execution.set_final_value(a, *fin);
+  return proj;
+}
+
+}  // namespace vermem

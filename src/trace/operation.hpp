@@ -1,0 +1,83 @@
+#pragma once
+// The memory-operation model from Section 3 of the paper.
+//
+// Reads are "R(a, d)", writes are "W(a, d)", and atomic read-modify-writes
+// are "RW(a, d_r, d_w)". For the Lazy-Release-Consistency reduction
+// (Figure 6.1) we additionally model Acquire/Release synchronization
+// operations on a sync address.
+
+#include <cstdint>
+#include <string>
+
+namespace vermem {
+
+/// Memory address. Addresses are abstract labels, not byte pointers; the
+/// paper assumes aligned word accesses, so one Addr = one word.
+using Addr = std::uint32_t;
+
+/// Data value read or written. Values are abstract labels as well; the
+/// reductions use one distinct value per SAT literal/clause.
+using Value = std::int64_t;
+
+enum class OpKind : std::uint8_t {
+  kRead,     ///< R(a, d): returns d.
+  kWrite,    ///< W(a, d): stores d.
+  kRmw,      ///< RW(a, d_r, d_w): atomically reads d_r then stores d_w.
+  kAcquire,  ///< Acq(a): synchronization acquire on a (LRC models).
+  kRelease,  ///< Rel(a): synchronization release on a (LRC models).
+};
+
+[[nodiscard]] constexpr const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kRead: return "R";
+    case OpKind::kWrite: return "W";
+    case OpKind::kRmw: return "RW";
+    case OpKind::kAcquire: return "Acq";
+    case OpKind::kRelease: return "Rel";
+  }
+  return "?";
+}
+
+/// One dynamic memory operation, including the data observed/produced.
+/// This is the checker's input granule: a hardware monitor or simulator
+/// records exactly these fields per retired memory instruction.
+struct Operation {
+  OpKind kind = OpKind::kRead;
+  Addr addr = 0;
+  Value value_read = 0;     ///< Meaningful for kRead and kRmw.
+  Value value_written = 0;  ///< Meaningful for kWrite and kRmw.
+
+  [[nodiscard]] constexpr bool reads_memory() const noexcept {
+    return kind == OpKind::kRead || kind == OpKind::kRmw;
+  }
+  [[nodiscard]] constexpr bool writes_memory() const noexcept {
+    return kind == OpKind::kWrite || kind == OpKind::kRmw;
+  }
+  [[nodiscard]] constexpr bool is_sync() const noexcept {
+    return kind == OpKind::kAcquire || kind == OpKind::kRelease;
+  }
+
+  friend constexpr bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// Convenience constructors mirroring the paper's notation.
+[[nodiscard]] constexpr Operation R(Addr a, Value d) noexcept {
+  return {OpKind::kRead, a, d, 0};
+}
+[[nodiscard]] constexpr Operation W(Addr a, Value d) noexcept {
+  return {OpKind::kWrite, a, 0, d};
+}
+[[nodiscard]] constexpr Operation RW(Addr a, Value dr, Value dw) noexcept {
+  return {OpKind::kRmw, a, dr, dw};
+}
+[[nodiscard]] constexpr Operation Acq(Addr a) noexcept {
+  return {OpKind::kAcquire, a, 0, 0};
+}
+[[nodiscard]] constexpr Operation Rel(Addr a) noexcept {
+  return {OpKind::kRelease, a, 0, 0};
+}
+
+/// Renders one operation in the paper's notation, e.g. "W(3,7)".
+[[nodiscard]] std::string to_string(const Operation& op);
+
+}  // namespace vermem

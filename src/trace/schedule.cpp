@@ -1,0 +1,135 @@
+#include "trace/schedule.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace vermem {
+
+namespace {
+
+std::string describe(const Execution& exec, OpRef ref) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "P%u[%u]=%s", ref.process, ref.index,
+                to_string(exec.op(ref)).c_str());
+  return buf;
+}
+
+/// Verifies the permutation/program-order part shared by both validators.
+/// `wanted(p, i)` selects which operations must appear. On success,
+/// fills nothing; on failure returns the violation.
+template <typename Wanted>
+std::optional<ScheduleCheck> check_coverage(const Execution& exec,
+                                            const Schedule& schedule,
+                                            Wanted&& wanted) {
+  const std::size_t nproc = exec.num_processes();
+  // next_expected[p] walks the selected ops of history p in program order.
+  std::vector<std::uint32_t> next_expected(nproc, 0);
+  auto advance = [&](std::size_t p) {
+    auto& idx = next_expected[p];
+    while (idx < exec.history(p).size() && !wanted(p, idx)) ++idx;
+  };
+  for (std::size_t p = 0; p < nproc; ++p) advance(p);
+
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    const OpRef ref = schedule[s];
+    if (ref.process >= nproc || ref.index >= exec.history(ref.process).size())
+      return ScheduleCheck::fail("schedule references a nonexistent operation", s);
+    if (!wanted(ref.process, ref.index))
+      return ScheduleCheck::fail(
+          "schedule contains an operation outside the checked set: " +
+              describe(exec, ref),
+          s);
+    if (ref.index != next_expected[ref.process])
+      return ScheduleCheck::fail(
+          "program order violated or operation duplicated at " + describe(exec, ref),
+          s);
+    ++next_expected[ref.process];
+    advance(ref.process);
+  }
+  for (std::size_t p = 0; p < nproc; ++p) {
+    if (next_expected[p] < exec.history(p).size())
+      return ScheduleCheck::fail(
+          "schedule is missing operations from process " + std::to_string(p));
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ScheduleCheck check_coherent_schedule(const Execution& exec, Addr addr,
+                                      const Schedule& schedule) {
+  auto wanted = [&](std::size_t p, std::uint32_t i) {
+    const Operation& op = exec.history(p)[i];
+    return !op.is_sync() && op.addr == addr;
+  };
+  if (auto bad = check_coverage(exec, schedule, wanted)) return *bad;
+
+  Value current = exec.initial_value(addr);
+  bool wrote = false;
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    const Operation& op = exec.op(schedule[s]);
+    if (op.reads_memory() && op.value_read != current)
+      return ScheduleCheck::fail(
+          to_string(op) + " reads " + std::to_string(op.value_read) +
+              " but the location holds " + std::to_string(current) + " at " +
+              describe(exec, schedule[s]),
+          s);
+    if (op.writes_memory()) {
+      current = op.value_written;
+      wrote = true;
+    }
+  }
+  if (const auto fin = exec.final_value(addr)) {
+    if (current != *fin)
+      return ScheduleCheck::fail(
+          "final value mismatch: location " + std::to_string(addr) + " ends at " +
+          std::to_string(current) + ", expected " + std::to_string(*fin) +
+          (wrote ? "" : " (no writes)"));
+  }
+  return ScheduleCheck::pass();
+}
+
+ScheduleCheck check_sc_schedule(const Execution& exec, const Schedule& schedule) {
+  auto wanted = [&](std::size_t, std::uint32_t) { return true; };
+  if (auto bad = check_coverage(exec, schedule, wanted)) return *bad;
+
+  std::unordered_map<Addr, Value> memory(exec.initial_values().begin(),
+                                         exec.initial_values().end());
+  auto value_of = [&](Addr a) {
+    const auto it = memory.find(a);
+    return it == memory.end() ? exec.initial_value(a) : it->second;
+  };
+
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    const Operation& op = exec.op(schedule[s]);
+    if (op.is_sync()) continue;
+    if (op.reads_memory() && op.value_read != value_of(op.addr))
+      return ScheduleCheck::fail(
+          to_string(op) + " reads " + std::to_string(op.value_read) +
+              " but address " + std::to_string(op.addr) + " holds " +
+              std::to_string(value_of(op.addr)) + " at " +
+              describe(exec, schedule[s]),
+          s);
+    if (op.writes_memory()) memory[op.addr] = op.value_written;
+  }
+  for (const auto& [addr, fin] : exec.final_values()) {
+    if (value_of(addr) != fin)
+      return ScheduleCheck::fail("final value mismatch on address " +
+                                 std::to_string(addr) + ": ends at " +
+                                 std::to_string(value_of(addr)) + ", expected " +
+                                 std::to_string(fin));
+  }
+  return ScheduleCheck::pass();
+}
+
+std::string to_string(const Execution& exec, const Schedule& schedule) {
+  std::string out;
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    if (s != 0) out += ' ';
+    out += 'P' + std::to_string(schedule[s].process) + ':' +
+           to_string(exec.op(schedule[s]));
+  }
+  return out;
+}
+
+}  // namespace vermem

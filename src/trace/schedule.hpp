@@ -1,0 +1,66 @@
+#pragma once
+// Schedules and schedule validators.
+//
+// A schedule is a total order (interleaving) of operations from an
+// execution. The validators below implement the membership-in-NP half of
+// Theorem 4.2: given a candidate schedule (the certificate), they decide
+// in linear time whether it is a *coherent schedule* for one address or a
+// *sequentially consistent schedule* for the whole execution. Every
+// search-based checker in vermem re-validates its witnesses with these
+// functions, so a bug in a solver cannot silently report success.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/execution.hpp"
+
+namespace vermem {
+
+/// A total order of operations, by reference into an Execution.
+using Schedule = std::vector<OpRef>;
+
+/// Result of validating a schedule. `ok` iff the schedule is valid; when
+/// not, `violation` holds a human-readable reason and `at` the first
+/// offending position in the schedule (when applicable).
+struct ScheduleCheck {
+  bool ok = false;
+  std::string violation;
+  std::optional<std::size_t> at;
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ok; }
+
+  static ScheduleCheck pass() { return {true, {}, std::nullopt}; }
+  static ScheduleCheck fail(std::string why,
+                            std::optional<std::size_t> where = std::nullopt) {
+    return {false, std::move(why), where};
+  }
+};
+
+/// Checks that `schedule` is a coherent schedule (Section 3) for address
+/// `addr` of `exec`:
+///   - it contains exactly the operations of `exec` with address `addr`
+///     (synchronization operations excluded), each once;
+///   - operations of each process appear in program order;
+///   - every read returns the value of the immediately preceding write,
+///     or the initial value d_I if no write precedes it;
+///   - if a final value d_F is recorded for `addr`, the last write (or the
+///     initial value, if there are no writes) produces it.
+/// RMW operations act as a read followed atomically by a write.
+[[nodiscard]] ScheduleCheck check_coherent_schedule(const Execution& exec, Addr addr,
+                                                    const Schedule& schedule);
+
+/// Checks that `schedule` is a sequentially consistent schedule for the
+/// whole execution: all operations appear exactly once, per-process
+/// program order is respected, and every read returns the value of the
+/// immediately preceding write to the same address (or that address's
+/// initial value). Synchronization operations participate in the order
+/// but neither read nor write data. Final-value constraints are checked
+/// per address when recorded.
+[[nodiscard]] ScheduleCheck check_sc_schedule(const Execution& exec,
+                                              const Schedule& schedule);
+
+/// Renders a schedule as "P0:W(0,1) P1:R(0,1) ..." for diagnostics.
+[[nodiscard]] std::string to_string(const Execution& exec, const Schedule& schedule);
+
+}  // namespace vermem

@@ -1,0 +1,81 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace vermem {
+
+TraceStats compute_stats(const Execution& exec) {
+  TraceStats stats;
+  stats.processes = exec.num_processes();
+
+  struct Accumulator {
+    AddressStats address;
+    std::set<std::uint32_t> sharers;
+    std::set<std::uint32_t> writers;
+    std::unordered_map<Value, std::size_t> value_writes;
+  };
+  std::map<Addr, Accumulator> accumulators;  // ordered output
+
+  for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
+    for (const Operation& op : exec.history(p)) {
+      ++stats.operations;
+      if (op.is_sync()) {
+        ++stats.sync_ops;
+        continue;
+      }
+      Accumulator& acc = accumulators[op.addr];
+      acc.address.addr = op.addr;
+      acc.sharers.insert(p);
+      if (op.kind == OpKind::kRead) {
+        ++stats.reads;
+        ++acc.address.reads;
+      }
+      if (op.writes_memory()) {
+        ++stats.writes;
+        ++acc.address.writes;
+        acc.writers.insert(p);
+        acc.address.max_writes_per_value =
+            std::max(acc.address.max_writes_per_value,
+                     ++acc.value_writes[op.value_written]);
+      }
+      if (op.kind == OpKind::kRmw) {
+        ++stats.rmws;
+        ++acc.address.rmws;
+        ++stats.reads;
+        ++acc.address.reads;
+      }
+    }
+  }
+
+  for (auto& [addr, acc] : accumulators) {
+    acc.address.sharers = acc.sharers.size();
+    acc.address.writers = acc.writers.size();
+    acc.address.distinct_values = acc.value_writes.size();
+    stats.write_shared_addresses += acc.writers.size() >= 2;
+    stats.per_address.push_back(acc.address);
+  }
+  stats.addresses = stats.per_address.size();
+  return stats;
+}
+
+std::string summarize(const TraceStats& stats) {
+  const auto total = static_cast<double>(std::max<std::size_t>(
+      1, stats.reads + stats.writes - stats.rmws + stats.sync_ops));
+  const auto pure_reads = static_cast<double>(stats.reads - stats.rmws);
+  const auto pure_writes = static_cast<double>(stats.writes - stats.rmws);
+  const auto rmws = static_cast<double>(stats.rmws);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%zuP %zuops (r %.0f%% / w %.0f%% / rmw %.0f%%) %zuaddr "
+                "(%zu write-shared)",
+                stats.processes, stats.operations, 100.0 * pure_reads / total,
+                100.0 * pure_writes / total, 100.0 * rmws / total,
+                stats.addresses, stats.write_shared_addresses);
+  return buf;
+}
+
+}  // namespace vermem

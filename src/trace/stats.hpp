@@ -1,0 +1,45 @@
+#pragma once
+// Descriptive statistics of an execution trace: what the checker is up
+// against. Used by the experiment harnesses to report workload shape
+// (sharing degree, write intensity, value collisions) next to checker
+// timings, and by trace_doctor to summarize inputs.
+
+#include <string>
+#include <vector>
+
+#include "trace/execution.hpp"
+
+namespace vermem {
+
+struct AddressStats {
+  Addr addr = 0;
+  std::size_t reads = 0;
+  std::size_t writes = 0;  ///< W plus RMW
+  std::size_t rmws = 0;
+  std::size_t sharers = 0;          ///< processes touching this address
+  std::size_t writers = 0;          ///< processes writing it
+  std::size_t distinct_values = 0;  ///< distinct written values
+  std::size_t max_writes_per_value = 0;
+};
+
+struct TraceStats {
+  std::size_t processes = 0;
+  std::size_t operations = 0;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t rmws = 0;
+  std::size_t sync_ops = 0;
+  std::size_t addresses = 0;
+  /// Addresses written by >= 2 processes — the contended set that makes
+  /// verification hard.
+  std::size_t write_shared_addresses = 0;
+  std::vector<AddressStats> per_address;  ///< sorted by address
+};
+
+[[nodiscard]] TraceStats compute_stats(const Execution& exec);
+
+/// One-line summary, e.g. "4P 800ops (r 61% / w 36% / rmw 3%) 12addr
+/// (7 write-shared)".
+[[nodiscard]] std::string summarize(const TraceStats& stats);
+
+}  // namespace vermem

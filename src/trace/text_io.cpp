@@ -1,0 +1,165 @@
+#include "trace/text_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "support/format.hpp"
+
+namespace vermem {
+
+namespace {
+
+bool parse_numbers(std::string_view inner, std::vector<long long>& out) {
+  out.clear();
+  for (std::string_view field : split(inner, ',')) {
+    long long v = 0;
+    if (!parse_i64(trim(field), v)) return false;
+    out.push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Operation> parse_operation(std::string_view token) {
+  const std::size_t open = token.find('(');
+  if (open == std::string_view::npos || token.back() != ')') return std::nullopt;
+  const std::string_view name = token.substr(0, open);
+  const std::string_view inner = token.substr(open + 1, token.size() - open - 2);
+  std::vector<long long> nums;
+  if (!parse_numbers(inner, nums)) return std::nullopt;
+
+  auto addr_ok = [&](std::size_t want) {
+    return nums.size() == want && nums[0] >= 0 &&
+           nums[0] <= static_cast<long long>(~Addr{0});
+  };
+  if (name == "R" && addr_ok(2)) return R(static_cast<Addr>(nums[0]), nums[1]);
+  if (name == "W" && addr_ok(2)) return W(static_cast<Addr>(nums[0]), nums[1]);
+  if (name == "RW" && addr_ok(3))
+    return RW(static_cast<Addr>(nums[0]), nums[1], nums[2]);
+  if (name == "Acq" && addr_ok(1)) return Acq(static_cast<Addr>(nums[0]));
+  if (name == "Rel" && addr_ok(1)) return Rel(static_cast<Addr>(nums[0]));
+  return std::nullopt;
+}
+
+ParseResult parse_execution(std::string_view text) {
+  ParseResult result;
+  std::size_t line_no = 0;
+  for (std::string_view raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto fail = [&](std::string why) {
+      result.error = std::move(why);
+      result.line = line_no;
+      return result;
+    };
+
+    if (starts_with(line, "init ") || starts_with(line, "final ")) {
+      const auto fields = split_ws(line);
+      long long addr = 0, value = 0;
+      if (fields.size() != 3 || !parse_i64(fields[1], addr) ||
+          !parse_i64(fields[2], value) || addr < 0 ||
+          addr > static_cast<long long>(~Addr{0}))
+        return fail("malformed init/final directive");
+      if (fields[0] == "init")
+        result.execution.set_initial_value(static_cast<Addr>(addr), value);
+      else
+        result.execution.set_final_value(static_cast<Addr>(addr), value);
+      continue;
+    }
+
+    if (starts_with(line, "P:") || starts_with(line, "P ")) {
+      std::vector<Operation> ops;
+      for (std::string_view token : split_ws(line.substr(2))) {
+        const auto op = parse_operation(token);
+        if (!op) return fail("malformed operation: " + std::string(token));
+        ops.push_back(*op);
+      }
+      result.execution.add_history(ProcessHistory{std::move(ops)});
+      continue;
+    }
+
+    return fail("unrecognized directive: " + std::string(line));
+  }
+  return result;
+}
+
+std::string serialize_write_orders(const WriteOrderLog& orders) {
+  // Deterministic output: addresses ascending.
+  std::vector<Addr> addresses;
+  addresses.reserve(orders.size());
+  for (const auto& [addr, order] : orders) addresses.push_back(addr);
+  std::sort(addresses.begin(), addresses.end());
+  std::string out;
+  for (const Addr addr : addresses) {
+    out += "wo " + std::to_string(addr);
+    for (const OpRef ref : orders.at(addr))
+      out += ' ' + std::to_string(ref.process) + ':' + std::to_string(ref.index);
+    out += '\n';
+  }
+  return out;
+}
+
+WriteOrderParseResult parse_write_orders(std::string_view text) {
+  WriteOrderParseResult result;
+  std::size_t line_no = 0;
+  for (std::string_view raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto fail = [&](std::string why) {
+      result.error = std::move(why);
+      result.line = line_no;
+      return result;
+    };
+    const auto fields = split_ws(line);
+    if (fields.size() < 2 || fields[0] != "wo")
+      return fail("expected: wo <addr> <proc>:<index> ...");
+    long long addr = 0;
+    if (!parse_i64(fields[1], addr) || addr < 0 ||
+        addr > static_cast<long long>(~Addr{0}))
+      return fail("bad address: " + std::string(fields[1]));
+    auto& order = result.orders[static_cast<Addr>(addr)];
+    for (std::size_t f = 2; f < fields.size(); ++f) {
+      const auto parts = split(fields[f], ':');
+      long long proc = 0, index = 0;
+      if (parts.size() != 2 || !parse_i64(parts[0], proc) ||
+          !parse_i64(parts[1], index) || proc < 0 || index < 0 ||
+          proc > 0xffffffffLL || index > 0xffffffffLL)
+        return fail("bad op reference: " + std::string(fields[f]));
+      order.push_back(OpRef{static_cast<std::uint32_t>(proc),
+                            static_cast<std::uint32_t>(index)});
+    }
+  }
+  return result;
+}
+
+std::string serialize_execution(const Execution& exec) {
+  std::string out;
+  for (const auto& [addr, value] : exec.initial_values()) {
+    out += "init " + std::to_string(addr) + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [addr, value] : exec.final_values()) {
+    out += "final " + std::to_string(addr) + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& history : exec.histories()) {
+    out += "P:";
+    for (const auto& op : history) {
+      out += ' ';
+      out += to_string(op);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vermem

@@ -1,0 +1,128 @@
+#include "vmc/bounded.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+
+namespace vermem::vmc {
+
+namespace {
+
+/// Frontier state: per-history positions plus the current value, packed
+/// into 32-bit words for hashing.
+using StateKey = std::vector<std::uint32_t>;
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& key) const noexcept {
+    return static_cast<std::size_t>(hash_span<std::uint32_t>(key));
+  }
+};
+
+StateKey pack(const std::vector<std::uint32_t>& positions, Value value) {
+  StateKey key(positions);
+  key.push_back(static_cast<std::uint32_t>(static_cast<std::uint64_t>(value)));
+  key.push_back(static_cast<std::uint32_t>(static_cast<std::uint64_t>(value) >> 32));
+  return key;
+}
+
+}  // namespace
+
+CheckResult check_bounded_k(const VmcInstance& instance,
+                            const BoundedKOptions& options) {
+  if (const auto why = instance.malformed())
+    return CheckResult::unknown("malformed instance: " + *why);
+  const std::size_t k = instance.num_histories();
+  if (options.max_histories != 0 && k > options.max_histories)
+    return CheckResult::unknown("not applicable: more than " +
+                                std::to_string(options.max_histories) +
+                                " histories");
+
+  const Execution& exec = instance.execution;
+  const std::size_t total_ops = instance.num_operations();
+  SearchStats stats;
+
+  // Parent links for witness reconstruction: state -> (parent state, the
+  // OpRef scheduled to get here).
+  struct Parent {
+    StateKey from;
+    OpRef via;
+  };
+  std::unordered_map<StateKey, Parent, StateKeyHash> parents;
+
+  std::vector<std::uint32_t> start_positions(k, 0);
+  const Value initial = instance.initial_value();
+  const StateKey start = pack(start_positions, initial);
+  parents.emplace(start, Parent{{}, {}});
+  ++stats.states_visited;
+
+  std::vector<StateKey> level{start};
+  auto unpack = [&](const StateKey& key, std::vector<std::uint32_t>& positions,
+                    Value& value) {
+    positions.assign(key.begin(), key.begin() + static_cast<std::ptrdiff_t>(k));
+    value = static_cast<Value>(static_cast<std::uint64_t>(key[k]) |
+                               (static_cast<std::uint64_t>(key[k + 1]) << 32));
+  };
+
+  auto build_witness = [&](StateKey key) {
+    Schedule schedule;
+    while (!(key == start)) {
+      const Parent& parent = parents.at(key);
+      schedule.push_back(parent.via);
+      key = parent.from;
+    }
+    std::reverse(schedule.begin(), schedule.end());
+    return schedule;
+  };
+
+  std::vector<std::uint32_t> positions;
+  Value value = 0;
+  for (std::size_t step = 0; step < total_ops; ++step) {
+    std::vector<StateKey> next_level;
+    for (const StateKey& key : level) {
+      if (options.max_states != 0 && stats.states_visited >= options.max_states)
+        return CheckResult::unknown("state budget exhausted", stats);
+      if ((stats.transitions & 0xff) == 0 && options.deadline.expired())
+        return CheckResult::unknown("deadline exceeded", stats);
+
+      unpack(key, positions, value);
+      for (std::uint32_t p = 0; p < k; ++p) {
+        const auto& history = exec.history(p);
+        if (positions[p] >= history.size()) continue;
+        const Operation& op = history[positions[p]];
+        if (op.reads_memory() && op.value_read != value) continue;
+        ++stats.transitions;
+
+        ++positions[p];
+        const Value next_value = op.writes_memory() ? op.value_written : value;
+        StateKey next = pack(positions, next_value);
+        --positions[p];
+
+        const auto [it, fresh] = parents.emplace(
+            next, Parent{key, OpRef{p, positions[p]}});
+        if (!fresh) continue;
+        ++stats.states_visited;
+        next_level.push_back(std::move(next));
+      }
+    }
+    stats.max_frontier =
+        std::max<std::uint64_t>(stats.max_frontier, next_level.size());
+    if (next_level.empty())
+      return CheckResult::no("frontier died after " + std::to_string(step) +
+                                 " scheduled operations",
+                             stats);
+    level = std::move(next_level);
+  }
+
+  // All operations scheduled: any final state with an acceptable value
+  // wins.
+  const auto fin = instance.final_value();
+  for (const StateKey& key : level) {
+    unpack(key, positions, value);
+    if (!fin || value == *fin) return CheckResult::yes(build_witness(key), stats);
+  }
+  return CheckResult::no("all complete schedules end at the wrong final value",
+                         stats);
+}
+
+}  // namespace vermem::vmc

@@ -1,0 +1,33 @@
+#pragma once
+// The O(n^k) constant-process algorithm (Figure 5.3, "Constant
+// Processes" row) as an explicit breadth-first dynamic program.
+//
+// This is deliberately an *independent implementation* of the same
+// decision problem check_exact solves: it enumerates reachable frontier
+// states level by level (one level per scheduled operation) instead of
+// depth-first with backtracking. The per-state work and the state bound
+// O(n^k * |D|) are identical; what differs is memory behavior (the BFS
+// keeps whole levels alive) and code path — which is exactly what makes
+// it valuable as a cross-check oracle in the property tests.
+
+#include "support/stopwatch.hpp"
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::vmc {
+
+struct BoundedKOptions {
+  /// Refuse instances with more histories than this (0 = no cap). The
+  /// algorithm stays correct for any k, but the point of the row is that
+  /// k is a small constant.
+  std::size_t max_histories = 0;
+  std::uint64_t max_states = 0;
+  Deadline deadline = Deadline::never();
+};
+
+/// Decides VMC by level-synchronous BFS over frontier states. kCoherent
+/// results include a witness schedule reconstructed from parent links.
+[[nodiscard]] CheckResult check_bounded_k(const VmcInstance& instance,
+                                          const BoundedKOptions& options = {});
+
+}  // namespace vermem::vmc

@@ -1,0 +1,134 @@
+#include "vmc/checker.hpp"
+
+#include "support/hash.hpp"
+#include "support/parallel.hpp"
+
+namespace vermem::vmc {
+
+CheckResult check_auto(const VmcInstance& instance,
+                       const ExactOptions& exact_options) {
+  if (const auto why = instance.malformed())
+    return CheckResult::unknown("malformed instance: " + *why);
+
+  // Cheap structural probes pick the cascade branch.
+  const bool rmw_only = instance.all_rmw();
+  if (instance.max_ops_per_process() <= 1) {
+    const CheckResult result = rmw_only ? check_rmw_one_op_per_process(instance)
+                                        : check_one_op_per_process(instance);
+    if (result.verdict != Verdict::kUnknown) return result;
+  }
+  {
+    const CheckResult result =
+        rmw_only ? check_rmw_read_map(instance) : check_read_map(instance);
+    if (result.verdict != Verdict::kUnknown) return result;
+  }
+  return check_exact(instance, exact_options);
+}
+
+namespace {
+
+CoherenceReport aggregate(std::vector<AddressReport> reports) {
+  CoherenceReport out;
+  out.addresses = std::move(reports);
+  for (const auto& report : out.addresses) {
+    if (report.result.verdict == Verdict::kIncoherent) {
+      out.verdict = Verdict::kIncoherent;
+      return out;
+    }
+    if (report.result.verdict == Verdict::kUnknown)
+      out.verdict = Verdict::kUnknown;
+  }
+  return out;
+}
+
+}  // namespace
+
+CoherenceReport verify_coherence(const Execution& exec,
+                                 const ExactOptions& exact_options) {
+  std::vector<AddressReport> reports;
+  for (const Addr addr : exec.addresses()) {
+    const auto projection = exec.project(addr);
+    VmcInstance instance{projection.execution, addr};
+    CheckResult result = check_auto(instance, exact_options);
+    // Witnesses come back in projected coordinates; translate to the
+    // original execution's so callers (and check_vscc's merge stage) can
+    // use them directly.
+    for (OpRef& ref : result.witness)
+      ref = projection.origin[ref.process][ref.index];
+    reports.push_back({addr, std::move(result)});
+  }
+  return aggregate(std::move(reports));
+}
+
+CoherenceReport verify_coherence_parallel(const Execution& exec,
+                                          std::size_t workers,
+                                          const ExactOptions& exact_options) {
+  const std::vector<Addr> addresses = exec.addresses();
+  std::vector<AddressReport> reports(addresses.size());
+  parallel_for_each(addresses.size(), workers, [&](std::size_t i) {
+    const Addr addr = addresses[i];
+    const auto projection = exec.project(addr);
+    VmcInstance instance{projection.execution, addr};
+    CheckResult result = check_auto(instance, exact_options);
+    for (OpRef& ref : result.witness)
+      ref = projection.origin[ref.process][ref.index];
+    reports[i] = {addr, std::move(result)};
+  });
+  return aggregate(std::move(reports));
+}
+
+CoherenceReport verify_coherence_with_write_order(
+    const Execution& exec, const WriteOrderMap& write_orders,
+    const ExactOptions& fallback_options) {
+  std::vector<AddressReport> reports;
+  for (const Addr addr : exec.addresses()) {
+    const auto projection = exec.project(addr);
+    VmcInstance instance{projection.execution, addr};
+
+    const auto it = write_orders.find(addr);
+    if (it == write_orders.end()) {
+      reports.push_back({addr, check_auto(instance, fallback_options)});
+      continue;
+    }
+
+    // Remap the write-order from original-execution coordinates into the
+    // projected instance's coordinates.
+    std::unordered_map<std::uint64_t, OpRef> projected_of;
+    auto key_of = [](OpRef ref) {
+      return (static_cast<std::uint64_t>(ref.process) << 32) | ref.index;
+    };
+    for (std::uint32_t p = 0; p < projection.origin.size(); ++p)
+      for (std::uint32_t i = 0; i < projection.origin[p].size(); ++i)
+        projected_of[key_of(projection.origin[p][i])] = OpRef{p, i};
+
+    WriteOrder local;
+    bool mapped = true;
+    local.reserve(it->second.size());
+    for (const OpRef original : it->second) {
+      const auto found = projected_of.find(key_of(original));
+      if (found == projected_of.end()) {
+        mapped = false;
+        break;
+      }
+      local.push_back(found->second);
+    }
+    if (!mapped) {
+      reports.push_back(
+          {addr, CheckResult::unknown(
+                     "write-order references operations outside address " +
+                     std::to_string(addr))});
+      continue;
+    }
+    CheckResult result = instance.all_rmw()
+                             ? check_rmw_with_write_order(instance, local)
+                             : check_with_write_order(instance, local);
+    // Translate the witness back into original coordinates so callers can
+    // validate it against the full execution.
+    for (OpRef& ref : result.witness)
+      ref = projection.origin[ref.process][ref.index];
+    reports.push_back({addr, std::move(result)});
+  }
+  return aggregate(std::move(reports));
+}
+
+}  // namespace vermem::vmc

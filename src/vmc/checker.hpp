@@ -1,0 +1,75 @@
+#pragma once
+// Top-level coherence verification API.
+//
+// This is the entry point a user of the library calls on a recorded
+// multiprocessor execution: it projects every address (coherence is a
+// per-location property), dispatches each single-address instance to the
+// cheapest applicable decision procedure (Figure 5.3 cascade), and
+// aggregates the verdicts. When the memory system supplied a write-order
+// (Section 5.2) the polynomial path is used and the exponential exact
+// checker is never needed.
+
+#include <unordered_map>
+
+#include "vmc/exact.hpp"
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+#include "vmc/special.hpp"
+#include "vmc/write_order.hpp"
+
+namespace vermem::vmc {
+
+/// Tries the polynomial special cases whose structural preconditions
+/// match, then falls back to the exact exponential checker. Always
+/// returns a definite verdict unless the exact search hits its budget.
+[[nodiscard]] CheckResult check_auto(const VmcInstance& instance,
+                                     const ExactOptions& exact_options = {});
+
+struct AddressReport {
+  Addr addr = 0;
+  CheckResult result;
+};
+
+struct CoherenceReport {
+  /// kCoherent iff every address verified; kIncoherent if any address has
+  /// no coherent schedule; kUnknown if undecided addresses remain (budget)
+  /// and none is definitely incoherent.
+  Verdict verdict = Verdict::kCoherent;
+  std::vector<AddressReport> addresses;
+
+  [[nodiscard]] bool coherent() const noexcept {
+    return verdict == Verdict::kCoherent;
+  }
+  /// First address that failed (meaningful when verdict == kIncoherent).
+  [[nodiscard]] const AddressReport* first_violation() const noexcept {
+    for (const auto& report : addresses)
+      if (report.result.verdict == Verdict::kIncoherent) return &report;
+    return nullptr;
+  }
+};
+
+/// Verifies coherence of a whole execution, one address at a time, using
+/// the check_auto cascade.
+[[nodiscard]] CoherenceReport verify_coherence(const Execution& exec,
+                                               const ExactOptions& exact_options = {});
+
+/// Same verdicts as verify_coherence, with the per-address checks fanned
+/// out over `workers` threads (0 = hardware concurrency). Coherence is a
+/// per-location property, so the decomposition is exact, and the report
+/// is deterministic (addresses stay in sorted order) regardless of the
+/// thread schedule.
+[[nodiscard]] CoherenceReport verify_coherence_parallel(
+    const Execution& exec, std::size_t workers = 0,
+    const ExactOptions& exact_options = {});
+
+/// Per-address write-orders in *original execution* coordinates, e.g. as
+/// recorded by the simulator's bus.
+using WriteOrderMap = std::unordered_map<Addr, std::vector<OpRef>>;
+
+/// Verifies coherence using supplied write-orders (polynomial, §5.2).
+/// Addresses missing from `write_orders` fall back to check_auto.
+[[nodiscard]] CoherenceReport verify_coherence_with_write_order(
+    const Execution& exec, const WriteOrderMap& write_orders,
+    const ExactOptions& fallback_options = {});
+
+}  // namespace vermem::vmc

@@ -1,0 +1,50 @@
+#pragma once
+// Exact VMC decision procedure: depth-first search over schedule
+// prefixes, memoizing visited search states.
+//
+// A search state is (position of each history, current value of the
+// location). Two schedule prefixes that reach the same state are
+// interchangeable, so each state is explored once. With k histories of
+// length O(n/k) this bounds the search at O(n^k * |D|) states — the
+// paper's polynomial algorithm for constant k (Figure 5.3, "Constant
+// Processes" row) — while for unrestricted k it is the inevitable
+// exponential-time exact checker (VMC is NP-complete, Theorem 4.2).
+//
+// Soundness hook: every kCoherent result carries a witness schedule that
+// callers can (and our tests always do) re-validate with
+// check_coherent_schedule().
+
+#include "support/stopwatch.hpp"
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::vmc {
+
+struct ExactOptions {
+  /// Schedule enabled pure reads eagerly without branching. Reads do not
+  /// change the search state, so this is sound and complete; it prunes the
+  /// branching factor to writing operations only. Disable only for the
+  /// ablation bench.
+  bool eager_reads = true;
+
+  /// Memoize visited states. Disable only for the ablation bench;
+  /// without memoization the search revisits states exponentially often.
+  bool memoize = true;
+
+  /// Abort with kUnknown after visiting this many states (0 = unlimited).
+  std::uint64_t max_states = 0;
+
+  /// Abort with kUnknown after this many transitions (0 = unlimited).
+  /// Unlike max_states this also bounds re-visits of memoized states, so
+  /// it is the robust budget for adversarial instances.
+  std::uint64_t max_transitions = 0;
+
+  /// Cooperative wall-clock budget.
+  Deadline deadline = Deadline::never();
+};
+
+/// Decides VMC exactly. kCoherent results include a witness schedule.
+[[nodiscard]] CheckResult check_exact(const VmcInstance& instance,
+                                      const ExactOptions& options = {});
+
+}  // namespace vermem::vmc

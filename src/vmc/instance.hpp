@@ -1,0 +1,85 @@
+#pragma once
+// The Verifying-Memory-Coherence decision problem (Definition 4.1).
+//
+// INSTANCE: data value set D, address a, finite set H of process
+//           histories of reads/writes (all to address a).
+// QUESTION: is there a coherent schedule S for the operations of H?
+//
+// A VmcInstance owns a single-address execution. Construct one directly
+// from single-address histories, or with from_execution() to project one
+// address out of a multi-address trace.
+
+#include <optional>
+#include <string>
+
+#include "trace/execution.hpp"
+#include "trace/schedule.hpp"
+
+namespace vermem::vmc {
+
+struct VmcInstance {
+  Execution execution;  ///< all operations on `addr`
+  Addr addr = 0;
+
+  /// Projects address `a` out of an arbitrary execution.
+  [[nodiscard]] static VmcInstance from_execution(const Execution& exec, Addr a) {
+    return VmcInstance{exec.project(a).execution, a};
+  }
+
+  /// Checks the instance is single-address and sync-free; returns a
+  /// description of the first problem found, or nullopt when well-formed.
+  [[nodiscard]] std::optional<std::string> malformed() const {
+    for (std::size_t p = 0; p < execution.num_processes(); ++p) {
+      for (const Operation& op : execution.history(p)) {
+        if (op.is_sync())
+          return "history " + std::to_string(p) + " contains a sync operation";
+        if (op.addr != addr)
+          return "history " + std::to_string(p) + " touches address " +
+                 std::to_string(op.addr) + " != " + std::to_string(addr);
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t num_histories() const noexcept {
+    return execution.num_processes();
+  }
+  [[nodiscard]] std::size_t num_operations() const noexcept {
+    return execution.num_operations();
+  }
+  [[nodiscard]] Value initial_value() const noexcept {
+    return execution.initial_value(addr);
+  }
+  [[nodiscard]] std::optional<Value> final_value() const noexcept {
+    return execution.final_value(addr);
+  }
+
+  /// Maximum operations in any one history ("operations per process" in
+  /// the Figure 5.3 taxonomy).
+  [[nodiscard]] std::size_t max_ops_per_process() const noexcept {
+    std::size_t most = 0;
+    for (const auto& h : execution.histories()) most = std::max(most, h.size());
+    return most;
+  }
+
+  /// Maximum number of writes of any single data value ("writes per
+  /// value" in the Figure 5.3 taxonomy).
+  [[nodiscard]] std::size_t max_writes_per_value() const {
+    std::unordered_map<Value, std::size_t> counts;
+    std::size_t most = 0;
+    for (const auto& h : execution.histories())
+      for (const auto& op : h)
+        if (op.writes_memory()) most = std::max(most, ++counts[op.value_written]);
+    return most;
+  }
+
+  /// True when every operation is a read-modify-write.
+  [[nodiscard]] bool all_rmw() const noexcept {
+    for (const auto& h : execution.histories())
+      for (const auto& op : h)
+        if (op.kind != OpKind::kRmw) return false;
+    return true;
+  }
+};
+
+}  // namespace vermem::vmc

@@ -1,0 +1,114 @@
+#include "vmc/online.hpp"
+
+namespace vermem::vmc {
+
+OnlineCoherenceChecker::OnlineCoherenceChecker(
+    std::uint32_t num_processes, std::unordered_map<Addr, Value> initial_values)
+    : num_processes_(num_processes), initials_(std::move(initial_values)) {}
+
+OnlineCoherenceChecker::AddressState& OnlineCoherenceChecker::state_of(Addr addr) {
+  auto [it, fresh] = states_.try_emplace(addr);
+  if (fresh) {
+    const auto initial = initials_.find(addr);
+    it->second.initial = initial == initials_.end() ? Value{0} : initial->second;
+    it->second.last_value = it->second.initial;
+    it->second.anchor.assign(num_processes_, 0);
+  }
+  return it->second;
+}
+
+Value OnlineCoherenceChecker::value_at(const AddressState& s,
+                                       std::uint64_t pos) const {
+  return pos == 0 ? s.initial : s.window[pos - 1 - s.base];
+}
+
+void OnlineCoherenceChecker::fail(std::uint32_t process, const Operation& op,
+                                  std::string reason) {
+  violation_ = OnlineViolation{stats_.events - 1, process, op, std::move(reason)};
+}
+
+void OnlineCoherenceChecker::garbage_collect(AddressState& s) {
+  std::uint64_t min_anchor = s.count;
+  for (const std::uint64_t a : s.anchor) min_anchor = std::min(min_anchor, a);
+  // Retain positions >= min_anchor (plus min_anchor itself when it is a
+  // real write). window[i] holds position base+1+i.
+  while (s.base + 1 < min_anchor) {
+    s.window.pop_front();
+    ++s.base;
+    ++stats_.discarded_entries;
+    --stats_.retained_entries;
+  }
+}
+
+bool OnlineCoherenceChecker::observe(std::uint32_t process, const Operation& op) {
+  if (violation_) return false;
+  ++stats_.events;
+  if (op.is_sync()) return true;
+  if (process >= num_processes_) {
+    fail(process, op, "event from unregistered process");
+    return false;
+  }
+  AddressState& s = state_of(op.addr);
+
+  if (op.kind == OpKind::kRead) {
+    ++stats_.reads;
+    std::uint64_t pos = s.anchor[process];
+    if (value_at(s, pos) != op.value_read) {
+      bool found = false;
+      for (pos = s.anchor[process] + 1; pos <= s.count; ++pos) {
+        if (value_at(s, pos) == op.value_read) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        fail(process, op,
+             "no write of value " + std::to_string(op.value_read) +
+                 " is reachable from this process's anchor");
+        return false;
+      }
+      s.anchor[process] = pos;
+    }
+    return true;
+  }
+
+  // Writing operation (W or RMW).
+  ++stats_.writes;
+  if (op.kind == OpKind::kRmw && op.value_read != s.last_value) {
+    fail(process, op,
+         "RMW reads " + std::to_string(op.value_read) +
+             " but the serialization's last write stored " +
+             std::to_string(s.last_value));
+    return false;
+  }
+  s.window.push_back(op.value_written);
+  ++s.count;
+  s.last_value = op.value_written;
+  s.anchor[process] = s.count;
+  ++stats_.retained_entries;
+  stats_.max_retained_entries =
+      std::max(stats_.max_retained_entries, stats_.retained_entries);
+  garbage_collect(s);
+  return true;
+}
+
+bool OnlineCoherenceChecker::finish(
+    const std::unordered_map<Addr, Value>& final_values) {
+  if (violation_) return false;
+  for (const auto& [addr, fin] : final_values) {
+    const auto it = states_.find(addr);
+    const Value last = it == states_.end()
+                           ? (initials_.contains(addr) ? initials_[addr] : 0)
+                           : it->second.last_value;
+    if (last != fin) {
+      ++stats_.events;
+      fail(0, W(addr, fin),
+           "final value mismatch on address " + std::to_string(addr) +
+               ": serialization ends at " + std::to_string(last));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vermem::vmc

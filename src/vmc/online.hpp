@@ -1,0 +1,100 @@
+#pragma once
+// Online (streaming) coherence verification — the dynamic-verification
+// hardware the paper motivates, built on the Section 5.2 write-order
+// algorithm, which is naturally incremental.
+//
+// The checker consumes a single event stream from the memory system:
+//   - writes (W and RMW) arrive in each address's serialization order
+//     (e.g. bus order / directory-home order);
+//   - each process's events arrive in its program order;
+//   - a read arrives after the write whose value it observed (events are
+//     reported in an order consistent with real time — no reading the
+//     future).
+// Under those stream invariants, greedy anchoring is exact (same
+// argument as check_with_write_order), so every violation is reported as
+// soon as the offending event arrives, and verified prefixes never need
+// re-examination.
+//
+// Memory is bounded: per address the checker retains only the write
+// history that some process could still anchor a read before; once every
+// registered process has moved past a prefix it is discarded. A hardware
+// realization would bound this window physically; here the high-water
+// mark is exposed in the stats.
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/operation.hpp"
+
+namespace vermem::vmc {
+
+struct OnlineViolation {
+  std::size_t event_index = 0;  ///< 0-based index of the offending event
+  std::uint32_t process = 0;
+  Operation op;
+  std::string reason;
+};
+
+struct OnlineStats {
+  std::uint64_t events = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t retained_entries = 0;      ///< current total window size
+  std::uint64_t max_retained_entries = 0;  ///< high-water mark
+  std::uint64_t discarded_entries = 0;     ///< GC'd write records
+};
+
+class OnlineCoherenceChecker {
+ public:
+  /// `num_processes` fixes the anchor table (GC needs to know every
+  /// process that may still read an old write). `initial_values` seeds
+  /// location state; unlisted addresses start at 0.
+  explicit OnlineCoherenceChecker(
+      std::uint32_t num_processes,
+      std::unordered_map<Addr, Value> initial_values = {});
+
+  /// Feeds one operation performed by `process`. Returns false once a
+  /// violation has been detected (the checker latches; further events
+  /// are ignored).
+  bool observe(std::uint32_t process, const Operation& op);
+
+  /// Optional end-of-run check against recorded final values.
+  bool finish(const std::unordered_map<Addr, Value>& final_values);
+
+  [[nodiscard]] bool ok() const noexcept { return !violation_.has_value(); }
+  [[nodiscard]] const std::optional<OnlineViolation>& violation() const noexcept {
+    return violation_;
+  }
+  [[nodiscard]] const OnlineStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct AddressState {
+    /// Retained suffix of the write serialization: values written.
+    std::deque<Value> window;
+    /// Serialization index of window.front(); the virtual entry before
+    /// index 0 is the initial value.
+    std::uint64_t base = 0;
+    Value initial = 0;
+    Value last_value = 0;      ///< value after the newest write
+    std::uint64_t count = 0;   ///< total writes seen
+    /// Per-process anchor: index+1 of the write the process last anchored
+    /// at (0 = before all writes, reading the initial value).
+    std::vector<std::uint64_t> anchor;
+  };
+
+  AddressState& state_of(Addr addr);
+  [[nodiscard]] Value value_at(const AddressState& s, std::uint64_t pos) const;
+  void fail(std::uint32_t process, const Operation& op, std::string reason);
+  void garbage_collect(AddressState& s);
+
+  std::uint32_t num_processes_;
+  std::unordered_map<Addr, Value> initials_;
+  std::unordered_map<Addr, AddressState> states_;
+  std::optional<OnlineViolation> violation_;
+  OnlineStats stats_;
+};
+
+}  // namespace vermem::vmc

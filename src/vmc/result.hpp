@@ -1,0 +1,53 @@
+#pragma once
+// Common result type for coherence / consistency checkers.
+
+#include <cstdint>
+#include <string>
+
+#include "trace/schedule.hpp"
+
+namespace vermem::vmc {
+
+enum class Verdict : std::uint8_t {
+  kCoherent,    ///< a valid schedule exists (witness included)
+  kIncoherent,  ///< no valid schedule exists
+  kUnknown,     ///< gave up (budget exceeded / precondition unmet)
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kCoherent: return "coherent";
+    case Verdict::kIncoherent: return "incoherent";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+struct SearchStats {
+  std::uint64_t states_visited = 0;   ///< distinct memoized search states
+  std::uint64_t transitions = 0;      ///< operations tried during search
+  std::uint64_t max_frontier = 0;     ///< peak stack depth / queue size
+};
+
+struct CheckResult {
+  Verdict verdict = Verdict::kUnknown;
+  Schedule witness;   ///< valid schedule when verdict == kCoherent
+  std::string note;   ///< human-readable reason for kIncoherent/kUnknown
+  SearchStats stats;
+
+  [[nodiscard]] bool coherent() const noexcept {
+    return verdict == Verdict::kCoherent;
+  }
+
+  static CheckResult yes(Schedule schedule, SearchStats stats = {}) {
+    return {Verdict::kCoherent, std::move(schedule), {}, stats};
+  }
+  static CheckResult no(std::string why, SearchStats stats = {}) {
+    return {Verdict::kIncoherent, {}, std::move(why), stats};
+  }
+  static CheckResult unknown(std::string why, SearchStats stats = {}) {
+    return {Verdict::kUnknown, {}, std::move(why), stats};
+  }
+};
+
+}  // namespace vermem::vmc

@@ -1,0 +1,351 @@
+#include "vmc/special.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vermem::vmc {
+
+namespace {
+
+CheckResult not_applicable(const std::string& why) {
+  return CheckResult::unknown("not applicable: " + why);
+}
+
+}  // namespace
+
+CheckResult check_one_op_per_process(const VmcInstance& instance) {
+  if (const auto why = instance.malformed()) return not_applicable(*why);
+  if (instance.max_ops_per_process() > 1)
+    return not_applicable("more than one operation per process");
+
+  const Value initial = instance.initial_value();
+  // Writes grouped by value; reads grouped by value.
+  std::unordered_map<Value, std::vector<OpRef>> writes, reads;
+  for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
+    const auto& history = instance.execution.history(p);
+    if (history.empty()) continue;
+    const Operation& op = history[0];
+    if (op.kind == OpKind::kRmw)
+      return not_applicable("instance contains read-modify-writes");
+    const OpRef ref{p, 0};
+    if (op.kind == OpKind::kWrite)
+      writes[op.value_written].push_back(ref);
+    else
+      reads[op.value_read].push_back(ref);
+  }
+
+  // Feasibility: every read value must be the initial value or written.
+  for (const auto& [value, refs] : reads) {
+    if (value != initial && !writes.contains(value))
+      return CheckResult::no("value " + std::to_string(value) +
+                             " is read but never written (and is not the "
+                             "initial value)");
+  }
+  // Final value: some write must be last (or no writes at all).
+  const auto fin = instance.final_value();
+  if (fin && !writes.empty() && !writes.contains(*fin))
+    return CheckResult::no("final value " + std::to_string(*fin) +
+                           " is never written");
+  if (fin && writes.empty() && *fin != initial)
+    return CheckResult::no("no writes, but final value differs from initial");
+
+  // Construct a witness: initial-value reads first, then each write group
+  // followed by its reads, with the final value's group last.
+  Schedule schedule;
+  if (const auto it = reads.find(initial); it != reads.end())
+    for (const OpRef r : it->second) schedule.push_back(r);
+
+  std::vector<Value> order;
+  order.reserve(writes.size());
+  for (const auto& [value, refs] : writes) order.push_back(value);
+  std::sort(order.begin(), order.end());  // determinism
+  if (fin && !writes.empty()) {
+    order.erase(std::remove(order.begin(), order.end(), *fin), order.end());
+    order.push_back(*fin);
+  }
+  for (const Value value : order) {
+    for (const OpRef w : writes[value]) schedule.push_back(w);
+    if (value == initial) continue;  // those reads were scheduled up front
+    if (const auto it = reads.find(value); it != reads.end())
+      for (const OpRef r : it->second) schedule.push_back(r);
+  }
+  return CheckResult::yes(std::move(schedule));
+}
+
+CheckResult check_rmw_one_op_per_process(const VmcInstance& instance) {
+  if (const auto why = instance.malformed()) return not_applicable(*why);
+  if (instance.max_ops_per_process() > 1)
+    return not_applicable("more than one operation per process");
+  if (!instance.all_rmw()) return not_applicable("non-RMW operation present");
+
+  // Eulerian trail from the initial value in the (value_read ->
+  // value_written) multigraph, via Hierholzer's algorithm. Dense value ids
+  // first.
+  std::unordered_map<Value, std::size_t> id_of;
+  auto id = [&](Value v) {
+    return id_of.try_emplace(v, id_of.size()).first->second;
+  };
+  struct Edge {
+    std::size_t to;
+    OpRef op;
+  };
+  const Value initial = instance.initial_value();
+  const std::size_t start = id(initial);
+  std::vector<std::vector<Edge>> out;
+  std::vector<int> degree;  // out - in
+  auto ensure = [&](std::size_t v) {
+    if (out.size() <= v) {
+      out.resize(v + 1);
+      degree.resize(v + 1, 0);
+    }
+  };
+  ensure(start);
+
+  std::size_t num_edges = 0;
+  for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
+    const auto& history = instance.execution.history(p);
+    if (history.empty()) continue;
+    const Operation& op = history[0];
+    const std::size_t from = id(op.value_read), to = id(op.value_written);
+    ensure(std::max(from, to));
+    out[from].push_back({to, OpRef{p, 0}});
+    ++degree[from];
+    --degree[to];
+    ++num_edges;
+  }
+  if (num_edges == 0) {
+    const auto fin = instance.final_value();
+    if (fin && *fin != initial)
+      return CheckResult::no("no operations, final value differs from initial");
+    return CheckResult::yes({});
+  }
+
+  // Degree conditions for a trail starting at `start`.
+  const auto fin = instance.final_value();
+  std::size_t surplus = 0, deficit_vertex = out.size();
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    if (degree[v] == 1) {
+      ++surplus;
+      if (v != start) return CheckResult::no("RMW chain cannot start at the initial value");
+    } else if (degree[v] == -1) {
+      deficit_vertex = v;
+    } else if (degree[v] != 0) {
+      return CheckResult::no("RMW read/write value multiset is unbalanced");
+    }
+  }
+  std::size_t end_vertex;
+  if (surplus == 1) {
+    // Open trail: must run start -> the unique deficit vertex.
+    if (deficit_vertex == out.size())
+      return CheckResult::no("RMW value graph is unbalanced");
+    end_vertex = deficit_vertex;
+  } else {
+    // All balanced: closed trail; it must start (and end) at `start`,
+    // which requires `start` to have edges.
+    if (deficit_vertex != out.size())
+      return CheckResult::no("RMW value graph is unbalanced");
+    if (out[start].empty())
+      return CheckResult::no("no RMW reads the initial value");
+    end_vertex = start;
+  }
+  if (fin && id_of.contains(*fin) && id_of[*fin] != end_vertex)
+    return CheckResult::no("RMW chain cannot end at the recorded final value");
+  if (fin && !id_of.contains(*fin) && !(num_edges == 0 && *fin == initial))
+    return CheckResult::no("final value never touched by any RMW");
+
+  // Hierholzer: build the trail; if edges remain unused the graph is
+  // disconnected and no single chain exists.
+  std::vector<std::size_t> next_edge(out.size(), 0);
+  std::vector<OpRef> trail;                         // edges, reverse order
+  std::vector<std::pair<std::size_t, OpRef>> path;  // (vertex, incoming op)
+  path.emplace_back(start, OpRef{});
+  while (!path.empty()) {
+    const std::size_t v = path.back().first;
+    if (next_edge[v] < out[v].size()) {
+      const Edge e = out[v][next_edge[v]++];
+      path.emplace_back(e.to, e.op);
+    } else {
+      if (path.size() > 1) trail.push_back(path.back().second);
+      path.pop_back();
+    }
+  }
+  if (trail.size() != num_edges)
+    return CheckResult::no("RMW value graph is disconnected: no single chain");
+  std::reverse(trail.begin(), trail.end());
+  return CheckResult::yes(std::move(trail));
+}
+
+CheckResult check_read_map(const VmcInstance& instance) {
+  if (const auto why = instance.malformed()) return not_applicable(*why);
+
+  const Value initial = instance.initial_value();
+  // Cluster 0 is the initial value's; each uniquely-written value gets its
+  // own cluster.
+  std::unordered_map<Value, std::size_t> cluster_of_value;
+  std::vector<OpRef> write_of_cluster{OpRef{}};  // [0] unused (initial)
+  for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
+    const auto& history = instance.execution.history(p);
+    for (std::uint32_t i = 0; i < history.size(); ++i) {
+      const Operation& op = history[i];
+      if (op.kind == OpKind::kRmw)
+        return not_applicable("instance contains read-modify-writes");
+      if (op.kind != OpKind::kWrite) continue;
+      if (op.value_written == initial)
+        return not_applicable("a write stores the initial value (read-map ambiguous)");
+      const auto [it, fresh] =
+          cluster_of_value.try_emplace(op.value_written, write_of_cluster.size());
+      if (!fresh) return not_applicable("value written more than once");
+      write_of_cluster.push_back(OpRef{p, i});
+    }
+  }
+  const std::size_t num_clusters = write_of_cluster.size();
+
+  // Cluster of each operation; reads of unwritten non-initial values are
+  // incoherent outright.
+  auto cluster_of_op = [&](const Operation& op) -> std::optional<std::size_t> {
+    const Value v = op.kind == OpKind::kWrite ? op.value_written : op.value_read;
+    if (op.kind == OpKind::kRead && v == initial) return 0;
+    const auto it = cluster_of_value.find(v);
+    if (it == cluster_of_value.end()) return std::nullopt;
+    return it->second;
+  };
+
+  // Build the precedence graph from program order; collect each cluster's
+  // reads for witness construction.
+  std::vector<std::vector<std::size_t>> successors(num_clusters);
+  std::vector<std::size_t> in_degree(num_clusters, 0);
+  std::vector<std::vector<OpRef>> cluster_reads(num_clusters);
+  for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
+    const auto& history = instance.execution.history(p);
+    std::optional<std::size_t> prev;
+    for (std::uint32_t i = 0; i < history.size(); ++i) {
+      const Operation& op = history[i];
+      const auto cluster = cluster_of_op(op);
+      if (!cluster)
+        return CheckResult::no("value " + std::to_string(op.value_read) +
+                               " is read but never written");
+      if (op.kind == OpKind::kRead) {
+        // A read program-order-before its own cluster's write can never be
+        // scheduled between that write and the next: detect via the write
+        // appearing later in the same history.
+        const OpRef w = write_of_cluster[*cluster];
+        if (*cluster != 0 && w.process == p && w.index > i)
+          return CheckResult::no("read precedes the unique write of its value "
+                                 "in the same history");
+        cluster_reads[*cluster].push_back(OpRef{p, i});
+      }
+      if (prev && *prev != *cluster) {
+        successors[*prev].push_back(*cluster);
+        ++in_degree[*cluster];
+      }
+      prev = cluster;
+    }
+  }
+
+  // The initial cluster must be schedulable first: reads of d_I must
+  // precede every write (no write restores d_I — excluded above).
+  if (in_degree[0] != 0)
+    return CheckResult::no("a read of the initial value is forced after a write");
+
+  // The final cluster (when constrained) must be schedulable last, i.e.
+  // have no outgoing precedence edges.
+  const auto fin = instance.final_value();
+  std::size_t fin_cluster = 0;
+  if (fin) {
+    if (const auto it = cluster_of_value.find(*fin); it != cluster_of_value.end())
+      fin_cluster = it->second;
+    else if (*fin != initial || num_clusters > 1)
+      return CheckResult::no("final value is never written");
+    if (!successors[fin_cluster].empty() || (fin_cluster == 0 && num_clusters > 1))
+      return CheckResult::no("the final value's write cannot be last");
+  }
+
+  // Kahn topological sort over all clusters.
+  std::vector<std::size_t> ready, topo;
+  for (std::size_t c = 0; c < num_clusters; ++c)
+    if (in_degree[c] == 0) ready.push_back(c);
+  while (!ready.empty()) {
+    const std::size_t c = ready.back();
+    ready.pop_back();
+    topo.push_back(c);
+    for (const std::size_t s : successors[c])
+      if (--in_degree[s] == 0) ready.push_back(s);
+  }
+  if (topo.size() != num_clusters)
+    return CheckResult::no("cyclic ordering constraints among writes");
+
+  // Cluster 0 has no predecessors and the final cluster no successors, so
+  // moving them to the ends keeps the order topological.
+  std::erase(topo, std::size_t{0});
+  if (fin && fin_cluster != 0) std::erase(topo, fin_cluster);
+  topo.insert(topo.begin(), 0);
+  if (fin && fin_cluster != 0) topo.push_back(fin_cluster);
+
+  // Witness: concatenate clusters, write first then its reads (reads are
+  // collected in program order per history by construction above; across
+  // histories the order is irrelevant).
+  Schedule schedule;
+  for (const std::size_t c : topo) {
+    if (c != 0) schedule.push_back(write_of_cluster[c]);
+    for (const OpRef r : cluster_reads[c]) schedule.push_back(r);
+  }
+  return CheckResult::yes(std::move(schedule));
+}
+
+CheckResult check_rmw_read_map(const VmcInstance& instance) {
+  if (const auto why = instance.malformed()) return not_applicable(*why);
+  if (!instance.all_rmw()) return not_applicable("non-RMW operation present");
+
+  const Value initial = instance.initial_value();
+  std::unordered_map<Value, OpRef> writer_of;
+  std::size_t total = 0;
+  for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
+    const auto& history = instance.execution.history(p);
+    for (std::uint32_t i = 0; i < history.size(); ++i) {
+      const Operation& op = history[i];
+      if (op.value_written == initial)
+        return not_applicable("an RMW writes the initial value (read-map ambiguous)");
+      if (!writer_of.try_emplace(op.value_written, OpRef{p, i}).second)
+        return not_applicable("value written more than once");
+      ++total;
+    }
+  }
+
+  // The chain is forced: the op reading `current` must come next.
+  std::unordered_map<Value, std::vector<OpRef>> readers_of;
+  for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
+    const auto& history = instance.execution.history(p);
+    for (std::uint32_t i = 0; i < history.size(); ++i)
+      readers_of[history[i].value_read].push_back(OpRef{p, i});
+  }
+  for (const auto& [value, refs] : readers_of) {
+    if (refs.size() > 1)
+      return CheckResult::no("two RMWs read value " + std::to_string(value) +
+                             ", which is written at most once");
+  }
+
+  Schedule schedule;
+  std::vector<std::uint32_t> next(instance.num_histories(), 0);
+  Value current = initial;
+  for (std::size_t step = 0; step < total; ++step) {
+    const auto it = readers_of.find(current);
+    if (it == readers_of.end())
+      return CheckResult::no("chain stalls: no RMW reads value " +
+                             std::to_string(current));
+    const OpRef ref = it->second[0];
+    if (ref.index != next[ref.process])
+      return CheckResult::no("forced chain violates program order at P" +
+                             std::to_string(ref.process));
+    ++next[ref.process];
+    schedule.push_back(ref);
+    current = instance.execution.op(ref).value_written;
+  }
+  const auto fin = instance.final_value();
+  if (fin && current != *fin)
+    return CheckResult::no("forced chain ends at " + std::to_string(current) +
+                           ", final value is " + std::to_string(*fin));
+  return CheckResult::yes(std::move(schedule));
+}
+
+}  // namespace vermem::vmc

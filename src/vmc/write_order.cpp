@@ -1,0 +1,198 @@
+#include "vmc/write_order.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace vermem::vmc {
+
+namespace {
+
+constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+
+/// Validates that `write_order` lists exactly the writing operations of
+/// the instance, once each, consistent with program order. On success
+/// returns the write-order index of every operation's ref (kNoIndex for
+/// reads) keyed by (process, index); on failure a CheckResult::no/unknown.
+struct OrderIndex {
+  std::vector<std::vector<std::size_t>> of;  ///< [process][op] -> w.o. index
+  std::optional<CheckResult> problem;
+};
+
+OrderIndex index_write_order(const VmcInstance& instance,
+                             const WriteOrder& write_order) {
+  OrderIndex out;
+  out.of.resize(instance.num_histories());
+  std::size_t num_writers = 0;
+  for (std::size_t p = 0; p < instance.num_histories(); ++p) {
+    const auto& history = instance.execution.history(p);
+    out.of[p].assign(history.size(), kNoIndex);
+    for (const auto& op : history) num_writers += op.writes_memory();
+  }
+  if (write_order.size() != num_writers) {
+    out.problem = CheckResult::unknown(
+        "write-order does not cover the instance's writes");
+    return out;
+  }
+  std::vector<std::uint32_t> last_index(instance.num_histories(), 0);
+  std::vector<bool> started(instance.num_histories(), false);
+  for (std::size_t j = 0; j < write_order.size(); ++j) {
+    const OpRef ref = write_order[j];
+    if (ref.process >= instance.num_histories() ||
+        ref.index >= instance.execution.history(ref.process).size() ||
+        !instance.execution.op(ref).writes_memory() ||
+        out.of[ref.process][ref.index] != kNoIndex) {
+      out.problem =
+          CheckResult::unknown("write-order entry " + std::to_string(j) +
+                               " is not a distinct writing operation");
+      return out;
+    }
+    if (started[ref.process] && ref.index <= last_index[ref.process]) {
+      out.problem = CheckResult::no(
+          "write-order contradicts program order within P" +
+          std::to_string(ref.process));
+      return out;
+    }
+    started[ref.process] = true;
+    last_index[ref.process] = ref.index;
+    out.of[ref.process][ref.index] = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+WriteOrder extract_write_order(const VmcInstance& instance,
+                               const Schedule& schedule) {
+  WriteOrder order;
+  for (const OpRef ref : schedule)
+    if (instance.execution.op(ref).writes_memory()) order.push_back(ref);
+  return order;
+}
+
+CheckResult check_with_write_order(const VmcInstance& instance,
+                                   const WriteOrder& write_order) {
+  if (const auto why = instance.malformed())
+    return CheckResult::unknown("malformed instance: " + *why);
+  const OrderIndex indexed = index_write_order(instance, write_order);
+  if (indexed.problem) return *indexed.problem;
+
+  const Value initial = instance.initial_value();
+  // value_after[j] = location value after write j; value "after" the
+  // virtual slot -1 is the initial value.
+  auto value_after = [&](std::size_t j) {
+    return j == kNoIndex ? initial
+                         : instance.execution.op(write_order[j]).value_written;
+  };
+
+  // RMW read components are pinned: they observe the preceding write.
+  for (std::size_t j = 0; j < write_order.size(); ++j) {
+    const Operation& op = instance.execution.op(write_order[j]);
+    if (op.kind != OpKind::kRmw) continue;
+    const Value seen = j == 0 ? initial : value_after(j - 1);
+    if (op.value_read != seen)
+      return CheckResult::no("RMW at write-order position " + std::to_string(j) +
+                             " reads " + std::to_string(op.value_read) +
+                             " but the preceding write stored " +
+                             std::to_string(seen));
+  }
+
+  // Greedy anchoring of pure reads. anchor = write-order index the read
+  // follows (kNoIndex = before the first write). reads_at[j+1] collects
+  // reads anchored after write j, in discovery order (per-history program
+  // order is preserved because anchors are monotone within a history).
+  std::vector<std::vector<OpRef>> reads_at(write_order.size() + 1);
+  SearchStats stats;
+  for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
+    const auto& history = instance.execution.history(p);
+    // Precompute the next writing op's write-order index for each op.
+    std::vector<std::size_t> next_write(history.size(), kNoIndex);
+    std::size_t upcoming = kNoIndex;
+    for (std::size_t i = history.size(); i-- > 0;) {
+      next_write[i] = upcoming;
+      if (history[i].writes_memory()) upcoming = indexed.of[p][i];
+    }
+
+    std::size_t anchor = kNoIndex;  // before the first write
+    for (std::uint32_t i = 0; i < history.size(); ++i) {
+      const Operation& op = history[i];
+      if (op.writes_memory()) {
+        const std::size_t j = indexed.of[p][i];
+        // Reads anchored so far must fit before this write: anchor < j.
+        if (anchor != kNoIndex && anchor >= j)
+          return CheckResult::no(
+              "a read of P" + std::to_string(p) +
+              " cannot be satisfied before the process's next write");
+        anchor = j;
+        continue;
+      }
+      // Pure read: try the current anchor, else scan forward, stopping
+      // before the process's next write.
+      const std::size_t bound =
+          next_write[i] == kNoIndex ? write_order.size() : next_write[i];
+      std::size_t j = anchor;
+      bool found = value_after(j) == op.value_read;
+      if (!found) {
+        for (j = (anchor == kNoIndex ? 0 : anchor + 1); j < bound; ++j) {
+          ++stats.transitions;
+          if (value_after(j) == op.value_read) {
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found)
+        return CheckResult::no(
+            to_string(op) + " of P" + std::to_string(p) +
+            " finds no write of its value in its feasible window");
+      anchor = j;
+      reads_at[j == kNoIndex ? 0 : j + 1].push_back(OpRef{p, i});
+    }
+  }
+
+  // Final value.
+  if (const auto fin = instance.final_value()) {
+    const Value last = write_order.empty()
+                           ? initial
+                           : value_after(write_order.size() - 1);
+    if (last != *fin)
+      return CheckResult::no("final value mismatch: last write stores " +
+                             std::to_string(last) + ", expected " +
+                             std::to_string(*fin));
+  }
+
+  // Assemble the witness schedule.
+  Schedule schedule;
+  for (const OpRef r : reads_at[0]) schedule.push_back(r);
+  for (std::size_t j = 0; j < write_order.size(); ++j) {
+    schedule.push_back(write_order[j]);
+    for (const OpRef r : reads_at[j + 1]) schedule.push_back(r);
+  }
+  return CheckResult::yes(std::move(schedule), stats);
+}
+
+CheckResult check_rmw_with_write_order(const VmcInstance& instance,
+                                       const WriteOrder& write_order) {
+  if (const auto why = instance.malformed())
+    return CheckResult::unknown("malformed instance: " + *why);
+  if (!instance.all_rmw())
+    return CheckResult::unknown("not applicable: non-RMW operation present");
+  const OrderIndex indexed = index_write_order(instance, write_order);
+  if (indexed.problem) return *indexed.problem;
+
+  Value current = instance.initial_value();
+  for (std::size_t j = 0; j < write_order.size(); ++j) {
+    const Operation& op = instance.execution.op(write_order[j]);
+    if (op.value_read != current)
+      return CheckResult::no("RMW at position " + std::to_string(j) + " reads " +
+                             std::to_string(op.value_read) + ", expected " +
+                             std::to_string(current));
+    current = op.value_written;
+  }
+  if (const auto fin = instance.final_value()) {
+    if (current != *fin)
+      return CheckResult::no("final value mismatch after RMW chain");
+  }
+  return CheckResult::yes(Schedule(write_order.begin(), write_order.end()));
+}
+
+}  // namespace vermem::vmc

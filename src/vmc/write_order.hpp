@@ -1,0 +1,45 @@
+#pragma once
+// VMC with the write-order supplied (Section 5.2).
+//
+// When the memory system is augmented to report the order in which write
+// operations were serialized (e.g. the bus order recorded by our MESI
+// simulator, or a commit log from verification hardware), verifying
+// coherence becomes tractable: O(n^2) for mixed reads/writes and O(n)
+// when every operation is a read-modify-write. This is the paper's
+// practical headline — the augmentation that turns an NP-complete check
+// into a polynomial one — and the algorithm implemented here is the
+// greedy read-insertion procedure of Section 5.2.
+
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::vmc {
+
+/// The claimed serialization order of all writing operations (W and RMW)
+/// of the instance.
+using WriteOrder = std::vector<OpRef>;
+
+/// Extracts the write-order embedded in a schedule (the subsequence of
+/// writing operations). Useful for round-trip tests and for replaying a
+/// witness from one checker through this one.
+[[nodiscard]] WriteOrder extract_write_order(const VmcInstance& instance,
+                                             const Schedule& schedule);
+
+/// Decides whether a coherent schedule exists *that serializes writes in
+/// exactly the given order*. O(W + R*W) time: each read scans forward
+/// over the write-order at most once per candidate window.
+///
+/// Greedy insertion is exact for this problem: anchoring each read at the
+/// earliest write (at or after its program-order predecessor's anchor)
+/// that stores the value it returns only enlarges the feasible window of
+/// every later read.
+[[nodiscard]] CheckResult check_with_write_order(const VmcInstance& instance,
+                                                 const WriteOrder& write_order);
+
+/// Special case: every operation is an RMW. The write-order is then a
+/// total order of all operations, and coherence is a single O(n) scan
+/// checking that each RMW reads its predecessor's written value.
+[[nodiscard]] CheckResult check_rmw_with_write_order(const VmcInstance& instance,
+                                                     const WriteOrder& write_order);
+
+}  // namespace vermem::vmc

@@ -1,0 +1,87 @@
+#include "vsc/conflict.hpp"
+
+#include <vector>
+
+namespace vermem::vsc {
+
+vmc::CheckResult check_sc_conflict(const Execution& exec,
+                                   const CoherentSchedules& schedules) {
+  // Flatten operation indices.
+  const std::size_t k = exec.num_processes();
+  std::vector<std::size_t> offset(k + 1, 0);
+  for (std::size_t p = 0; p < k; ++p)
+    offset[p + 1] = offset[p] + exec.history(p).size();
+  const std::size_t n = offset[k];
+  auto flat = [&](OpRef ref) { return offset[ref.process] + ref.index; };
+
+  std::vector<std::vector<std::size_t>> successors(n);
+  std::vector<std::size_t> in_degree(n, 0);
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    successors[a].push_back(b);
+    ++in_degree[b];
+  };
+
+  // Program order.
+  for (std::uint32_t p = 0; p < k; ++p)
+    for (std::uint32_t i = 0; i + 1 < exec.history(p).size(); ++i)
+      add_edge(flat({p, i}), flat({p, i + 1}));
+
+  // Per-address schedule order; also validate each schedule first so a
+  // bogus input cannot yield a bogus witness.
+  for (const auto& [addr, schedule] : schedules) {
+    const auto valid = check_coherent_schedule(exec, addr, schedule);
+    if (!valid.ok)
+      return vmc::CheckResult::unknown("supplied schedule for address " +
+                                       std::to_string(addr) +
+                                       " is not coherent: " + valid.violation);
+    for (std::size_t s = 0; s + 1 < schedule.size(); ++s)
+      add_edge(flat(schedule[s]), flat(schedule[s + 1]));
+  }
+
+  // Every non-sync operation must be covered by some per-address schedule;
+  // otherwise its reads are unconstrained and the merge is meaningless.
+  {
+    std::vector<char> covered(n, 0);
+    for (const auto& [addr, schedule] : schedules)
+      for (const OpRef ref : schedule) covered[flat(ref)] = 1;
+    for (std::uint32_t p = 0; p < k; ++p)
+      for (std::uint32_t i = 0; i < exec.history(p).size(); ++i)
+        if (!exec.history(p)[i].is_sync() && !covered[flat({p, i})])
+          return vmc::CheckResult::unknown(
+              "operation P" + std::to_string(p) + "[" + std::to_string(i) +
+              "] is not covered by any supplied schedule");
+  }
+
+  // Kahn topological sort.
+  std::vector<std::size_t> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (in_degree[v] == 0) ready.push_back(v);
+  Schedule witness;
+  witness.reserve(n);
+  auto unflatten = [&](std::size_t v) {
+    std::uint32_t p = 0;
+    while (offset[p + 1] <= v) ++p;
+    return OpRef{p, static_cast<std::uint32_t>(v - offset[p])};
+  };
+  while (!ready.empty()) {
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    witness.push_back(unflatten(v));
+    for (const std::size_t s : successors[v])
+      if (--in_degree[s] == 0) ready.push_back(s);
+  }
+  if (witness.size() != n)
+    return vmc::CheckResult::no(
+        "program order and the supplied per-address schedules form a cycle");
+
+  // Certify: by construction each per-address projection of the witness
+  // equals the supplied schedule, so reads observe the same writes; the
+  // validator makes that guarantee explicit.
+  const auto valid = check_sc_schedule(exec, witness);
+  if (!valid.ok)
+    return vmc::CheckResult::unknown(
+        "internal: merged schedule failed certification: " + valid.violation);
+  return vmc::CheckResult::yes(std::move(witness));
+}
+
+}  // namespace vermem::vsc

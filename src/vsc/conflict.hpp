@@ -1,0 +1,35 @@
+#pragma once
+// VSC-Conflict (Section 6.3): deciding sequential consistency when a
+// coherent schedule is supplied for every address.
+//
+// A per-address coherent schedule fixes a total order on that address's
+// operations (write serialization + read placements). Merging them with
+// program order gives a constraint graph; a sequentially consistent
+// schedule *respecting those per-address orders* exists iff the graph is
+// acyclic, and any topological order is a witness. O(n log n) overall
+// (O(n) here with hashing; the bound in the literature includes sorting).
+//
+// The catch — the paper's Section 6.3 point — is that the per-address
+// schedules are a *constraint*, not ground truth: a different set of
+// coherent schedules for the same execution might merge where this one
+// cycles. check_vscc (vscc.hpp) exposes exactly that gap.
+
+#include <unordered_map>
+
+#include "trace/execution.hpp"
+#include "trace/schedule.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::vsc {
+
+/// One coherent schedule per address, in original-execution coordinates.
+using CoherentSchedules = std::unordered_map<Addr, Schedule>;
+
+/// Decides whether the per-address schedules merge into a sequentially
+/// consistent schedule. kCoherent => witness included (and certified).
+/// kIncoherent means *these* schedules do not merge — the execution may
+/// still be SC under other coherent schedules.
+[[nodiscard]] vmc::CheckResult check_sc_conflict(const Execution& exec,
+                                                 const CoherentSchedules& schedules);
+
+}  // namespace vermem::vsc

@@ -1,0 +1,49 @@
+#include "vsc/vscc.hpp"
+
+namespace vermem::vsc {
+
+VsccReport check_vscc(const Execution& exec, const VsccOptions& options) {
+  VsccReport report;
+
+  report.coherence =
+      options.write_orders
+          ? vmc::verify_coherence_with_write_order(exec, *options.write_orders,
+                                                   options.coherence)
+          : vmc::verify_coherence(exec, options.coherence);
+
+  if (report.coherence.verdict == vmc::Verdict::kIncoherent) {
+    // Not coherent => certainly not sequentially consistent.
+    const auto* violation = report.coherence.first_violation();
+    report.sc = vmc::CheckResult::no(
+        "execution is not even coherent (address " +
+        std::to_string(violation ? violation->addr : 0) + ")");
+    report.conflict = report.sc;
+    return report;
+  }
+  if (report.coherence.verdict == vmc::Verdict::kUnknown) {
+    report.sc = vmc::CheckResult::unknown(
+        "coherence of some address could not be decided within budget");
+    report.conflict = report.sc;
+    return report;
+  }
+
+  // Merge the per-address witnesses.
+  CoherentSchedules schedules;
+  for (const auto& [addr, result] : report.coherence.addresses)
+    schedules[addr] = result.witness;
+  report.conflict = check_sc_conflict(exec, schedules);
+
+  if (report.conflict.verdict == vmc::Verdict::kCoherent ||
+      !options.fallback_to_exact_sc) {
+    report.sc = report.conflict;
+    return report;
+  }
+
+  // The merge failed; only the exact search can tell whether a different
+  // set of coherent schedules would have merged.
+  report.used_exact_fallback = true;
+  report.sc = check_sc_exact(exec, options.sc);
+  return report;
+}
+
+}  // namespace vermem::vsc

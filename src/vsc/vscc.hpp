@@ -1,0 +1,45 @@
+#pragma once
+// VSCC (Definition 6.2): verifying sequential consistency for executions
+// promised (or verified) to be coherent.
+//
+// Pipeline: (1) verify coherence per address, collecting witness
+// schedules; (2) attempt the O(n log n) VSC-Conflict merge of those
+// witnesses; (3) optionally fall back to the exact SC search when the
+// merge fails — because, as Section 6.3 stresses, a failed merge only
+// proves that *this* set of coherent schedules is wrong, not that the
+// execution is not SC. The report keeps all three stages visible so the
+// gap between the merge heuristic and the exact answer is measurable
+// (bench_fig62_vscc).
+
+#include "vmc/checker.hpp"
+#include "vsc/conflict.hpp"
+#include "vsc/exact.hpp"
+
+namespace vermem::vsc {
+
+struct VsccOptions {
+  vmc::ExactOptions coherence;  ///< budget for per-address coherence checks
+  ScOptions sc;                 ///< budget for the exact SC fallback
+  bool fallback_to_exact_sc = true;
+  /// Per-address write-orders (original coordinates). When supplied,
+  /// coherence is verified with the polynomial Section 5.2 algorithm —
+  /// the "information that makes verifying coherence tractable" setting
+  /// in which VSCC is *still* NP-complete.
+  const vmc::WriteOrderMap* write_orders = nullptr;
+};
+
+struct VsccReport {
+  /// Stage 1: per-address coherence (the promise check).
+  vmc::CoherenceReport coherence;
+  /// Stage 2: merge of the coherence witnesses (meaningful when stage 1
+  /// verified).
+  vmc::CheckResult conflict;
+  /// Final answer on "is the execution sequentially consistent".
+  vmc::CheckResult sc;
+  bool used_exact_fallback = false;
+};
+
+[[nodiscard]] VsccReport check_vscc(const Execution& exec,
+                                    const VsccOptions& options = {});
+
+}  // namespace vermem::vsc

@@ -1,0 +1,231 @@
+#include "workload/random.hpp"
+
+#include <algorithm>
+
+namespace vermem::workload {
+
+namespace {
+
+/// Picks a process that still has quota left, uniformly.
+std::size_t pick_process(const std::vector<std::size_t>& remaining,
+                         std::size_t total_left, Xoshiro256ss& rng) {
+  std::uint64_t target = rng.below(total_left);
+  for (std::size_t p = 0; p < remaining.size(); ++p) {
+    if (target < remaining[p]) return p;
+    target -= remaining[p];
+  }
+  return remaining.size() - 1;  // unreachable with consistent counts
+}
+
+}  // namespace
+
+GeneratedTrace generate_coherent(const SingleAddressParams& params,
+                                 Xoshiro256ss& rng) {
+  GeneratedTrace out;
+  std::vector<std::vector<Operation>> histories(params.num_histories);
+  std::vector<std::size_t> remaining(params.num_histories, params.ops_per_history);
+  std::size_t total = params.num_histories * params.ops_per_history;
+
+  Value current = 0;  // initial value; writes draw from 1..num_values
+  Value unique_counter = 0;
+  while (total > 0) {
+    const std::size_t p = pick_process(remaining, total, rng);
+    --remaining[p];
+    --total;
+
+    Operation op;
+    if (rng.chance(params.write_fraction)) {
+      const Value fresh = params.num_values == 0
+                              ? ++unique_counter
+                              : 1 + static_cast<Value>(rng.below(params.num_values));
+      op = rng.chance(params.rmw_fraction) ? RW(params.addr, current, fresh)
+                                           : W(params.addr, fresh);
+      current = fresh;
+    } else {
+      op = R(params.addr, current);
+    }
+    const OpRef ref{static_cast<std::uint32_t>(p),
+                    static_cast<std::uint32_t>(histories[p].size())};
+    histories[p].push_back(op);
+    out.witness.push_back(ref);
+    if (op.writes_memory()) out.write_order.push_back(ref);
+  }
+
+  for (auto& ops : histories)
+    out.execution.add_history(ProcessHistory{std::move(ops)});
+  out.execution.set_initial_value(params.addr, 0);
+  if (params.record_final_value)
+    out.execution.set_final_value(params.addr, current);
+  return out;
+}
+
+GeneratedMultiTrace generate_sc(const MultiAddressParams& params,
+                                Xoshiro256ss& rng) {
+  GeneratedMultiTrace out;
+  std::vector<std::vector<Operation>> histories(params.num_processes);
+  std::vector<std::size_t> remaining(params.num_processes, params.ops_per_process);
+  std::size_t total = params.num_processes * params.ops_per_process;
+
+  std::unordered_map<Addr, Value> memory;
+  auto value_of = [&](Addr a) {
+    const auto it = memory.find(a);
+    return it == memory.end() ? Value{0} : it->second;
+  };
+
+  while (total > 0) {
+    const std::size_t p = pick_process(remaining, total, rng);
+    --remaining[p];
+    --total;
+    const Addr addr = static_cast<Addr>(rng.below(params.num_addresses));
+
+    Operation op;
+    if (rng.chance(params.write_fraction)) {
+      const Value fresh = 1 + static_cast<Value>(rng.below(params.num_values));
+      op = rng.chance(params.rmw_fraction) ? RW(addr, value_of(addr), fresh)
+                                           : W(addr, fresh);
+      memory[addr] = fresh;
+    } else {
+      op = R(addr, value_of(addr));
+    }
+    const OpRef ref{static_cast<std::uint32_t>(p),
+                    static_cast<std::uint32_t>(histories[p].size())};
+    histories[p].push_back(op);
+    out.witness.push_back(ref);
+    if (op.writes_memory()) out.write_orders[addr].push_back(ref);
+  }
+
+  for (auto& ops : histories)
+    out.execution.add_history(ProcessHistory{std::move(ops)});
+  for (Addr a = 0; a < params.num_addresses; ++a)
+    out.execution.set_initial_value(a, 0);
+  if (params.record_final_values)
+    for (const auto& [addr, value] : memory)
+      out.execution.set_final_value(addr, value);
+  return out;
+}
+
+namespace {
+
+/// Value the location held immediately before each witness position, and
+/// the index of the write each pure read observed (SIZE_MAX = initial).
+struct WitnessView {
+  std::vector<Value> value_before;             // per witness position
+  std::vector<std::size_t> read_positions;     // positions of pure reads
+  std::vector<std::size_t> observed_write_at;  // per witness position (reads)
+};
+
+WitnessView view_of(const GeneratedTrace& trace) {
+  WitnessView view;
+  const auto& exec = trace.execution;
+  Value current = exec.initial_value(trace.execution.addresses().empty()
+                                         ? 0
+                                         : trace.execution.addresses()[0]);
+  std::size_t last_write = SIZE_MAX;
+  view.value_before.resize(trace.witness.size());
+  view.observed_write_at.assign(trace.witness.size(), SIZE_MAX);
+  for (std::size_t s = 0; s < trace.witness.size(); ++s) {
+    view.value_before[s] = current;
+    const Operation& op = exec.op(trace.witness[s]);
+    if (op.kind == OpKind::kRead) {
+      view.read_positions.push_back(s);
+      view.observed_write_at[s] = last_write;
+    }
+    if (op.writes_memory()) {
+      current = op.value_written;
+      last_write = s;
+    }
+  }
+  return view;
+}
+
+Execution with_read_value(const Execution& exec, OpRef ref, Value new_value) {
+  std::vector<ProcessHistory> histories;
+  histories.reserve(exec.num_processes());
+  for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
+    std::vector<Operation> ops = exec.history(p).ops();
+    if (p == ref.process) ops[ref.index].value_read = new_value;
+    histories.push_back(ProcessHistory{std::move(ops)});
+  }
+  Execution out{std::move(histories)};
+  for (const auto& [a, v] : exec.initial_values()) out.set_initial_value(a, v);
+  for (const auto& [a, v] : exec.final_values()) out.set_final_value(a, v);
+  return out;
+}
+
+Execution with_swapped_ops(const Execution& exec, std::uint32_t process,
+                           std::uint32_t index) {
+  std::vector<ProcessHistory> histories;
+  histories.reserve(exec.num_processes());
+  for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
+    std::vector<Operation> ops = exec.history(p).ops();
+    if (p == process) std::swap(ops[index], ops[index + 1]);
+    histories.push_back(ProcessHistory{std::move(ops)});
+  }
+  Execution out{std::move(histories)};
+  for (const auto& [a, v] : exec.initial_values()) out.set_initial_value(a, v);
+  for (const auto& [a, v] : exec.final_values()) out.set_final_value(a, v);
+  return out;
+}
+
+}  // namespace
+
+std::optional<Execution> inject_fault(const GeneratedTrace& trace, Fault fault,
+                                      Xoshiro256ss& rng) {
+  const Execution& exec = trace.execution;
+  const WitnessView view = view_of(trace);
+
+  switch (fault) {
+    case Fault::kStaleRead: {
+      // Reads whose prefix held some different value earlier.
+      std::vector<std::pair<std::size_t, Value>> sites;
+      for (const std::size_t s : view.read_positions) {
+        const Value observed = exec.op(trace.witness[s]).value_read;
+        for (std::size_t t = 0; t < s; ++t) {
+          if (view.value_before[t] != observed) {
+            sites.emplace_back(s, view.value_before[t]);
+            break;  // one stale candidate per read is enough
+          }
+        }
+      }
+      if (sites.empty()) return std::nullopt;
+      const auto [s, stale] = sites[rng.below(sites.size())];
+      return with_read_value(exec, trace.witness[s], stale);
+    }
+
+    case Fault::kLostWrite: {
+      // A read that observed write w starts reporting the value from just
+      // before w — as if w's invalidation/update never reached it.
+      std::vector<std::size_t> sites;
+      for (const std::size_t s : view.read_positions)
+        if (view.observed_write_at[s] != SIZE_MAX) sites.push_back(s);
+      if (sites.empty()) return std::nullopt;
+      const std::size_t s = sites[rng.below(sites.size())];
+      const std::size_t w = view.observed_write_at[s];
+      return with_read_value(exec, trace.witness[s], view.value_before[w]);
+    }
+
+    case Fault::kFabricatedRead: {
+      if (view.read_positions.empty()) return std::nullopt;
+      const std::size_t s =
+          view.read_positions[rng.below(view.read_positions.size())];
+      // A value outside every generator range: never written, not initial.
+      const Value bogus = -42 - static_cast<Value>(rng.below(1000));
+      return with_read_value(exec, trace.witness[s], bogus);
+    }
+
+    case Fault::kReorderedOps: {
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> sites;
+      for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
+        const auto& ops = exec.history(p).ops();
+        for (std::uint32_t i = 0; i + 1 < ops.size(); ++i)
+          if (!(ops[i] == ops[i + 1])) sites.emplace_back(p, i);
+      }
+      if (sites.empty()) return std::nullopt;
+      const auto [p, i] = sites[rng.below(sites.size())];
+      return with_swapped_ops(exec, p, i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vermem::workload

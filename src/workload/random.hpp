@@ -1,0 +1,94 @@
+#pragma once
+// Synthetic trace generators.
+//
+// Coherent (resp. sequentially consistent) executions are produced by
+// actually simulating a serial interleaving and recording what each read
+// observed — so they are correct by construction and come with a
+// ground-truth witness schedule and write-order. Violation generators
+// then perturb a correct trace in controlled ways; each perturbation
+// targets a specific failure mode a broken memory system could exhibit.
+
+#include <optional>
+
+#include "support/rng.hpp"
+#include "trace/execution.hpp"
+#include "trace/schedule.hpp"
+
+namespace vermem::workload {
+
+struct SingleAddressParams {
+  std::size_t num_histories = 4;
+  std::size_t ops_per_history = 8;
+  /// Distinct data values writes draw from (small values force write
+  /// collisions, the regime where VMC search is hard). 0 means every
+  /// write produces a globally fresh value — the "read-map known" regime
+  /// of Figure 5.3.
+  std::size_t num_values = 4;
+  double write_fraction = 0.4;  ///< probability an op writes (W or RMW)
+  double rmw_fraction = 0.1;    ///< probability a writing op is an RMW
+  bool record_final_value = true;
+  Addr addr = 0;
+};
+
+struct GeneratedTrace {
+  Execution execution;
+  Schedule witness;                    ///< the generating interleaving
+  std::vector<OpRef> write_order;      ///< writes in generation order
+};
+
+/// Generates a coherent-by-construction single-address execution.
+[[nodiscard]] GeneratedTrace generate_coherent(const SingleAddressParams& params,
+                                               Xoshiro256ss& rng);
+
+struct MultiAddressParams {
+  std::size_t num_processes = 4;
+  std::size_t ops_per_process = 16;
+  std::size_t num_addresses = 4;
+  std::size_t num_values = 4;
+  double write_fraction = 0.4;
+  double rmw_fraction = 0.0;
+  bool record_final_values = true;
+};
+
+struct GeneratedMultiTrace {
+  Execution execution;
+  Schedule witness;  ///< sequentially consistent generating interleaving
+  /// Per-address write orders, original coordinates.
+  std::unordered_map<Addr, std::vector<OpRef>> write_orders;
+};
+
+/// Generates a sequentially-consistent-by-construction execution over
+/// several addresses (hence also coherent per address).
+[[nodiscard]] GeneratedMultiTrace generate_sc(const MultiAddressParams& params,
+                                              Xoshiro256ss& rng);
+
+/// Trace perturbations modeling memory-system failure modes. Each returns
+/// nullopt when the trace has no site where the fault can be planted.
+enum class Fault : std::uint8_t {
+  kStaleRead,     ///< a read returns an earlier (overwritten) value
+  kLostWrite,     ///< a read returns a value as if some write never happened
+  kFabricatedRead,///< a read returns a value nobody ever wrote
+  kReorderedOps,  ///< two adjacent ops of one history are swapped
+};
+
+[[nodiscard]] constexpr const char* to_string(Fault f) noexcept {
+  switch (f) {
+    case Fault::kStaleRead: return "stale-read";
+    case Fault::kLostWrite: return "lost-write";
+    case Fault::kFabricatedRead: return "fabricated-read";
+    case Fault::kReorderedOps: return "reordered-ops";
+  }
+  return "?";
+}
+
+/// Applies one fault to a copy of the execution. The perturbation is
+/// *targeted* (e.g. kStaleRead rewrites a read that had observed a
+/// fresh value into one observing the overwritten value), but it is not
+/// guaranteed to make the execution incoherent — a stale value can
+/// coincide with another legal schedule. Detection-rate experiments
+/// measure exactly this gap.
+[[nodiscard]] std::optional<Execution> inject_fault(const GeneratedTrace& trace,
+                                                    Fault fault,
+                                                    Xoshiro256ss& rng);
+
+}  // namespace vermem::workload

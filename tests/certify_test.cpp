@@ -1,0 +1,305 @@
+// Tests for the certification layer: RUP proof logging/checking, the
+// naive whole-order encoding as an independent oracle, and the bounded-k
+// BFS checker against the DFS exact search.
+
+#include <gtest/gtest.h>
+
+#include "encode/naive.hpp"
+#include "encode/vmc_to_cnf.hpp"
+#include "encode/vsc_to_cnf.hpp"
+#include "sat/brute.hpp"
+#include "sat/gen.hpp"
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+#include "trace/schedule.hpp"
+#include "vmc/bounded.hpp"
+#include "vmc/exact.hpp"
+#include "vsc/exact.hpp"
+#include "workload/random.hpp"
+
+#include "reductions/sat_to_vscc.hpp"
+
+namespace vermem {
+namespace {
+
+using workload::Fault;
+
+Execution reductions_vscc(const sat::Cnf& cnf) {
+  return reductions::sat_to_vscc(cnf).execution;
+}
+
+// ---- RUP proofs ----------------------------------------------------------
+
+TEST(RupProof, PigeonholeRefutationsCheck) {
+  for (const std::size_t holes : {2, 3, 4, 5}) {
+    const sat::Cnf cnf = sat::pigeonhole(holes);
+    sat::SolverOptions options;
+    options.log_proof = true;
+    const auto result = sat::solve(cnf, options);
+    ASSERT_EQ(result.status, sat::Status::kUnsat);
+    ASSERT_FALSE(result.proof.empty());
+    EXPECT_TRUE(result.proof.back().empty());
+    EXPECT_TRUE(sat::check_rup_proof(cnf, result.proof)) << "holes=" << holes;
+  }
+}
+
+TEST(RupProof, RandomUnsatRefutationsCheck) {
+  Xoshiro256ss rng(3);
+  int unsat_seen = 0;
+  for (int trial = 0; trial < 60 && unsat_seen < 15; ++trial) {
+    const auto nvars = static_cast<sat::Var>(5 + rng.below(8));
+    const sat::Cnf cnf = sat::random_ksat(nvars, nvars * 6, 3, rng);
+    sat::SolverOptions options;
+    options.log_proof = true;
+    const auto result = sat::solve(cnf, options);
+    if (result.status != sat::Status::kUnsat) continue;
+    ++unsat_seen;
+    EXPECT_TRUE(sat::check_rup_proof(cnf, result.proof));
+  }
+  EXPECT_GE(unsat_seen, 5);
+}
+
+TEST(RupProof, FeatureVariantsStillProduceValidProofs) {
+  const sat::Cnf cnf = sat::pigeonhole(4);
+  for (const bool vsids : {true, false}) {
+    for (const bool minimize : {true, false}) {
+      sat::SolverOptions options;
+      options.log_proof = true;
+      options.use_vsids = vsids;
+      options.minimize_learned = minimize;
+      const auto result = sat::solve(cnf, options);
+      ASSERT_EQ(result.status, sat::Status::kUnsat);
+      EXPECT_TRUE(sat::check_rup_proof(cnf, result.proof))
+          << "vsids=" << vsids << " minimize=" << minimize;
+    }
+  }
+}
+
+TEST(RupProof, RejectsBogusSteps) {
+  const sat::Cnf cnf = sat::pigeonhole(3);
+  // A non-RUP first step: a fresh unit clause unrelated to the formula.
+  sat::Proof bogus{{sat::pos(0)}, {}};
+  EXPECT_FALSE(sat::check_rup_proof(cnf, bogus));
+  // A proof that never derives the empty clause fails too.
+  sat::SolverOptions options;
+  options.log_proof = true;
+  auto result = sat::solve(cnf, options);
+  ASSERT_EQ(result.status, sat::Status::kUnsat);
+  auto truncated = result.proof;
+  truncated.pop_back();
+  // Dropping the empty clause may leave a "proof" whose steps all check
+  // but which concludes nothing.
+  EXPECT_FALSE(sat::check_rup_proof(cnf, truncated));
+}
+
+TEST(RupProof, SatisfiableFormulaHasNoRefutation) {
+  sat::Cnf cnf;
+  cnf.reserve_vars(2);
+  cnf.add_binary(sat::pos(0), sat::pos(1));
+  // The empty clause is not RUP for a satisfiable formula.
+  EXPECT_FALSE(sat::check_rup_proof(cnf, {{}}));
+}
+
+TEST(RupProof, ConflictingUnitsProofChecks) {
+  sat::Cnf cnf;
+  cnf.reserve_vars(1);
+  cnf.add_unit(sat::pos(0));
+  cnf.add_unit(sat::neg(0));
+  sat::SolverOptions options;
+  options.log_proof = true;
+  const auto result = sat::solve(cnf, options);
+  ASSERT_EQ(result.status, sat::Status::kUnsat);
+  EXPECT_TRUE(sat::check_rup_proof(cnf, result.proof));
+}
+
+// ---- Naive encoding as independent oracle ---------------------------------
+
+TEST(NaiveEncoding, AgreesWithProductionEncoderAndExact) {
+  Xoshiro256ss rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    workload::SingleAddressParams params;
+    params.num_histories = 2 + rng.below(3);
+    params.ops_per_history = 2 + rng.below(4);
+    params.num_values = 2 + rng.below(3);
+    params.rmw_fraction = rng.uniform01() * 0.4;
+    const auto trace = workload::generate_coherent(params, rng);
+
+    std::vector<Execution> cases{trace.execution};
+    for (const Fault f : {Fault::kStaleRead, Fault::kLostWrite}) {
+      if (auto faulted = workload::inject_fault(trace, f, rng))
+        cases.push_back(std::move(*faulted));
+    }
+    for (const auto& exec : cases) {
+      const vmc::VmcInstance instance{exec, 0};
+      const auto naive = encode::check_via_sat_naive(instance);
+      const auto production = encode::check_via_sat(instance);
+      const auto exact = vmc::check_exact(instance);
+      ASSERT_NE(naive.verdict, vmc::Verdict::kUnknown) << naive.note;
+      EXPECT_EQ(naive.verdict, exact.verdict);
+      EXPECT_EQ(production.verdict, exact.verdict);
+      if (naive.verdict == vmc::Verdict::kCoherent) {
+        const auto valid = check_coherent_schedule(exec, 0, naive.witness);
+        EXPECT_TRUE(valid.ok) << valid.violation;
+      }
+    }
+  }
+}
+
+TEST(NaiveEncoding, ProductionEncodingIsSmaller) {
+  Xoshiro256ss rng(11);
+  workload::SingleAddressParams params;
+  params.num_histories = 4;
+  params.ops_per_history = 8;
+  params.write_fraction = 0.3;  // read-heavy: where the gap is largest
+  const auto trace = workload::generate_coherent(params, rng);
+  const vmc::VmcInstance instance{trace.execution, 0};
+  const auto naive = encode::encode_vmc_naive(instance);
+  const auto production = encode::encode_vmc(instance);
+  EXPECT_LT(production.cnf.num_vars, naive.cnf.num_vars);
+  EXPECT_LT(production.cnf.num_clauses(), naive.cnf.num_clauses());
+}
+
+TEST(NaiveEncoding, TrivialRejections) {
+  const auto exec = ExecutionBuilder().process(R(0, 9)).build();
+  EXPECT_EQ(encode::check_via_sat_naive({exec, 0}).verdict,
+            vmc::Verdict::kIncoherent);
+  const auto final_bad =
+      ExecutionBuilder().process(W(0, 1)).final_value(0, 7).build();
+  EXPECT_EQ(encode::check_via_sat_naive({final_bad, 0}).verdict,
+            vmc::Verdict::kIncoherent);
+}
+
+// ---- Bounded-k BFS vs DFS exact -------------------------------------------
+
+TEST(BoundedK, AgreesWithExactOnRandomTraces) {
+  Xoshiro256ss rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    workload::SingleAddressParams params;
+    params.num_histories = 2 + rng.below(3);
+    params.ops_per_history = 2 + rng.below(6);
+    params.num_values = 2 + rng.below(3);
+    params.rmw_fraction = rng.uniform01() * 0.5;
+    const auto trace = workload::generate_coherent(params, rng);
+
+    std::vector<Execution> cases{trace.execution};
+    for (const Fault f : {Fault::kStaleRead, Fault::kFabricatedRead,
+                          Fault::kReorderedOps}) {
+      if (auto faulted = workload::inject_fault(trace, f, rng))
+        cases.push_back(std::move(*faulted));
+    }
+    for (const auto& exec : cases) {
+      const vmc::VmcInstance instance{exec, 0};
+      const auto bfs = vmc::check_bounded_k(instance);
+      const auto dfs = vmc::check_exact(instance);
+      ASSERT_NE(bfs.verdict, vmc::Verdict::kUnknown);
+      EXPECT_EQ(bfs.verdict, dfs.verdict);
+      if (bfs.verdict == vmc::Verdict::kCoherent) {
+        const auto valid = check_coherent_schedule(exec, 0, bfs.witness);
+        EXPECT_TRUE(valid.ok) << valid.violation;
+      }
+    }
+  }
+}
+
+TEST(BoundedK, HonorsHistoryCap) {
+  const auto exec =
+      ExecutionBuilder().process(W(0, 1)).process(W(0, 2)).process(R(0, 1)).build();
+  vmc::BoundedKOptions options;
+  options.max_histories = 2;
+  EXPECT_EQ(vmc::check_bounded_k({exec, 0}, options).verdict,
+            vmc::Verdict::kUnknown);
+}
+
+TEST(BoundedK, EmptyAndFinalValueEdges) {
+  EXPECT_EQ(vmc::check_bounded_k({Execution{}, 0}).verdict,
+            vmc::Verdict::kCoherent);
+  auto exec = ExecutionBuilder().process(W(0, 1)).process(W(0, 2)).build();
+  exec.set_final_value(0, 1);
+  const auto result = vmc::check_bounded_k({exec, 0});
+  ASSERT_EQ(result.verdict, vmc::Verdict::kCoherent);
+  EXPECT_EQ(exec.op(result.witness.back()), W(0, 1));
+}
+
+TEST(BoundedK, StateBudgetYieldsUnknown) {
+  Xoshiro256ss rng(17);
+  workload::SingleAddressParams params;
+  params.num_histories = 6;
+  params.ops_per_history = 8;
+  const auto trace = workload::generate_coherent(params, rng);
+  vmc::BoundedKOptions options;
+  options.max_states = 2;
+  EXPECT_EQ(vmc::check_bounded_k({trace.execution, 0}, options).verdict,
+            vmc::Verdict::kUnknown);
+}
+
+// ---- SC via SAT -----------------------------------------------------------
+
+TEST(ScViaSat, AgreesWithExactScOnGeneratedTraces) {
+  Xoshiro256ss rng(19);
+  for (int trial = 0; trial < 12; ++trial) {
+    workload::MultiAddressParams params;
+    params.num_processes = 2 + rng.below(2);
+    params.ops_per_process = 2 + rng.below(5);
+    params.num_addresses = 1 + rng.below(3);
+    const auto trace = workload::generate_sc(params, rng);
+    const auto via_sat = encode::check_sc_via_sat(trace.execution);
+    ASSERT_NE(via_sat.verdict, vmc::Verdict::kUnknown) << via_sat.note;
+    EXPECT_EQ(via_sat.verdict, vmc::Verdict::kCoherent);
+    const auto valid = check_sc_schedule(trace.execution, via_sat.witness);
+    EXPECT_TRUE(valid.ok) << valid.violation;
+  }
+}
+
+TEST(ScViaSat, RejectsClassicLitmusViolations) {
+  // MP and SB shapes (non-SC but coherent) must come back unsatisfiable.
+  const auto mp = ExecutionBuilder()
+                      .process(W(0, 1), W(1, 1))
+                      .process(R(1, 1), R(0, 0))
+                      .build();
+  EXPECT_EQ(encode::check_sc_via_sat(mp).verdict, vmc::Verdict::kIncoherent);
+  const auto sb = ExecutionBuilder()
+                      .process(W(0, 1), R(1, 0))
+                      .process(W(1, 1), R(0, 0))
+                      .build();
+  EXPECT_EQ(encode::check_sc_via_sat(sb).verdict, vmc::Verdict::kIncoherent);
+  const auto iriw = ExecutionBuilder()
+                        .process(W(0, 1))
+                        .process(W(1, 1))
+                        .process(R(0, 1), R(1, 0))
+                        .process(R(1, 1), R(0, 0))
+                        .build();
+  EXPECT_EQ(encode::check_sc_via_sat(iriw).verdict, vmc::Verdict::kIncoherent);
+}
+
+TEST(ScViaSat, AgreesWithExactOnVsccReductions) {
+  Xoshiro256ss rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto cnf = sat::random_ksat(3, 1 + rng.below(4), 3, rng);
+    const bool satisfiable = sat::solve_brute(cnf).has_value();
+    const auto red = reductions_vscc(cnf);
+    const auto via_sat = encode::check_sc_via_sat(red);
+    ASSERT_NE(via_sat.verdict, vmc::Verdict::kUnknown) << via_sat.note;
+    EXPECT_EQ(via_sat.verdict == vmc::Verdict::kCoherent, satisfiable);
+  }
+}
+
+TEST(ScViaSat, FinalValuesRespected) {
+  auto exec = ExecutionBuilder().process(W(0, 1)).process(W(0, 2)).build();
+  exec.set_final_value(0, 1);
+  const auto result = encode::check_sc_via_sat(exec);
+  ASSERT_EQ(result.verdict, vmc::Verdict::kCoherent);
+  EXPECT_EQ(exec.op(result.witness.back()), W(0, 1));
+  exec.set_final_value(0, 9);
+  EXPECT_EQ(encode::check_sc_via_sat(exec).verdict, vmc::Verdict::kIncoherent);
+}
+
+TEST(ScViaSat, SyncOpsOrderOnly) {
+  const auto exec = ExecutionBuilder()
+                        .process(Acq(9), W(0, 1), Rel(9))
+                        .process(Acq(9), R(0, 1), Rel(9))
+                        .build();
+  EXPECT_EQ(encode::check_sc_via_sat(exec).verdict, vmc::Verdict::kCoherent);
+}
+
+}  // namespace
+}  // namespace vermem

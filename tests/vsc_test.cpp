@@ -1,0 +1,240 @@
+// Tests for the VSC machinery: exact SC search, VSC-Conflict merge, and
+// the VSCC pipeline, including the Section 6.3 phenomenon (a wrong set of
+// coherent schedules can fail to merge even when the execution is SC).
+
+#include <gtest/gtest.h>
+
+#include "trace/schedule.hpp"
+#include "vmc/checker.hpp"
+#include "vsc/conflict.hpp"
+#include "vsc/exact.hpp"
+#include "vsc/vscc.hpp"
+#include "workload/random.hpp"
+
+namespace vermem::vsc {
+namespace {
+
+using vmc::Verdict;
+
+// Classic message-passing violation: coherent per address, not SC.
+Execution mp_violation() {
+  return ExecutionBuilder()
+      .process(W(0, 1), W(1, 1))
+      .process(R(1, 1), R(0, 0))
+      .build();
+}
+
+TEST(ScExact, EmptyExecution) {
+  EXPECT_EQ(check_sc_exact(Execution{}).verdict, Verdict::kCoherent);
+}
+
+TEST(ScExact, MpViolationIsNotSc) {
+  EXPECT_EQ(check_sc_exact(mp_violation()).verdict, Verdict::kIncoherent);
+}
+
+TEST(ScExact, MpViolationIsCoherentPerAddress) {
+  EXPECT_TRUE(vmc::verify_coherence(mp_violation()).coherent());
+}
+
+TEST(ScExact, StoreBufferingIsNotSc) {
+  // Dekker/store-buffer litmus: both processes read 0 after writing.
+  const auto exec = ExecutionBuilder()
+                        .process(W(0, 1), R(1, 0))
+                        .process(W(1, 1), R(0, 0))
+                        .build();
+  EXPECT_EQ(check_sc_exact(exec).verdict, Verdict::kIncoherent);
+  EXPECT_TRUE(vmc::verify_coherence(exec).coherent());
+}
+
+TEST(ScExact, IriwIsNotSc) {
+  // Independent reads of independent writes, observed in opposite orders.
+  const auto exec = ExecutionBuilder()
+                        .process(W(0, 1))
+                        .process(W(1, 1))
+                        .process(R(0, 1), R(1, 0))
+                        .process(R(1, 1), R(0, 0))
+                        .build();
+  EXPECT_EQ(check_sc_exact(exec).verdict, Verdict::kIncoherent);
+  EXPECT_TRUE(vmc::verify_coherence(exec).coherent());
+}
+
+TEST(ScExact, WitnessValidatesOnGeneratedTraces) {
+  Xoshiro256ss rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    workload::MultiAddressParams params;
+    params.num_processes = 2 + rng.below(3);
+    params.ops_per_process = 2 + rng.below(8);
+    params.num_addresses = 1 + rng.below(3);
+    const auto trace = workload::generate_sc(params, rng);
+    const auto result = check_sc_exact(trace.execution);
+    ASSERT_EQ(result.verdict, Verdict::kCoherent);
+    const auto valid = check_sc_schedule(trace.execution, result.witness);
+    EXPECT_TRUE(valid.ok) << valid.violation;
+  }
+}
+
+TEST(ScExact, AblationModesAgree) {
+  Xoshiro256ss rng(3);
+  workload::MultiAddressParams params;
+  params.num_processes = 3;
+  params.ops_per_process = 5;
+  params.num_addresses = 2;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto trace = workload::generate_sc(params, rng);
+    const auto baseline = check_sc_exact(trace.execution);
+    for (const bool eager : {true, false}) {
+      for (const bool memo : {true, false}) {
+        ScOptions options;
+        options.eager_reads = eager;
+        options.memoize = memo;
+        EXPECT_EQ(check_sc_exact(trace.execution, options).verdict,
+                  baseline.verdict);
+      }
+    }
+  }
+}
+
+TEST(ScExact, BudgetYieldsUnknown) {
+  Xoshiro256ss rng(5);
+  workload::MultiAddressParams params;
+  params.num_processes = 6;
+  params.ops_per_process = 10;
+  const auto trace = workload::generate_sc(params, rng);
+  ScOptions options;
+  options.max_states = 1;
+  EXPECT_EQ(check_sc_exact(trace.execution, options).verdict, Verdict::kUnknown);
+}
+
+TEST(ScExact, FinalValuesEnforced) {
+  auto exec = ExecutionBuilder().process(W(0, 1)).process(W(0, 2)).build();
+  exec.set_final_value(0, 1);
+  const auto result = check_sc_exact(exec);
+  ASSERT_EQ(result.verdict, Verdict::kCoherent);
+  EXPECT_EQ(exec.op(result.witness.back()), W(0, 1));
+}
+
+// ---- VSC-Conflict --------------------------------------------------------
+
+TEST(Conflict, MergesConsistentSchedules) {
+  Xoshiro256ss rng(7);
+  workload::MultiAddressParams params;
+  params.num_processes = 4;
+  params.ops_per_process = 12;
+  params.num_addresses = 3;
+  const auto trace = workload::generate_sc(params, rng);
+
+  // Derive per-address schedules from the generating interleaving itself:
+  // these are guaranteed to merge.
+  CoherentSchedules schedules;
+  for (const OpRef ref : trace.witness)
+    schedules[trace.execution.op(ref).addr].push_back(ref);
+
+  const auto result = check_sc_conflict(trace.execution, schedules);
+  ASSERT_EQ(result.verdict, Verdict::kCoherent) << result.note;
+  const auto valid = check_sc_schedule(trace.execution, result.witness);
+  EXPECT_TRUE(valid.ok) << valid.violation;
+}
+
+TEST(Conflict, RejectsInvalidSuppliedSchedule) {
+  const auto exec = ExecutionBuilder().process(W(0, 1), R(0, 1)).build();
+  CoherentSchedules schedules;
+  schedules[0] = {{0, 1}, {0, 0}};  // violates program order
+  EXPECT_EQ(check_sc_conflict(exec, schedules).verdict, Verdict::kUnknown);
+}
+
+TEST(Conflict, RejectsUncoveredOperations) {
+  const auto exec = ExecutionBuilder().process(W(0, 1), W(1, 1)).build();
+  CoherentSchedules schedules;
+  schedules[0] = {{0, 0}};  // address 1 missing
+  EXPECT_EQ(check_sc_conflict(exec, schedules).verdict, Verdict::kUnknown);
+}
+
+TEST(Conflict, DetectsCrossAddressCycle) {
+  // Store-buffer execution *with per-address schedules forced*: merging
+  // must fail (the execution itself is not SC).
+  const auto exec = ExecutionBuilder()
+                        .process(W(0, 1), R(1, 0))
+                        .process(W(1, 1), R(0, 0))
+                        .build();
+  // Coherence on each address forces: R(1,0) before W(1,1); R(0,0) before
+  // W(0,1).
+  CoherentSchedules schedules;
+  schedules[0] = {{1, 1}, {0, 0}};
+  schedules[1] = {{0, 1}, {1, 0}};
+  EXPECT_EQ(check_sc_conflict(exec, schedules).verdict, Verdict::kIncoherent);
+}
+
+// ---- VSCC pipeline --------------------------------------------------------
+
+TEST(Vscc, ScTraceVerifiesWithoutFallback) {
+  Xoshiro256ss rng(11);
+  workload::MultiAddressParams params;
+  params.num_processes = 3;
+  params.ops_per_process = 8;
+  params.num_addresses = 2;
+  const auto trace = workload::generate_sc(params, rng);
+  const auto report = check_vscc(trace.execution);
+  EXPECT_TRUE(report.coherence.coherent());
+  EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.note;
+}
+
+TEST(Vscc, IncoherentExecutionShortCircuits) {
+  const auto exec = ExecutionBuilder()
+                        .process(W(0, 1))
+                        .process(W(0, 2))
+                        .process(R(0, 1), R(0, 2))
+                        .process(R(0, 2), R(0, 1))
+                        .build();
+  const auto report = check_vscc(exec);
+  EXPECT_EQ(report.coherence.verdict, Verdict::kIncoherent);
+  EXPECT_EQ(report.sc.verdict, Verdict::kIncoherent);
+  EXPECT_FALSE(report.used_exact_fallback);
+}
+
+TEST(Vscc, CoherentButNotScIsRejected) {
+  const auto report = check_vscc(mp_violation());
+  EXPECT_TRUE(report.coherence.coherent());
+  EXPECT_EQ(report.sc.verdict, Verdict::kIncoherent);
+}
+
+TEST(Vscc, WriteOrderPathAgrees) {
+  Xoshiro256ss rng(13);
+  workload::MultiAddressParams params;
+  params.num_processes = 4;
+  params.ops_per_process = 10;
+  params.num_addresses = 3;
+  const auto trace = workload::generate_sc(params, rng);
+  VsccOptions options;
+  options.write_orders = &trace.write_orders;
+  const auto report = check_vscc(trace.execution, options);
+  EXPECT_TRUE(report.coherence.coherent());
+  EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.note;
+}
+
+TEST(Vscc, FallbackRescuesWrongScheduleSets) {
+  // Section 6.3: when the conflict merge fails, the exact search may still
+  // prove SC. Hunt for a trace where the independently-recomputed
+  // coherent schedules fail to merge; regardless of whether we find one,
+  // the final verdict must always match the exact checker.
+  Xoshiro256ss rng(17);
+  int merges_failed = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    workload::MultiAddressParams params;
+    params.num_processes = 2 + rng.below(3);
+    params.ops_per_process = 3 + rng.below(6);
+    params.num_addresses = 2 + rng.below(2);
+    params.num_values = 2;
+    const auto trace = workload::generate_sc(params, rng);
+    const auto report = check_vscc(trace.execution);
+    EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.note;
+    if (report.used_exact_fallback) ++merges_failed;
+  }
+  // Not asserted — the count is workload-dependent — but record it so a
+  // regression to "always falls back" or "never exercises the merge" is
+  // visible in the test log.
+  std::cout << "[ info ] conflict merge fell back " << merges_failed
+            << "/40 times\n";
+}
+
+}  // namespace
+}  // namespace vermem::vsc

@@ -1,0 +1,197 @@
+// Tests for the workload generators: structural invariants, coherence/SC
+// by construction (via the certificate validators, not the searchers),
+// determinism, and fault-site behavior.
+
+#include <gtest/gtest.h>
+
+#include "trace/schedule.hpp"
+#include "workload/random.hpp"
+
+namespace vermem::workload {
+namespace {
+
+TEST(GenerateCoherent, ShapeMatchesParams) {
+  Xoshiro256ss rng(1);
+  SingleAddressParams params;
+  params.num_histories = 5;
+  params.ops_per_history = 9;
+  const auto trace = generate_coherent(params, rng);
+  EXPECT_EQ(trace.execution.num_processes(), 5u);
+  for (const auto& history : trace.execution.histories())
+    EXPECT_EQ(history.size(), 9u);
+  EXPECT_EQ(trace.witness.size(), 45u);
+}
+
+TEST(GenerateCoherent, WitnessValidatesByConstruction) {
+  Xoshiro256ss rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    SingleAddressParams params;
+    params.num_histories = 1 + rng.below(6);
+    params.ops_per_history = 1 + rng.below(12);
+    params.num_values = 1 + rng.below(6);
+    params.write_fraction = rng.uniform01();
+    params.rmw_fraction = rng.uniform01();
+    const auto trace = generate_coherent(params, rng);
+    const auto valid =
+        check_coherent_schedule(trace.execution, params.addr, trace.witness);
+    EXPECT_TRUE(valid.ok) << valid.violation;
+  }
+}
+
+TEST(GenerateCoherent, WriteOrderIsWitnessSubsequence) {
+  Xoshiro256ss rng(3);
+  SingleAddressParams params;
+  const auto trace = generate_coherent(params, rng);
+  std::size_t cursor = 0;
+  for (const OpRef ref : trace.witness) {
+    if (cursor < trace.write_order.size() && trace.write_order[cursor] == ref)
+      ++cursor;
+  }
+  EXPECT_EQ(cursor, trace.write_order.size());
+  for (const OpRef ref : trace.write_order)
+    EXPECT_TRUE(trace.execution.op(ref).writes_memory());
+}
+
+TEST(GenerateCoherent, UniqueValueModeNeverRepeatsWrites) {
+  Xoshiro256ss rng(4);
+  SingleAddressParams params;
+  params.num_histories = 6;
+  params.ops_per_history = 20;
+  params.num_values = 0;  // unique mode
+  const auto trace = generate_coherent(params, rng);
+  std::unordered_map<Value, int> writes;
+  for (const auto& history : trace.execution.histories())
+    for (const auto& op : history) {
+      if (op.writes_memory()) {
+        EXPECT_EQ(++writes[op.value_written], 1);
+      }
+    }
+}
+
+TEST(GenerateCoherent, DeterministicPerSeed) {
+  SingleAddressParams params;
+  Xoshiro256ss a(9), b(9), c(10);
+  EXPECT_EQ(generate_coherent(params, a).execution,
+            generate_coherent(params, b).execution);
+  EXPECT_NE(generate_coherent(params, a).execution,
+            generate_coherent(params, c).execution);
+}
+
+TEST(GenerateSc, WitnessValidatesByConstruction) {
+  Xoshiro256ss rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    MultiAddressParams params;
+    params.num_processes = 1 + rng.below(5);
+    params.ops_per_process = 1 + rng.below(20);
+    params.num_addresses = 1 + rng.below(5);
+    const auto trace = generate_sc(params, rng);
+    const auto valid = check_sc_schedule(trace.execution, trace.witness);
+    EXPECT_TRUE(valid.ok) << valid.violation;
+  }
+}
+
+TEST(GenerateSc, PerAddressWriteOrdersCoverAllWrites) {
+  Xoshiro256ss rng(6);
+  MultiAddressParams params;
+  const auto trace = generate_sc(params, rng);
+  std::size_t recorded = 0;
+  for (const auto& [addr, order] : trace.write_orders) {
+    recorded += order.size();
+    for (const OpRef ref : order) {
+      EXPECT_TRUE(trace.execution.op(ref).writes_memory());
+      EXPECT_EQ(trace.execution.op(ref).addr, addr);
+    }
+  }
+  std::size_t writes = 0;
+  for (const auto& history : trace.execution.histories())
+    for (const auto& op : history) writes += op.writes_memory();
+  EXPECT_EQ(recorded, writes);
+}
+
+// --- Fault injection --------------------------------------------------
+
+TEST(InjectFault, FabricatedReadAlwaysBreaksValidation) {
+  Xoshiro256ss rng(7);
+  SingleAddressParams params;
+  const auto trace = generate_coherent(params, rng);
+  const auto faulted = inject_fault(trace, Fault::kFabricatedRead, rng);
+  ASSERT_TRUE(faulted.has_value());
+  // The original witness can no longer validate the mutated trace.
+  const auto valid = check_coherent_schedule(*faulted, params.addr, trace.witness);
+  EXPECT_FALSE(valid.ok);
+}
+
+TEST(InjectFault, MutationsChangeExactlyTheTargetedSite) {
+  Xoshiro256ss rng(8);
+  SingleAddressParams params;
+  const auto trace = generate_coherent(params, rng);
+  for (const Fault f : {Fault::kStaleRead, Fault::kLostWrite,
+                        Fault::kFabricatedRead}) {
+    const auto faulted = inject_fault(trace, f, rng);
+    if (!faulted) continue;
+    // Exactly one operation differs, and only in its read value.
+    std::size_t diffs = 0;
+    for (std::uint32_t p = 0; p < trace.execution.num_processes(); ++p) {
+      for (std::uint32_t i = 0; i < trace.execution.history(p).size(); ++i) {
+        const Operation& before = trace.execution.history(p)[i];
+        const Operation& after = faulted->history(p)[i];
+        if (before == after) continue;
+        ++diffs;
+        EXPECT_EQ(before.kind, after.kind);
+        EXPECT_EQ(before.addr, after.addr);
+        EXPECT_EQ(before.value_written, after.value_written);
+        EXPECT_NE(before.value_read, after.value_read);
+      }
+    }
+    EXPECT_EQ(diffs, 1u) << to_string(f);
+  }
+}
+
+TEST(InjectFault, ReorderSwapsAdjacentOps) {
+  Xoshiro256ss rng(9);
+  SingleAddressParams params;
+  const auto trace = generate_coherent(params, rng);
+  const auto faulted = inject_fault(trace, Fault::kReorderedOps, rng);
+  ASSERT_TRUE(faulted.has_value());
+  // Same multiset of operations per history.
+  for (std::uint32_t p = 0; p < trace.execution.num_processes(); ++p) {
+    auto before = trace.execution.history(p).ops();
+    auto after = faulted->history(p).ops();
+    auto key = [](const Operation& op) {
+      return std::tuple(static_cast<int>(op.kind), op.addr, op.value_read,
+                        op.value_written);
+    };
+    std::sort(before.begin(), before.end(),
+              [&](auto& a, auto& b) { return key(a) < key(b); });
+    std::sort(after.begin(), after.end(),
+              [&](auto& a, auto& b) { return key(a) < key(b); });
+    EXPECT_EQ(before, after);
+  }
+}
+
+TEST(InjectFault, NoSiteReturnsNullopt) {
+  // A trace with no reads has no stale-read site.
+  Xoshiro256ss rng(10);
+  SingleAddressParams params;
+  params.num_histories = 2;
+  params.ops_per_history = 3;
+  params.write_fraction = 1.0;
+  params.rmw_fraction = 0.0;
+  const auto trace = generate_coherent(params, rng);
+  EXPECT_FALSE(inject_fault(trace, Fault::kStaleRead, rng).has_value());
+  EXPECT_FALSE(inject_fault(trace, Fault::kLostWrite, rng).has_value());
+  EXPECT_FALSE(inject_fault(trace, Fault::kFabricatedRead, rng).has_value());
+}
+
+TEST(InjectFault, PreservesInitialAndFinalMetadata) {
+  Xoshiro256ss rng(11);
+  SingleAddressParams params;
+  const auto trace = generate_coherent(params, rng);
+  const auto faulted = inject_fault(trace, Fault::kStaleRead, rng);
+  ASSERT_TRUE(faulted.has_value());
+  EXPECT_EQ(faulted->initial_values(), trace.execution.initial_values());
+  EXPECT_EQ(faulted->final_values(), trace.execution.final_values());
+}
+
+}  // namespace
+}  // namespace vermem::workload
