@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "support/hash.hpp"
+#include "trace/address_index.hpp"
 #include "vmc/checker.hpp"
 #include "vsc/exact.hpp"
 
@@ -23,20 +24,20 @@ namespace {
 /// values.
 class BufferedSearch {
  public:
-  BufferedSearch(const Execution& exec, bool per_address_fifo,
+  BufferedSearch(const AddressIndex& index, bool per_address_fifo,
                  const ModelCheckOptions& options)
-      : exec_(exec), pso_(per_address_fifo), options_(options),
-        k_(exec.num_processes()) {
-    for (const Addr addr : exec.addresses()) {
+      : exec_(index.execution()), pso_(per_address_fifo), options_(options),
+        k_(exec_.num_processes()) {
+    for (const Addr addr : index.addresses()) {
       addr_id_[addr] = memory_.size();
-      memory_.push_back(exec.initial_value(addr));
+      memory_.push_back(exec_.initial_value(addr));
     }
     positions_.assign(k_, 0);
     buffers_.assign(k_, {});
     // Choice encoding: [0, k) = issue by processor; [k, k + k*slots_) =
     // drain slot (c-k)%slots_ of processor (c-k)/slots_.
     std::size_t longest = 1;
-    for (const auto& h : exec.histories())
+    for (const auto& h : exec_.histories())
       longest = std::max(longest, h.size());
     slots_ = longest;
   }
@@ -224,22 +225,25 @@ class BufferedSearch {
 
 vmc::CheckResult check_model(const Execution& exec, Model m,
                              const ModelCheckOptions& options) {
+  // One indexing pass over the trace feeds every model's dense address
+  // numbering (and the coherence-only path's per-address projections).
+  const AddressIndex index(exec);
   switch (m) {
     case Model::kSc: {
       vsc::ScOptions sc;
       sc.max_states = options.max_states;
       sc.deadline = options.deadline;
-      return vsc::check_sc_exact(exec, sc);
+      return vsc::check_sc_exact(index, sc);
     }
     case Model::kTso:
-      return BufferedSearch(exec, /*per_address_fifo=*/false, options).run();
+      return BufferedSearch(index, /*per_address_fifo=*/false, options).run();
     case Model::kPso:
-      return BufferedSearch(exec, /*per_address_fifo=*/true, options).run();
+      return BufferedSearch(index, /*per_address_fifo=*/true, options).run();
     case Model::kCoherenceOnly: {
       vmc::ExactOptions vmc_options;
       vmc_options.max_states = options.max_states;
       vmc_options.deadline = options.deadline;
-      const auto report = vmc::verify_coherence(exec, vmc_options);
+      const auto report = vmc::verify_coherence(index, vmc_options);
       switch (report.verdict) {
         case vmc::Verdict::kCoherent:
           return vmc::CheckResult::yes({});

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "support/rng.hpp"
+#include "trace/address_index.hpp"
 
 namespace vermem::sim {
 
@@ -368,7 +369,8 @@ class DirectoryMachine {
     DirectoryResult result;
     for (auto& ops : histories_)
       result.execution.add_history(ProcessHistory{std::move(ops)});
-    for (const Addr addr : result.execution.addresses()) {
+    const AddressIndex index(result.execution);
+    for (const Addr addr : index.addresses()) {
       result.execution.set_initial_value(addr, 0);
       result.execution.set_final_value(addr, memory_value(addr));
     }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "support/rng.hpp"
+#include "trace/address_index.hpp"
 
 namespace vermem::sim {
 
@@ -233,8 +234,10 @@ class Machine {
     SimResult result;
     for (auto& ops : histories_)
       result.execution.add_history(ProcessHistory{std::move(ops)});
-    // Initial values are all zero; record finals for touched addresses.
-    for (const Addr addr : result.execution.addresses()) {
+    // Initial values are all zero; record finals for touched addresses,
+    // enumerated by the single-pass index instead of a full-trace rescan.
+    const AddressIndex index(result.execution);
+    for (const Addr addr : index.addresses()) {
       result.execution.set_initial_value(addr, 0);
       result.execution.set_final_value(addr, memory_value(addr));
     }

@@ -7,6 +7,11 @@
 // workers over an atomic index — no work stealing, no futures, no
 // executor framework. Exceptions from tasks are captured and rethrown
 // (first one wins) after all workers join, so RAII cleanup still runs.
+//
+// parallel_for_each_cancellable adds cooperative early exit: any task may
+// flip the shared CancellationToken and no *new* index is scheduled after
+// that (tasks already running finish normally). The coherence fleet uses
+// it to stop the sweep as soon as one address is proven incoherent.
 
 #include <atomic>
 #include <cstddef>
@@ -25,15 +30,32 @@ namespace vermem {
   return std::min(workers, std::max<std::size_t>(1, items));
 }
 
-/// Applies `work(index)` for every index in [0, count), distributing
-/// indices over `workers` threads (0 = hardware concurrency). Runs
-/// inline when count <= 1 or one worker suffices.
+/// Shared flag a task flips to stop further scheduling. Reusable only per
+/// sweep: construct a fresh token for each parallel_for_each_cancellable.
+class CancellationToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Applies `work(index)` for every index in [0, count) unless `token` is
+/// cancelled first: once cancelled, no new index starts (in-flight tasks
+/// complete). Indices are distributed over `workers` threads (0 =
+/// hardware concurrency); runs inline when one worker suffices.
+/// Exceptions from tasks stop scheduling and the first one is rethrown
+/// after all workers join.
 template <typename Work>
-void parallel_for_each(std::size_t count, std::size_t workers, Work&& work) {
+void parallel_for_each_cancellable(std::size_t count, std::size_t workers,
+                                   CancellationToken& token, Work&& work) {
   const std::size_t n = effective_workers(workers, count);
   if (count == 0) return;
   if (n <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) work(i);
+    for (std::size_t i = 0; i < count && !token.cancelled(); ++i) work(i);
     return;
   }
 
@@ -43,8 +65,9 @@ void parallel_for_each(std::size_t count, std::size_t workers, Work&& work) {
 
   auto worker = [&] {
     while (true) {
+      if (failed.load(std::memory_order_relaxed) || token.cancelled()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      if (i >= count) return;
       try {
         work(i);
       } catch (...) {
@@ -59,6 +82,16 @@ void parallel_for_each(std::size_t count, std::size_t workers, Work&& work) {
   for (std::size_t t = 0; t < n; ++t) threads.emplace_back(worker);
   for (auto& thread : threads) thread.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Applies `work(index)` for every index in [0, count), distributing
+/// indices over `workers` threads (0 = hardware concurrency). Runs
+/// inline when count <= 1 or one worker suffices.
+template <typename Work>
+void parallel_for_each(std::size_t count, std::size_t workers, Work&& work) {
+  CancellationToken never;
+  parallel_for_each_cancellable(count, workers, never,
+                                std::forward<Work>(work));
 }
 
 }  // namespace vermem

@@ -1,5 +1,8 @@
 #include "vmc/checker.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
 
@@ -41,21 +44,65 @@ CoherenceReport aggregate(std::vector<AddressReport> reports) {
   return out;
 }
 
+/// Projects one address through the index, runs the cascade, and
+/// translates the witness back to original coordinates.
+AddressReport check_address(const AddressIndex& index, std::size_t i,
+                            const ExactOptions& exact_options) {
+  const ProjectedView view = index.view_at(i);
+  const auto projection = view.materialize();
+  VmcInstance instance{projection.execution, view.addr()};
+  CheckResult result = check_auto(instance, exact_options);
+  for (OpRef& ref : result.witness)
+    ref = projection.origin[ref.process][ref.index];
+  return {view.addr(), std::move(result)};
+}
+
 }  // namespace
+
+CoherenceReport verify_coherence(const AddressIndex& index,
+                                 const ExactOptions& exact_options) {
+  std::vector<AddressReport> reports;
+  reports.reserve(index.num_addresses());
+  for (std::size_t i = 0; i < index.num_addresses(); ++i)
+    reports.push_back(check_address(index, i, exact_options));
+  return aggregate(std::move(reports));
+}
 
 CoherenceReport verify_coherence(const Execution& exec,
                                  const ExactOptions& exact_options) {
-  std::vector<AddressReport> reports;
-  for (const Addr addr : exec.addresses()) {
-    const auto projection = exec.project(addr);
-    VmcInstance instance{projection.execution, addr};
-    CheckResult result = check_auto(instance, exact_options);
-    // Witnesses come back in projected coordinates; translate to the
-    // original execution's so callers (and check_vscc's merge stage) can
-    // use them directly.
-    for (OpRef& ref : result.witness)
-      ref = projection.origin[ref.process][ref.index];
-    reports.push_back({addr, std::move(result)});
+  return verify_coherence(AddressIndex(exec), exact_options);
+}
+
+CoherenceReport verify_coherence_parallel(const AddressIndex& index,
+                                          std::size_t workers,
+                                          const ExactOptions& exact_options) {
+  const std::size_t count = index.num_addresses();
+
+  // Size-aware dispatch: hand the fattest instances out first so the
+  // sweep's tail is a cheap address, not the one hard one. Reports keep
+  // address-sorted slots, so the output order is schedule-independent.
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return index.entry(a).op_count > index.entry(b).op_count;
+  });
+
+  std::vector<AddressReport> reports(count);
+  std::vector<std::atomic<bool>> done(count);
+  CancellationToken cancel;
+  parallel_for_each_cancellable(count, workers, cancel, [&](std::size_t k) {
+    const std::size_t slot = order[k];
+    reports[slot] = check_address(index, slot, exact_options);
+    done[slot].store(true, std::memory_order_release);
+    // An incoherent address decides the whole execution; stop the fleet.
+    if (reports[slot].result.verdict == Verdict::kIncoherent) cancel.cancel();
+  });
+
+  for (std::size_t slot = 0; slot < count; ++slot) {
+    if (done[slot].load(std::memory_order_acquire)) continue;
+    reports[slot] = {index.entry(slot).addr,
+                     CheckResult::unknown(
+                         "skipped: another address already proved incoherent")};
   }
   return aggregate(std::move(reports));
 }
@@ -63,54 +110,36 @@ CoherenceReport verify_coherence(const Execution& exec,
 CoherenceReport verify_coherence_parallel(const Execution& exec,
                                           std::size_t workers,
                                           const ExactOptions& exact_options) {
-  const std::vector<Addr> addresses = exec.addresses();
-  std::vector<AddressReport> reports(addresses.size());
-  parallel_for_each(addresses.size(), workers, [&](std::size_t i) {
-    const Addr addr = addresses[i];
-    const auto projection = exec.project(addr);
-    VmcInstance instance{projection.execution, addr};
-    CheckResult result = check_auto(instance, exact_options);
-    for (OpRef& ref : result.witness)
-      ref = projection.origin[ref.process][ref.index];
-    reports[i] = {addr, std::move(result)};
-  });
-  return aggregate(std::move(reports));
+  return verify_coherence_parallel(AddressIndex(exec), workers, exact_options);
 }
 
 CoherenceReport verify_coherence_with_write_order(
-    const Execution& exec, const WriteOrderMap& write_orders,
+    const AddressIndex& index, const WriteOrderMap& write_orders,
     const ExactOptions& fallback_options) {
   std::vector<AddressReport> reports;
-  for (const Addr addr : exec.addresses()) {
-    const auto projection = exec.project(addr);
-    VmcInstance instance{projection.execution, addr};
+  reports.reserve(index.num_addresses());
+  for (std::size_t i = 0; i < index.num_addresses(); ++i) {
+    const ProjectedView view = index.view_at(i);
+    const Addr addr = view.addr();
 
     const auto it = write_orders.find(addr);
     if (it == write_orders.end()) {
-      reports.push_back({addr, check_auto(instance, fallback_options)});
+      reports.push_back(check_address(index, i, fallback_options));
       continue;
     }
 
     // Remap the write-order from original-execution coordinates into the
-    // projected instance's coordinates.
-    std::unordered_map<std::uint64_t, OpRef> projected_of;
-    auto key_of = [](OpRef ref) {
-      return (static_cast<std::uint64_t>(ref.process) << 32) | ref.index;
-    };
-    for (std::uint32_t p = 0; p < projection.origin.size(); ++p)
-      for (std::uint32_t i = 0; i < projection.origin[p].size(); ++i)
-        projected_of[key_of(projection.origin[p][i])] = OpRef{p, i};
-
+    // projected instance's, straight off the index's sorted arena run.
     WriteOrder local;
     bool mapped = true;
     local.reserve(it->second.size());
     for (const OpRef original : it->second) {
-      const auto found = projected_of.find(key_of(original));
-      if (found == projected_of.end()) {
+      const auto projected = view.projected_of(original);
+      if (!projected) {
         mapped = false;
         break;
       }
-      local.push_back(found->second);
+      local.push_back(*projected);
     }
     if (!mapped) {
       reports.push_back(
@@ -119,6 +148,9 @@ CoherenceReport verify_coherence_with_write_order(
                      std::to_string(addr))});
       continue;
     }
+
+    const auto projection = view.materialize();
+    VmcInstance instance{projection.execution, addr};
     CheckResult result = instance.all_rmw()
                              ? check_rmw_with_write_order(instance, local)
                              : check_with_write_order(instance, local);
@@ -129,6 +161,13 @@ CoherenceReport verify_coherence_with_write_order(
     reports.push_back({addr, std::move(result)});
   }
   return aggregate(std::move(reports));
+}
+
+CoherenceReport verify_coherence_with_write_order(
+    const Execution& exec, const WriteOrderMap& write_orders,
+    const ExactOptions& fallback_options) {
+  return verify_coherence_with_write_order(AddressIndex(exec), write_orders,
+                                           fallback_options);
 }
 
 }  // namespace vermem::vmc

@@ -11,6 +11,7 @@
 
 #include <unordered_map>
 
+#include "trace/address_index.hpp"
 #include "vmc/exact.hpp"
 #include "vmc/instance.hpp"
 #include "vmc/result.hpp"
@@ -49,17 +50,28 @@ struct CoherenceReport {
 };
 
 /// Verifies coherence of a whole execution, one address at a time, using
-/// the check_auto cascade.
+/// the check_auto cascade. Builds a one-pass AddressIndex internally; use
+/// the AddressIndex overload to amortize the pass across several calls.
 [[nodiscard]] CoherenceReport verify_coherence(const Execution& exec,
+                                               const ExactOptions& exact_options = {});
+[[nodiscard]] CoherenceReport verify_coherence(const AddressIndex& index,
                                                const ExactOptions& exact_options = {});
 
 /// Same verdicts as verify_coherence, with the per-address checks fanned
 /// out over `workers` threads (0 = hardware concurrency). Coherence is a
-/// per-location property, so the decomposition is exact, and the report
-/// is deterministic (addresses stay in sorted order) regardless of the
-/// thread schedule.
+/// per-location property, so the decomposition is exact. Scheduling is
+/// size-aware — the biggest instances dispatch first so one fat address
+/// cannot become the tail — and the fleet cancels cooperatively as soon
+/// as any address is proven incoherent. The top-level verdict and every
+/// completed per-address verdict are deterministic and identical to the
+/// sequential path (addresses stay in sorted order); after an early
+/// cancel, addresses whose check never started report kUnknown with a
+/// "skipped" note, which never changes the aggregate verdict.
 [[nodiscard]] CoherenceReport verify_coherence_parallel(
     const Execution& exec, std::size_t workers = 0,
+    const ExactOptions& exact_options = {});
+[[nodiscard]] CoherenceReport verify_coherence_parallel(
+    const AddressIndex& index, std::size_t workers = 0,
     const ExactOptions& exact_options = {});
 
 /// Per-address write-orders in *original execution* coordinates, e.g. as
@@ -70,6 +82,9 @@ using WriteOrderMap = std::unordered_map<Addr, std::vector<OpRef>>;
 /// Addresses missing from `write_orders` fall back to check_auto.
 [[nodiscard]] CoherenceReport verify_coherence_with_write_order(
     const Execution& exec, const WriteOrderMap& write_orders,
+    const ExactOptions& fallback_options = {});
+[[nodiscard]] CoherenceReport verify_coherence_with_write_order(
+    const AddressIndex& index, const WriteOrderMap& write_orders,
     const ExactOptions& fallback_options = {});
 
 }  // namespace vermem::vmc

@@ -19,12 +19,13 @@ struct StateKeyHash {
 
 class ScSearch {
  public:
-  ScSearch(const Execution& exec, const ScOptions& options)
-      : exec_(exec), options_(options), k_(exec.num_processes()) {
-    // Dense address ids.
-    for (const Addr addr : exec.addresses()) {
+  ScSearch(const AddressIndex& index, const ScOptions& options)
+      : exec_(index.execution()), options_(options),
+        k_(exec_.num_processes()) {
+    // Dense address ids, straight off the one-pass index.
+    for (const Addr addr : index.addresses()) {
       addr_id_[addr] = values_.size();
-      values_.push_back(exec.initial_value(addr));
+      values_.push_back(exec_.initial_value(addr));
     }
     positions_.assign(k_, 0);
   }
@@ -171,7 +172,11 @@ class ScSearch {
 }  // namespace
 
 CheckResult check_sc_exact(const Execution& exec, const ScOptions& options) {
-  return ScSearch(exec, options).run();
+  return ScSearch(AddressIndex(exec), options).run();
+}
+
+CheckResult check_sc_exact(const AddressIndex& index, const ScOptions& options) {
+  return ScSearch(index, options).run();
 }
 
 }  // namespace vermem::vsc

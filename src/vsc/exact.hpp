@@ -12,6 +12,7 @@
 // eagerly like reads.
 
 #include "support/stopwatch.hpp"
+#include "trace/address_index.hpp"
 #include "trace/execution.hpp"
 #include "vmc/result.hpp"
 
@@ -30,8 +31,12 @@ struct ScOptions {
 };
 
 /// Decides VSC exactly. kCoherent here means "a sequentially consistent
-/// schedule exists"; the witness is that schedule.
+/// schedule exists"; the witness is that schedule. Builds a one-pass
+/// AddressIndex for the dense address numbering; callers that already
+/// hold one should pass it to the second overload.
 [[nodiscard]] CheckResult check_sc_exact(const Execution& exec,
+                                         const ScOptions& options = {});
+[[nodiscard]] CheckResult check_sc_exact(const AddressIndex& index,
                                          const ScOptions& options = {});
 
 }  // namespace vermem::vsc

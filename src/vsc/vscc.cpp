@@ -5,11 +5,15 @@ namespace vermem::vsc {
 VsccReport check_vscc(const Execution& exec, const VsccOptions& options) {
   VsccReport report;
 
+  // One indexing pass serves the per-address coherence stage and (when
+  // the merge fails) the exact SC search's dense address numbering.
+  const AddressIndex index(exec);
+
   report.coherence =
       options.write_orders
-          ? vmc::verify_coherence_with_write_order(exec, *options.write_orders,
+          ? vmc::verify_coherence_with_write_order(index, *options.write_orders,
                                                    options.coherence)
-          : vmc::verify_coherence(exec, options.coherence);
+          : vmc::verify_coherence(index, options.coherence);
 
   if (report.coherence.verdict == vmc::Verdict::kIncoherent) {
     // Not coherent => certainly not sequentially consistent.
@@ -42,7 +46,7 @@ VsccReport check_vscc(const Execution& exec, const VsccOptions& options) {
   // The merge failed; only the exact search can tell whether a different
   // set of coherent schedules would have merged.
   report.used_exact_fallback = true;
-  report.sc = check_sc_exact(exec, options.sc);
+  report.sc = check_sc_exact(index, options.sc);
   return report;
 }
 

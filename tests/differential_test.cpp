@@ -12,6 +12,7 @@
 #include "encode/vsc_to_cnf.hpp"
 #include "reductions/sat_to_vmc.hpp"
 #include "sat/gen.hpp"
+#include "trace/address_index.hpp"
 #include "trace/schedule.hpp"
 #include "vmc/bounded.hpp"
 #include "vmc/checker.hpp"
@@ -195,6 +196,67 @@ TEST_P(ScDifferentialSweep, ScDecidersAgree) {
 
 INSTANTIATE_TEST_SUITE_P(SeedBattery, ScDifferentialSweep,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- AddressIndex vs legacy projection -----------------------------------
+
+/// The single-pass index must reproduce Execution::project() *exactly* —
+/// histories, origin refs, initial and final values — on randomized
+/// workloads, or every consumer rewired onto it silently diverges.
+class ProjectionDifferentialSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProjectionDifferentialSweep, IndexMatchesLegacyProject) {
+  Xoshiro256ss rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    workload::MultiAddressParams params;
+    params.num_processes = 1 + rng.below(6);
+    params.ops_per_process = 1 + rng.below(40);
+    params.num_addresses = 1 + rng.below(12);
+    params.num_values = 2 + rng.below(6);
+    params.rmw_fraction = rng.chance(0.3) ? 0.5 : 0.0;
+    params.record_final_values = rng.chance(0.5);
+    const auto trace = workload::generate_sc(params, rng);
+    const Execution& exec = trace.execution;
+
+    const AddressIndex index(exec);
+    const auto legacy_addrs = exec.addresses();
+    ASSERT_EQ(std::vector<Addr>(index.addresses().begin(),
+                                index.addresses().end()),
+              legacy_addrs);
+
+    for (const Addr addr : legacy_addrs) {
+      const auto legacy = exec.project(addr);
+      const ProjectedView view = index.view(addr);
+      const auto indexed = view.materialize();
+      ASSERT_EQ(indexed.execution, legacy.execution) << "addr " << addr;
+      ASSERT_EQ(indexed.origin, legacy.origin) << "addr " << addr;
+
+      // Stats agree with the materialized instance, and the coordinate
+      // maps round-trip for every projected operation.
+      EXPECT_EQ(view.num_ops(), legacy.execution.num_operations());
+      EXPECT_EQ(view.num_histories(), legacy.execution.num_processes());
+      std::size_t writes = 0;
+      bool rmw_only = true;
+      for (std::uint32_t h = 0; h < legacy.origin.size(); ++h) {
+        for (std::uint32_t i = 0; i < legacy.origin[h].size(); ++i) {
+          const OpRef original = legacy.origin[h][i];
+          const auto projected = view.projected_of(original);
+          ASSERT_TRUE(projected.has_value());
+          EXPECT_EQ(*projected, (OpRef{h, i}));
+          EXPECT_EQ(view.original_of(*projected), original);
+          const Operation& op = exec.op(original);
+          writes += op.writes_memory();
+          rmw_only &= op.kind == OpKind::kRmw;
+        }
+      }
+      EXPECT_EQ(view.stats().write_count, writes);
+      EXPECT_EQ(view.stats().rmw_only, rmw_only);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedBattery, ProjectionDifferentialSweep,
+                         ::testing::Values(101, 202, 303, 404));
 
 }  // namespace
 }  // namespace vermem

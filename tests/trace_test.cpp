@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "support/rng.hpp"
+#include "trace/address_index.hpp"
 #include "trace/execution.hpp"
 #include "trace/schedule.hpp"
 #include "trace/stats.hpp"
@@ -72,6 +73,94 @@ TEST(Execution, ProjectionKeepsProgramOrderAndOrigin) {
   EXPECT_EQ(proj.execution.final_value(0), std::optional<Value>(2));
   ASSERT_EQ(proj.origin.size(), 1u);
   EXPECT_EQ(proj.origin[0][1], (OpRef{0, 2}));
+}
+
+// --- Address index & projected views ----------------------------------
+
+TEST(AddressIndex, StatsAndSortedAddresses) {
+  const auto exec = ExecutionBuilder()
+                        .process(W(3, 1), R(1, 0), Acq(7), RW(1, 0, 5))
+                        .process(W(1, 2), RW(9, 0, 1))
+                        .build();
+  const AddressIndex index(exec);
+  EXPECT_EQ(std::vector<Addr>(index.addresses().begin(), index.addresses().end()),
+            (std::vector<Addr>{1, 3, 9}));  // sorted, sync addr 7 excluded
+
+  const AddressEntry* one = index.find(1);
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->op_count, 3u);
+  EXPECT_EQ(one->write_count, 2u);  // RW(1,0,5) and W(1,2)
+  EXPECT_EQ(one->process_count, 2u);
+  EXPECT_FALSE(one->rmw_only);
+
+  const AddressEntry* nine = index.find(9);
+  ASSERT_NE(nine, nullptr);
+  EXPECT_EQ(nine->op_count, 1u);
+  EXPECT_EQ(nine->process_count, 1u);
+  EXPECT_TRUE(nine->rmw_only);
+
+  EXPECT_EQ(index.find(7), nullptr);   // sync-only address is not indexed
+  EXPECT_EQ(index.find(42), nullptr);  // untouched address
+  EXPECT_TRUE(index.refs(42).empty());
+}
+
+TEST(AddressIndex, RefsGroupedByProcessInProgramOrder) {
+  const auto exec = ExecutionBuilder()
+                        .process(W(0, 1), W(5, 9), R(0, 2))
+                        .process(R(0, 1))
+                        .build();
+  const AddressIndex index(exec);
+  const auto refs = index.refs(0);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0], (OpRef{0, 0}));
+  EXPECT_EQ(refs[1], (OpRef{0, 2}));
+  EXPECT_EQ(refs[2], (OpRef{1, 0}));
+}
+
+TEST(ProjectedView, MatchesLegacyProject) {
+  const auto exec = ExecutionBuilder()
+                        .process(W(0, 1), W(1, 9), R(0, 2))
+                        .process(W(1, 3))
+                        .initial(0, 4)
+                        .final_value(0, 2)
+                        .build();
+  const AddressIndex index(exec);
+  for (const Addr addr : index.addresses()) {
+    const auto legacy = exec.project(addr);
+    const auto indexed = index.view(addr).materialize();
+    EXPECT_EQ(indexed.execution, legacy.execution) << "addr " << addr;
+    EXPECT_EQ(indexed.origin, legacy.origin) << "addr " << addr;
+  }
+}
+
+TEST(ProjectedView, HistoryAccessorsAndCoordinateMaps) {
+  const auto exec = ExecutionBuilder()
+                        .process(W(0, 1), W(1, 9), R(0, 2))
+                        .process(W(1, 3))
+                        .process(R(0, 1))
+                        .build();
+  const AddressIndex index(exec);
+  const ProjectedView view = index.view(0);
+  ASSERT_EQ(view.num_histories(), 2u);  // history 1 (only addr 1) dropped
+  EXPECT_EQ(view.history_process(0), 0u);
+  EXPECT_EQ(view.history_process(1), 2u);
+  EXPECT_EQ(view.num_ops(), 3u);
+  EXPECT_EQ(view.history_refs(0).size(), 2u);
+
+  // Original -> projected -> original round-trips; off-address refs miss.
+  const OpRef original{0, 2};  // R(0,2), second op on addr 0 of process 0
+  const auto projected = view.projected_of(original);
+  ASSERT_TRUE(projected.has_value());
+  EXPECT_EQ(*projected, (OpRef{0, 1}));
+  EXPECT_EQ(view.original_of(*projected), original);
+  EXPECT_FALSE(view.projected_of(OpRef{0, 1}).has_value());  // W(1,9)
+  EXPECT_FALSE(view.projected_of(OpRef{1, 0}).has_value());  // W(1,3)
+}
+
+TEST(AddressIndex, EmptyExecution) {
+  const AddressIndex index(Execution{});
+  EXPECT_EQ(index.num_addresses(), 0u);
+  EXPECT_TRUE(index.addresses().empty());
 }
 
 // --- Coherent-schedule validator -------------------------------------

@@ -705,6 +705,54 @@ TEST(VerifyCoherenceParallel, MatchesSerialVerdicts) {
   }
 }
 
+TEST(VerifyCoherenceParallel, EarlyCancelKeepsVerdictDeterministic) {
+  // Several incoherent addresses: whichever one a worker proves first
+  // cancels the fleet, but the aggregate verdict must always equal the
+  // sequential path's, on every thread schedule.
+  ExecutionBuilder builder;
+  builder.process(W(0, 1), W(1, 1), W(2, 1), W(3, 1));
+  for (Addr a = 0; a < 4; ++a) {
+    builder.process(W(a, 2));
+    builder.process(R(a, 1), R(a, 2));
+    builder.process(R(a, 2), R(a, 1));  // cross-reader conflict on every addr
+  }
+  const auto exec = builder.build();
+  const auto serial = verify_coherence(exec);
+  ASSERT_EQ(serial.verdict, Verdict::kIncoherent);
+  for (int round = 0; round < 10; ++round) {
+    const auto parallel = verify_coherence_parallel(exec, 4);
+    EXPECT_EQ(parallel.verdict, Verdict::kIncoherent);
+    EXPECT_EQ(parallel.addresses.size(), serial.addresses.size());
+    ASSERT_NE(parallel.first_violation(), nullptr);
+    // Skipped addresses (if any) are marked, never silently coherent.
+    for (const auto& report : parallel.addresses)
+      EXPECT_NE(report.result.verdict, Verdict::kCoherent);
+  }
+}
+
+TEST(VerifyCoherenceParallel, SharedIndexOverloadMatches) {
+  Xoshiro256ss rng(127);
+  workload::MultiAddressParams params;
+  params.num_processes = 4;
+  params.ops_per_process = 24;
+  params.num_addresses = 5;
+  const auto trace = workload::generate_sc(params, rng);
+  const AddressIndex index(trace.execution);
+  const auto direct = verify_coherence(trace.execution);
+  const auto via_index = verify_coherence(index);
+  const auto via_index_parallel = verify_coherence_parallel(index, 3);
+  ASSERT_EQ(via_index.addresses.size(), direct.addresses.size());
+  ASSERT_EQ(via_index_parallel.addresses.size(), direct.addresses.size());
+  EXPECT_EQ(via_index.verdict, direct.verdict);
+  EXPECT_EQ(via_index_parallel.verdict, direct.verdict);
+  for (std::size_t i = 0; i < direct.addresses.size(); ++i) {
+    EXPECT_EQ(via_index.addresses[i].result.verdict,
+              direct.addresses[i].result.verdict);
+    EXPECT_EQ(via_index_parallel.addresses[i].result.verdict,
+              direct.addresses[i].result.verdict);
+  }
+}
+
 TEST(VerifyCoherenceParallel, FlagsViolationsLikeSerial) {
   const auto exec = ExecutionBuilder()
                         .process(W(0, 1), W(1, 1))
