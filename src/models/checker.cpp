@@ -197,7 +197,9 @@ class BufferedSearch {
   [[nodiscard]] bool budget_exhausted() const {
     if (options_.max_states != 0 && stats_.states_visited >= options_.max_states)
       return true;
-    return (stats_.transitions & 0xff) == 0 && options_.deadline.expired();
+    if ((stats_.transitions & 0xff) != 0) return false;
+    return options_.deadline.expired() ||
+           (options_.cancel && options_.cancel->cancelled());
   }
 
   struct KeyHash {
@@ -233,6 +235,7 @@ vmc::CheckResult check_model(const Execution& exec, Model m,
       vsc::ScOptions sc;
       sc.max_states = options.max_states;
       sc.deadline = options.deadline;
+      sc.cancel = options.cancel;
       return vsc::check_sc_exact(index, sc);
     }
     case Model::kTso:
@@ -243,6 +246,7 @@ vmc::CheckResult check_model(const Execution& exec, Model m,
       vmc::ExactOptions vmc_options;
       vmc_options.max_states = options.max_states;
       vmc_options.deadline = options.deadline;
+      vmc_options.cancel = options.cancel;
       const auto report = vmc::verify_coherence(index, vmc_options);
       switch (report.verdict) {
         case vmc::Verdict::kCoherent:

@@ -20,6 +20,7 @@
 // program operations (drain events interleave with it internally); it is
 // not an SC schedule and is returned for diagnostics only.
 
+#include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 #include "models/model.hpp"
 #include "trace/execution.hpp"
@@ -30,6 +31,8 @@ namespace vermem::models {
 struct ModelCheckOptions {
   std::uint64_t max_states = 0;  ///< 0 = unlimited
   Deadline deadline = Deadline::never();
+  /// External cooperative cancellation; checked alongside the deadline.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Decides whether `exec` is admissible under model `m`.

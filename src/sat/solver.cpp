@@ -151,7 +151,9 @@ class Cdcl {
           conflicts_until_restart = next_restart_budget();
           continue;
         }
-        if ((stats_.conflicts & 0x3ff) == 0 && options_.deadline.expired()) {
+        if ((stats_.conflicts & 0x3ff) == 0 &&
+            (options_.deadline.expired() ||
+             (options_.cancel && options_.cancel->cancelled()))) {
           result.status = Status::kUnknown;
           break;
         }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sat/cnf.hpp"
+#include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 
 namespace vermem::sat {
@@ -41,6 +42,8 @@ struct SolverOptions {
   bool use_watched_literals = true;  ///< else: occurrence-list propagation
   std::uint64_t max_conflicts = 0;   ///< 0 = unlimited; else give up (kUnknown)
   Deadline deadline = Deadline::never();  ///< cooperative wall-clock budget
+  /// External cooperative cancellation; checked alongside the deadline.
+  const CancellationToken* cancel = nullptr;
   /// Log every learned clause so kUnsat results carry an RUP refutation
   /// (verify with sat::check_rup_proof). Costs memory, off by default.
   bool log_proof = false;

@@ -1,0 +1,27 @@
+#include "service/cache.hpp"
+
+namespace vermem::service {
+
+std::optional<CachedVerdict> ResultCache::lookup(std::uint64_t key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::insert(std::uint64_t key, CachedVerdict value) {
+  if (capacity_ == 0) return;
+  if (const auto it = map_.find(key); it != map_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, std::move(value));
+  map_.emplace(key, lru_.begin());
+}
+
+}  // namespace vermem::service

@@ -1,0 +1,57 @@
+#pragma once
+// LRU result cache for the verification service.
+//
+// Keyed by the 64-bit cache key (trace fingerprint + check mode); values
+// are the compact, re-servable part of a response — the verdict and its
+// reason, never the witness schedules (those are per-run artifacts and
+// can be megabytes on large traces). Only definite verdicts belong here:
+// kUnknown depends on the requesting call's deadline and budget, so the
+// service never inserts it.
+//
+// Plain single-threaded LRU (intrusive list + hash map, O(1) per op);
+// the service guards it with its own mutex, keeping lock scope decisions
+// in one place.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "vmc/result.hpp"
+
+namespace vermem::service {
+
+/// The cached fraction of a VerificationResponse.
+struct CachedVerdict {
+  vmc::Verdict verdict = vmc::Verdict::kUnknown;
+  std::string reason;
+  std::size_t num_addresses = 0;
+};
+
+class ResultCache {
+ public:
+  /// capacity 0 disables the cache (lookups miss, inserts drop).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry and marks it most-recently-used.
+  [[nodiscard]] std::optional<CachedVerdict> lookup(std::uint64_t key);
+
+  /// Inserts or refreshes an entry, evicting the least-recently-used
+  /// entry when full.
+  void insert(std::uint64_t key, CachedVerdict value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::uint64_t, CachedVerdict>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+};
+
+}  // namespace vermem::service

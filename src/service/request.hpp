@@ -1,0 +1,92 @@
+#pragma once
+// Request/response vocabulary of the verification service.
+//
+// A VerificationRequest is one trace plus policy: which property to
+// decide (per-address coherence, VSCC, or an operational consistency
+// model), optional Section 5.2 write-order side information, an effort
+// budget for the exponential search stages, and an optional relative
+// deadline. A VerificationResponse is the verdict plus structured
+// failure information (timed out / cancelled / budget), provenance
+// (cache hit, fingerprint), and timing, so a front-end can emit one
+// self-contained record per trace.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "models/model.hpp"
+#include "trace/execution.hpp"
+#include "vmc/checker.hpp"
+
+namespace vermem::service {
+
+enum class CheckMode : std::uint8_t {
+  /// Per-address memory coherence (the VMC cascade; polynomial Section
+  /// 5.2 path when write orders accompany the trace).
+  kCoherence,
+  /// Sequential consistency via the VSCC pipeline: per-address coherence,
+  /// witness merge, exact-SC fallback.
+  kVscc,
+  /// Admissibility under an operational consistency model (request.model:
+  /// SC, TSO, PSO, or coherence-only).
+  kConsistency,
+};
+
+[[nodiscard]] constexpr const char* to_string(CheckMode mode) noexcept {
+  switch (mode) {
+    case CheckMode::kCoherence: return "coherence";
+    case CheckMode::kVscc: return "vscc";
+    case CheckMode::kConsistency: return "consistency";
+  }
+  return "?";
+}
+
+/// Caps on the exponential search stages; 0 = unlimited. Passed through
+/// to ExactOptions / ScOptions unchanged.
+struct EffortBudget {
+  std::uint64_t max_states = 0;
+  std::uint64_t max_transitions = 0;
+};
+
+struct VerificationRequest {
+  Execution execution;
+  /// Per-address write serialization orders in original-execution
+  /// coordinates (e.g. recorded by a bus). Enables the polynomial
+  /// coherence path.
+  std::optional<vmc::WriteOrderMap> write_orders;
+  CheckMode mode = CheckMode::kCoherence;
+  /// Which model to decide when mode == kConsistency.
+  models::Model model = models::Model::kSc;
+  EffortBudget budget;
+  /// Wall-clock budget measured from submission; a request that cannot
+  /// finish in time resolves to kUnknown with timed_out set. nullopt =
+  /// unbounded.
+  std::optional<std::chrono::milliseconds> deadline;
+  /// Skip cache lookup and insertion for this request.
+  bool bypass_cache = false;
+  /// Opaque caller label (e.g. a file name); echoed in the response.
+  std::string tag;
+};
+
+struct VerificationResponse {
+  vmc::Verdict verdict = vmc::Verdict::kUnknown;
+  /// Human-readable reason for kIncoherent/kUnknown verdicts.
+  std::string reason;
+  bool timed_out = false;  ///< deadline fired before a definite verdict
+  bool cancelled = false;  ///< request withdrawn / service shut down
+  bool cache_hit = false;  ///< verdict served from the result cache
+  /// Stable trace fingerprint (execution + write orders); the cache key
+  /// additionally folds in the check mode.
+  std::uint64_t fingerprint = 0;
+  std::string tag;
+  std::size_t num_operations = 0;
+  std::size_t num_addresses = 0;
+  double queue_micros = 0;  ///< submission -> dispatch to a worker
+  double run_micros = 0;    ///< dispatch -> verdict
+  /// Per-address detail for coherence-bearing modes; empty for cache hits
+  /// and consistency-mode requests.
+  vmc::CoherenceReport coherence;
+};
+
+}  // namespace vermem::service

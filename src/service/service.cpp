@@ -1,0 +1,366 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "models/checker.hpp"
+#include "support/hash.hpp"
+#include "support/stopwatch.hpp"
+#include "trace/address_index.hpp"
+#include "trace/fingerprint.hpp"
+#include "vsc/vscc.hpp"
+
+namespace vermem::service {
+
+namespace {
+
+/// Folds the check policy into the trace fingerprint. Effort budgets are
+/// deliberately excluded: only definite verdicts are cached, and a
+/// definite verdict is budget-independent.
+std::uint64_t cache_key_for(std::uint64_t trace_fingerprint,
+                            const VerificationRequest& request) {
+  std::uint64_t seed = trace_fingerprint;
+  hash_combine(seed, static_cast<std::uint64_t>(request.mode));
+  if (request.mode == CheckMode::kConsistency)
+    hash_combine(seed, static_cast<std::uint64_t>(request.model));
+  return mix64(seed);
+}
+
+double micros_between(Stopwatch::Clock::time_point from,
+                      Stopwatch::Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Reason string for an aggregate coherence report: the first violation
+/// for kIncoherent, the first undecided address's note for kUnknown.
+std::string reason_for(const vmc::CoherenceReport& report) {
+  if (const auto* violation = report.first_violation())
+    return "address " + std::to_string(violation->addr) + ": " +
+           (violation->result.note.empty() ? "no coherent schedule exists"
+                                           : violation->result.note);
+  if (report.verdict == vmc::Verdict::kUnknown) {
+    for (const auto& address : report.addresses)
+      if (address.result.verdict == vmc::Verdict::kUnknown)
+        return "address " + std::to_string(address.addr) + ": " +
+               address.result.note;
+  }
+  return {};
+}
+
+}  // namespace
+
+struct VerificationService::Slot {
+  VerificationRequest request;
+  std::promise<VerificationResponse> promise;
+  std::shared_ptr<CancellationToken> token =
+      std::make_shared<CancellationToken>();
+  Deadline deadline = Deadline::never();  ///< absolute, fixed at submit
+  Stopwatch::Clock::time_point submitted{};
+  Stopwatch::Clock::time_point dispatched{};
+  std::uint64_t fingerprint = 0;
+  std::uint64_t cache_key = 0;
+  bool cacheable = false;  ///< cache enabled and not bypassed
+  /// Built by the dispatcher at batch-scheduling time, reused by the
+  /// checkers. Borrows request.execution, which lives in this Slot and
+  /// never moves after construction.
+  std::optional<AddressIndex> index;
+};
+
+VerificationService::VerificationService(ServiceOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      latencies_(),
+      pool_(options.workers),
+      dispatcher_([this] { dispatcher_loop(); }) {
+  latencies_.reserve(std::min<std::size_t>(options_.latency_window, 1 << 16));
+}
+
+VerificationService::~VerificationService() { shutdown(); }
+
+VerificationService::Ticket VerificationService::submit(
+    VerificationRequest request) {
+  auto slot = std::make_shared<Slot>();
+  slot->submitted = Stopwatch::Clock::now();
+  slot->request = std::move(request);
+  if (slot->request.deadline)
+    slot->deadline = Deadline(*slot->request.deadline);
+  // The fingerprint exists to key the cache; an uncacheable request
+  // (bypass, or cache disabled) skips the O(n) hashing pass and reports
+  // fingerprint 0.
+  slot->cacheable =
+      !slot->request.bypass_cache && options_.cache_capacity != 0;
+  if (slot->cacheable) {
+    slot->fingerprint =
+        slot->request.write_orders
+            ? fingerprint_execution(slot->request.execution,
+                                    *slot->request.write_orders)
+            : fingerprint_execution(slot->request.execution);
+    slot->cache_key = cache_key_for(slot->fingerprint, slot->request);
+  }
+
+  Ticket ticket;
+  ticket.token_ = slot->token;
+  ticket.response = slot->promise.get_future();
+
+  std::optional<CachedVerdict> cached;
+  bool rejected = false;
+  bool wake_dispatcher = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+    if (shutting_down_) {
+      rejected = true;
+    } else if (slot->cacheable && (cached = cache_.lookup(slot->cache_key))) {
+      ++counters_.cache_hits;
+    } else {
+      if (slot->cacheable) ++counters_.cache_misses;
+      pending_.push_back(slot);
+      // The dispatcher only parks on an empty queue, so only the
+      // empty->non-empty transition needs a signal.
+      wake_dispatcher = pending_.size() == 1;
+    }
+  }
+
+  if (rejected) {
+    VerificationResponse response;
+    response.cancelled = true;
+    response.reason = "service shut down";
+    response.tag = slot->request.tag;
+    response.fingerprint = slot->fingerprint;
+    respond(*slot, std::move(response));
+    return ticket;
+  }
+  if (cached) {
+    VerificationResponse response;
+    response.verdict = cached->verdict;
+    response.reason = std::move(cached->reason);
+    response.cache_hit = true;
+    response.fingerprint = slot->fingerprint;
+    response.tag = slot->request.tag;
+    response.num_operations = slot->request.execution.num_operations();
+    response.num_addresses = cached->num_addresses;
+    respond(*slot, std::move(response));
+    return ticket;
+  }
+  if (wake_dispatcher) pending_available_.notify_one();
+  return ticket;
+}
+
+void VerificationService::dispatcher_loop() {
+  while (true) {
+    std::vector<std::shared_ptr<Slot>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pending_available_.wait(
+          lock, [this] { return shutting_down_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // shutting down and drained
+      while (!pending_.empty() && batch.size() < options_.max_batch) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+    }
+
+    // One O(n) indexing pass per request now; the checkers reuse it, and
+    // its op totals drive size-aware dispatch below. Cancelled requests
+    // skip the pass — run_request resolves them without touching it.
+    for (const auto& slot : batch)
+      if (!slot->token->cancelled()) slot->index.emplace(slot->request.execution);
+
+    // Largest first: the batch's heavy requests start immediately instead
+    // of landing behind a convoy of cheap ones on a busy pool.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const std::shared_ptr<Slot>& a,
+                        const std::shared_ptr<Slot>& b) {
+                       return a->request.execution.num_operations() >
+                              b->request.execution.num_operations();
+                     });
+
+    for (auto& slot : batch) {
+      slot->dispatched = Stopwatch::Clock::now();
+      pool_.post([this, slot = std::move(slot)] { run_request(slot); });
+    }
+  }
+}
+
+void VerificationService::run_request(const std::shared_ptr<Slot>& slot) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      // Resolved below, outside the lock.
+    } else {
+      active_.insert(slot.get());
+    }
+    if (shutting_down_) slot->token->cancel();
+  }
+
+  VerificationResponse response = execute(*slot);
+
+  if (slot->cacheable && response.verdict != vmc::Verdict::kUnknown) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.insert(slot->cache_key,
+                  CachedVerdict{response.verdict, response.reason,
+                                response.num_addresses});
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.erase(slot.get());
+  }
+  respond(*slot, std::move(response));
+}
+
+VerificationResponse VerificationService::execute(Slot& slot) {
+  VerificationResponse response;
+  response.tag = slot.request.tag;
+  response.fingerprint = slot.fingerprint;
+  response.num_operations = slot.request.execution.num_operations();
+  if (slot.index) response.num_addresses = slot.index->num_addresses();
+  response.queue_micros = micros_between(slot.submitted, slot.dispatched);
+  Stopwatch run_timer;
+
+  if (slot.token->cancelled()) {
+    response.cancelled = true;
+    response.reason = "cancelled before verification started";
+    return response;
+  }
+  if (slot.deadline.expired()) {
+    response.timed_out = true;
+    response.reason = "deadline expired before verification started";
+    return response;
+  }
+
+  vmc::ExactOptions exact;
+  exact.max_states = slot.request.budget.max_states;
+  exact.max_transitions = slot.request.budget.max_transitions;
+  exact.deadline = slot.deadline;
+  exact.cancel = slot.token.get();
+
+  switch (slot.request.mode) {
+    case CheckMode::kCoherence: {
+      vmc::CoherenceReport report =
+          slot.request.write_orders
+              ? vmc::verify_coherence_with_write_order(
+                    *slot.index, *slot.request.write_orders, exact)
+              : vmc::verify_coherence(*slot.index, exact);
+      response.verdict = report.verdict;
+      response.reason = reason_for(report);
+      response.coherence = std::move(report);
+      break;
+    }
+    case CheckMode::kVscc: {
+      vsc::VsccOptions vscc;
+      vscc.coherence = exact;
+      vscc.sc.max_states = slot.request.budget.max_states;
+      vscc.sc.max_transitions = slot.request.budget.max_transitions;
+      vscc.sc.deadline = slot.deadline;
+      vscc.sc.cancel = slot.token.get();
+      if (slot.request.write_orders)
+        vscc.write_orders = &*slot.request.write_orders;
+      vsc::VsccReport report = vsc::check_vscc(*slot.index, vscc);
+      response.verdict = report.sc.verdict;
+      response.reason = report.sc.note;
+      response.coherence = std::move(report.coherence);
+      break;
+    }
+    case CheckMode::kConsistency: {
+      models::ModelCheckOptions model_options;
+      model_options.max_states = slot.request.budget.max_states;
+      model_options.deadline = slot.deadline;
+      model_options.cancel = slot.token.get();
+      const vmc::CheckResult result = models::check_model(
+          slot.request.execution, slot.request.model, model_options);
+      response.verdict = result.verdict;
+      response.reason = result.note;
+      break;
+    }
+  }
+
+  if (response.verdict == vmc::Verdict::kUnknown) {
+    response.timed_out = slot.deadline.expired();
+    response.cancelled = !response.timed_out && slot.token->cancelled();
+    if (response.reason.empty())
+      response.reason = response.timed_out  ? "deadline expired"
+                        : response.cancelled ? "request cancelled"
+                                             : "effort budget exhausted";
+  }
+  response.run_micros = run_timer.millis() * 1e3;
+  return response;
+}
+
+void VerificationService::respond(Slot& slot, VerificationResponse&& response) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.completed;
+    if (response.timed_out) ++counters_.timed_out;
+    if (response.cancelled) ++counters_.cancelled;
+    switch (response.verdict) {
+      case vmc::Verdict::kCoherent: ++counters_.coherent; break;
+      case vmc::Verdict::kIncoherent: ++counters_.incoherent; break;
+      case vmc::Verdict::kUnknown: ++counters_.unknown; break;
+    }
+    const double latency =
+        micros_between(slot.submitted, Stopwatch::Clock::now());
+    if (options_.latency_window != 0) {
+      if (latencies_.size() < options_.latency_window) {
+        latencies_.push_back(latency);
+      } else {
+        latencies_[latency_next_] = latency;
+        latency_next_ = (latency_next_ + 1) % options_.latency_window;
+      }
+    }
+  }
+  slot.promise.set_value(std::move(response));
+}
+
+ServiceStats VerificationService::stats() const {
+  ServiceStats out;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = counters_;
+    out.queue_depth = pending_.size();
+    out.in_flight = active_.size();
+    out.cache_entries = cache_.size();
+    window = latencies_;
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    auto quantile = [&](double q) {
+      const auto rank = static_cast<std::size_t>(
+          q * static_cast<double>(window.size() - 1) + 0.5);
+      return window[std::min(rank, window.size() - 1)];
+    };
+    out.p50_micros = quantile(0.50);
+    out.p99_micros = quantile(0.99);
+  }
+  return out;
+}
+
+void VerificationService::shutdown() {
+  std::deque<std::shared_ptr<Slot>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutting_down_) {
+      shutting_down_ = true;
+      orphaned.swap(pending_);
+      // In-flight requests notice through their tokens at the next
+      // cooperative check and resolve promptly as cancelled/unknown.
+      for (Slot* slot : active_) slot->token->cancel();
+    }
+  }
+  pending_available_.notify_all();
+  for (const auto& slot : orphaned) {
+    slot->token->cancel();
+    VerificationResponse response;
+    response.cancelled = true;
+    response.reason = "service shut down before dispatch";
+    response.tag = slot->request.tag;
+    response.fingerprint = slot->fingerprint;
+    response.num_operations = slot->request.execution.num_operations();
+    respond(*slot, std::move(response));
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.shutdown();
+}
+
+}  // namespace vermem::service

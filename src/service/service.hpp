@@ -1,0 +1,143 @@
+#pragma once
+// Long-lived verification service: the paper's dynamic-verification
+// checker packaged the way a real memory-system pipeline would run it
+// (continuously, against a stream of recorded traces), rather than as a
+// one-shot library call.
+//
+// Architecture: submit() fingerprints the trace and consults an LRU
+// result cache; a miss enqueues the request. A dispatcher thread drains
+// the queue in batches of up to max_batch, builds each request's
+// single-pass AddressIndex (the same pass later reused by the checkers),
+// sorts the batch largest-trace-first — size-aware scheduling, so one
+// fat request cannot convoy a batch of small ones behind it — and posts
+// each request to a persistent ThreadPool. Per-request deadlines and
+// cooperative cancellation are plumbed into every decision procedure
+// (exact VMC/SC search, SAT, model search); a request that cannot finish
+// resolves to kUnknown with a structured reason, it never hangs and
+// never stalls other requests. Definite verdicts are cached by trace
+// fingerprint + mode.
+//
+// Thread-safety: submit(), cancel via Ticket, stats(), and shutdown()
+// may be called concurrently from any thread. Every submitted request's
+// future is eventually resolved, including across shutdown (pending and
+// in-flight requests resolve as cancelled).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/request.hpp"
+#include "support/parallel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace vermem::service {
+
+struct ServiceOptions {
+  std::size_t workers = 0;        ///< pool size; 0 = hardware concurrency
+  std::size_t max_batch = 16;     ///< requests drained per scheduling round
+  std::size_t cache_capacity = 1024;  ///< result-cache entries; 0 disables
+  std::size_t latency_window = 4096;  ///< completions kept for percentiles
+};
+
+/// Monotonic counters plus a point-in-time snapshot of queue state and
+/// recent-latency percentiles.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< responses resolved, cache hits included
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t coherent = 0;    ///< responses with verdict kCoherent
+  std::uint64_t incoherent = 0;
+  std::uint64_t unknown = 0;
+  std::size_t queue_depth = 0;   ///< submitted, not yet dispatched
+  std::size_t in_flight = 0;     ///< dispatched, not yet resolved
+  std::size_t cache_entries = 0;
+  double p50_micros = 0;  ///< end-to-end latency, recent window
+  double p99_micros = 0;
+
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    const double total =
+        static_cast<double>(cache_hits) + static_cast<double>(cache_misses);
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+class VerificationService {
+ public:
+  explicit VerificationService(ServiceOptions options = {});
+  ~VerificationService();
+
+  VerificationService(const VerificationService&) = delete;
+  VerificationService& operator=(const VerificationService&) = delete;
+
+  /// Handle to one submitted request: the response future plus a
+  /// cooperative cancel. Cancelling never drops the future — the request
+  /// still resolves, marked cancelled (or with its real verdict if one
+  /// was reached first).
+  class Ticket {
+   public:
+    Ticket() = default;
+    std::future<VerificationResponse> response;
+    /// Requests cooperative cancellation; no-op for already-resolved
+    /// (e.g. cache-hit) responses.
+    void cancel() noexcept {
+      if (token_) token_->cancel();
+    }
+
+   private:
+    friend class VerificationService;
+    std::shared_ptr<CancellationToken> token_;
+  };
+
+  /// Submits one request. Cache hits resolve the returned future
+  /// immediately; after shutdown() the future resolves as cancelled.
+  [[nodiscard]] Ticket submit(VerificationRequest request);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Stops intake and the dispatcher, resolves queued requests as
+  /// cancelled, cancels in-flight requests cooperatively, and joins all
+  /// threads. Idempotent; also run by the destructor.
+  void shutdown();
+
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return pool_.num_workers();
+  }
+
+ private:
+  struct Slot;
+
+  void dispatcher_loop();
+  void run_request(const std::shared_ptr<Slot>& slot);
+  VerificationResponse execute(Slot& slot);
+  void respond(Slot& slot, VerificationResponse&& response);
+
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable pending_available_;
+  std::deque<std::shared_ptr<Slot>> pending_;  // guarded by mutex_
+  std::unordered_set<Slot*> active_;           // dispatched, unresolved
+  ResultCache cache_;                          // guarded by mutex_
+  bool shutting_down_ = false;                 // guarded by mutex_
+
+  // Monotonic counters and the latency ring, guarded by mutex_.
+  ServiceStats counters_;
+  std::vector<double> latencies_;
+  std::size_t latency_next_ = 0;
+
+  ThreadPool pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace vermem::service

@@ -83,10 +83,17 @@ std::string human_nanos(double nanos) {
 }
 
 bool parse_i64(std::string_view text, long long& out) noexcept {
+  return parse_i64_checked(text, out) == ParseIntStatus::kOk;
+}
+
+ParseIntStatus parse_i64_checked(std::string_view text, long long& out) noexcept {
   const char* first = text.data();
   const char* last = text.data() + text.size();
   const auto [ptr, ec] = std::from_chars(first, last, out);
-  return ec == std::errc{} && ptr == last;
+  if (ec == std::errc::result_out_of_range && ptr == last)
+    return ParseIntStatus::kOutOfRange;
+  return ec == std::errc{} && ptr == last ? ParseIntStatus::kOk
+                                          : ParseIntStatus::kMalformed;
 }
 
 }  // namespace vermem

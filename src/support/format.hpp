@@ -3,6 +3,7 @@
 // harnesses and error messages. Kept deliberately tiny: no locale, no
 // allocator cleverness.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,5 +35,12 @@ namespace vermem {
 
 /// Parses a signed 64-bit integer; returns false on any malformation.
 [[nodiscard]] bool parse_i64(std::string_view text, long long& out) noexcept;
+
+/// Same parse, but distinguishes syntax errors from values that are
+/// syntactically integers yet overflow 64 bits — trace ingestion reports
+/// the two differently.
+enum class ParseIntStatus : std::uint8_t { kOk, kMalformed, kOutOfRange };
+[[nodiscard]] ParseIntStatus parse_i64_checked(std::string_view text,
+                                               long long& out) noexcept;
 
 }  // namespace vermem

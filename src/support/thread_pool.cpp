@@ -1,0 +1,69 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vermem {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n =
+      workers != 0 ? workers
+                   : std::max<unsigned>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t t = 0; t < n; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::post(std::function<void()> task) {
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_)
+      throw std::runtime_error("ThreadPool::post after shutdown");
+    queue_.push_back(std::move(task));
+    // Signal only when a worker is actually parked: a busy worker
+    // re-checks the queue before sleeping, and skipping the futex wake
+    // matters on a saturated pool (~1 syscall per task otherwise).
+    wake = idle_ > 0;
+  }
+  if (wake) available_.notify_one();
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  available_.notify_all();
+  // Serialize the join phase so concurrent shutdown() calls are safe
+  // (std::thread::join races with itself).
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++idle_;
+      available_.wait(lock,
+                      [this] { return shutting_down_ || !queue_.empty(); });
+      --idle_;
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace vermem

@@ -1,0 +1,76 @@
+#include "trace/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/hash.hpp"
+
+namespace vermem {
+
+namespace {
+
+constexpr std::uint64_t kTraceSalt = 0x76657274726163ULL;  // "vertrac"
+
+void fold_value(std::uint64_t& seed, Value v) {
+  hash_combine(seed, std::bit_cast<std::uint64_t>(v));
+}
+
+void fold_value_map(std::uint64_t& seed,
+                    const std::unordered_map<Addr, Value>& map) {
+  std::vector<std::pair<Addr, Value>> sorted(map.begin(), map.end());
+  std::sort(sorted.begin(), sorted.end());
+  hash_combine(seed, sorted.size());
+  for (const auto& [addr, value] : sorted) {
+    hash_combine(seed, addr);
+    fold_value(seed, value);
+  }
+}
+
+std::uint64_t fold_execution(const Execution& exec) {
+  std::uint64_t seed = kTraceSalt;
+  hash_combine(seed, exec.num_processes());
+  for (const ProcessHistory& history : exec.histories()) {
+    hash_combine(seed, history.size());
+    for (const Operation& op : history) {
+      hash_combine(seed, static_cast<std::uint64_t>(op.kind));
+      hash_combine(seed, op.addr);
+      fold_value(seed, op.value_read);
+      fold_value(seed, op.value_written);
+    }
+  }
+  fold_value_map(seed, exec.initial_values());
+  fold_value_map(seed, exec.final_values());
+  return seed;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_execution(const Execution& exec) {
+  return mix64(fold_execution(exec));
+}
+
+std::uint64_t fingerprint_execution(
+    const Execution& exec,
+    const std::unordered_map<Addr, std::vector<OpRef>>& write_orders) {
+  if (write_orders.empty()) return fingerprint_execution(exec);
+  std::uint64_t seed = fold_execution(exec);
+
+  std::vector<Addr> addresses;
+  addresses.reserve(write_orders.size());
+  for (const auto& [addr, order] : write_orders) addresses.push_back(addr);
+  std::sort(addresses.begin(), addresses.end());
+
+  hash_combine(seed, addresses.size());
+  for (const Addr addr : addresses) {
+    const auto& order = write_orders.at(addr);
+    hash_combine(seed, addr);
+    hash_combine(seed, order.size());
+    for (const OpRef ref : order) {
+      hash_combine(seed, ref.process);
+      hash_combine(seed, ref.index);
+    }
+  }
+  return mix64(seed);
+}
+
+}  // namespace vermem

@@ -1,0 +1,33 @@
+#pragma once
+// Stable 64-bit fingerprint over an Execution (plus an optional
+// write-order log): the verification service's result-cache key.
+//
+// Two traces hash equal iff every field a checker reads is equal: the
+// history list (count, per-history length, each operation's kind,
+// address, and data), the initial/final value maps, and — when supplied —
+// the per-address write orders. Map contents are folded in ascending
+// address order, so the value is independent of hash-table iteration
+// order and stable across runs, platforms, and processes (it can key an
+// on-disk cache). Built on support/hash.hpp's stream mixer; not
+// cryptographic — an adversarial trace author can collide it, a broken
+// memory system cannot.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/execution.hpp"
+
+namespace vermem {
+
+/// Fingerprint of the execution alone.
+[[nodiscard]] std::uint64_t fingerprint_execution(const Execution& exec);
+
+/// Fingerprint of the execution combined with a write-order log (the
+/// paper's Section 5.2 side information). An empty log hashes the same as
+/// an absent one.
+[[nodiscard]] std::uint64_t fingerprint_execution(
+    const Execution& exec,
+    const std::unordered_map<Addr, std::vector<OpRef>>& write_orders);
+
+}  // namespace vermem

@@ -9,37 +9,69 @@ namespace vermem {
 
 namespace {
 
-bool parse_numbers(std::string_view inner, std::vector<long long>& out) {
+enum class TokenParse : std::uint8_t { kOk, kMalformed, kOverflow };
+
+TokenParse parse_numbers(std::string_view inner, std::vector<long long>& out) {
   out.clear();
   for (std::string_view field : split(inner, ',')) {
     long long v = 0;
-    if (!parse_i64(trim(field), v)) return false;
+    switch (parse_i64_checked(trim(field), v)) {
+      case ParseIntStatus::kOk: break;
+      case ParseIntStatus::kOutOfRange: return TokenParse::kOverflow;
+      case ParseIntStatus::kMalformed: return TokenParse::kMalformed;
+    }
     out.push_back(v);
   }
-  return true;
+  return TokenParse::kOk;
+}
+
+/// Full-detail operation parse: distinguishes syntactic garbage from
+/// numerically valid tokens whose address/value overflows its type, so
+/// trace ingestion can report overflow explicitly instead of a generic
+/// "malformed" (or, worse, silently wrapping).
+TokenParse parse_operation_checked(std::string_view token, Operation& out) {
+  const std::size_t open = token.find('(');
+  if (open == std::string_view::npos || token.back() != ')')
+    return TokenParse::kMalformed;
+  const std::string_view name = token.substr(0, open);
+  const std::string_view inner = token.substr(open + 1, token.size() - open - 2);
+  std::vector<long long> nums;
+  if (const TokenParse status = parse_numbers(inner, nums);
+      status != TokenParse::kOk)
+    return status;
+
+  auto arity_ok = [&](std::size_t want) { return nums.size() == want; };
+  auto addr_overflow = [&] {
+    return !nums.empty() &&
+           (nums[0] < 0 || nums[0] > static_cast<long long>(~Addr{0}));
+  };
+  TokenParse status = TokenParse::kMalformed;
+  if (name == "R" && arity_ok(2)) {
+    out = R(static_cast<Addr>(nums[0]), nums[1]);
+    status = TokenParse::kOk;
+  } else if (name == "W" && arity_ok(2)) {
+    out = W(static_cast<Addr>(nums[0]), nums[1]);
+    status = TokenParse::kOk;
+  } else if (name == "RW" && arity_ok(3)) {
+    out = RW(static_cast<Addr>(nums[0]), nums[1], nums[2]);
+    status = TokenParse::kOk;
+  } else if (name == "Acq" && arity_ok(1)) {
+    out = Acq(static_cast<Addr>(nums[0]));
+    status = TokenParse::kOk;
+  } else if (name == "Rel" && arity_ok(1)) {
+    out = Rel(static_cast<Addr>(nums[0]));
+    status = TokenParse::kOk;
+  }
+  if (status == TokenParse::kOk && addr_overflow()) return TokenParse::kOverflow;
+  return status;
 }
 
 }  // namespace
 
 std::optional<Operation> parse_operation(std::string_view token) {
-  const std::size_t open = token.find('(');
-  if (open == std::string_view::npos || token.back() != ')') return std::nullopt;
-  const std::string_view name = token.substr(0, open);
-  const std::string_view inner = token.substr(open + 1, token.size() - open - 2);
-  std::vector<long long> nums;
-  if (!parse_numbers(inner, nums)) return std::nullopt;
-
-  auto addr_ok = [&](std::size_t want) {
-    return nums.size() == want && nums[0] >= 0 &&
-           nums[0] <= static_cast<long long>(~Addr{0});
-  };
-  if (name == "R" && addr_ok(2)) return R(static_cast<Addr>(nums[0]), nums[1]);
-  if (name == "W" && addr_ok(2)) return W(static_cast<Addr>(nums[0]), nums[1]);
-  if (name == "RW" && addr_ok(3))
-    return RW(static_cast<Addr>(nums[0]), nums[1], nums[2]);
-  if (name == "Acq" && addr_ok(1)) return Acq(static_cast<Addr>(nums[0]));
-  if (name == "Rel" && addr_ok(1)) return Rel(static_cast<Addr>(nums[0]));
-  return std::nullopt;
+  Operation op;
+  if (parse_operation_checked(token, op) != TokenParse::kOk) return std::nullopt;
+  return op;
 }
 
 ParseResult parse_execution(std::string_view text) {
@@ -62,23 +94,45 @@ ParseResult parse_execution(std::string_view text) {
     if (starts_with(line, "init ") || starts_with(line, "final ")) {
       const auto fields = split_ws(line);
       long long addr = 0, value = 0;
-      if (fields.size() != 3 || !parse_i64(fields[1], addr) ||
-          !parse_i64(fields[2], value) || addr < 0 ||
-          addr > static_cast<long long>(~Addr{0}))
+      if (fields.size() != 3)
         return fail("malformed init/final directive");
-      if (fields[0] == "init")
+      const auto addr_status = parse_i64_checked(fields[1], addr);
+      const auto value_status = parse_i64_checked(fields[2], value);
+      if (addr_status == ParseIntStatus::kOutOfRange ||
+          value_status == ParseIntStatus::kOutOfRange ||
+          (addr_status == ParseIntStatus::kOk &&
+           (addr < 0 || addr > static_cast<long long>(~Addr{0}))))
+        return fail("integer overflow in init/final directive: " +
+                    std::string(line));
+      if (addr_status != ParseIntStatus::kOk ||
+          value_status != ParseIntStatus::kOk)
+        return fail("malformed init/final directive");
+      if (fields[0] == "init") {
+        if (result.execution.initial_values().contains(static_cast<Addr>(addr)))
+          return fail("duplicate init directive for address " +
+                      std::string(fields[1]));
         result.execution.set_initial_value(static_cast<Addr>(addr), value);
-      else
+      } else {
+        if (result.execution.final_values().contains(static_cast<Addr>(addr)))
+          return fail("duplicate final directive for address " +
+                      std::string(fields[1]));
         result.execution.set_final_value(static_cast<Addr>(addr), value);
+      }
       continue;
     }
 
     if (starts_with(line, "P:") || starts_with(line, "P ")) {
       std::vector<Operation> ops;
       for (std::string_view token : split_ws(line.substr(2))) {
-        const auto op = parse_operation(token);
-        if (!op) return fail("malformed operation: " + std::string(token));
-        ops.push_back(*op);
+        Operation op;
+        switch (parse_operation_checked(token, op)) {
+          case TokenParse::kOk: break;
+          case TokenParse::kOverflow:
+            return fail("integer overflow in operation: " + std::string(token));
+          case TokenParse::kMalformed:
+            return fail("malformed operation: " + std::string(token));
+        }
+        ops.push_back(op);
       }
       result.execution.add_history(ProcessHistory{std::move(ops)});
       continue;

@@ -33,15 +33,24 @@ namespace {
 CoherenceReport aggregate(std::vector<AddressReport> reports) {
   CoherenceReport out;
   out.addresses = std::move(reports);
-  for (const auto& report : out.addresses) {
+  for (std::size_t i = 0; i < out.addresses.size(); ++i) {
+    const auto& report = out.addresses[i];
     if (report.result.verdict == Verdict::kIncoherent) {
       out.verdict = Verdict::kIncoherent;
+      out.first_violation_index = i;
       return out;
     }
     if (report.result.verdict == Verdict::kUnknown)
       out.verdict = Verdict::kUnknown;
   }
   return out;
+}
+
+/// True once the caller's wall-clock or cancellation budget is spent, at
+/// which point remaining addresses are skipped rather than checked.
+bool interrupted(const ExactOptions& options) {
+  return options.deadline.expired() ||
+         (options.cancel && options.cancel->cancelled());
 }
 
 /// Projects one address through the index, runs the cascade, and
@@ -63,8 +72,15 @@ CoherenceReport verify_coherence(const AddressIndex& index,
                                  const ExactOptions& exact_options) {
   std::vector<AddressReport> reports;
   reports.reserve(index.num_addresses());
-  for (std::size_t i = 0; i < index.num_addresses(); ++i)
+  for (std::size_t i = 0; i < index.num_addresses(); ++i) {
+    if (interrupted(exact_options)) {
+      reports.push_back({index.entry(i).addr,
+                         CheckResult::unknown(
+                             "skipped: deadline expired or request cancelled")});
+      continue;
+    }
     reports.push_back(check_address(index, i, exact_options));
+  }
   return aggregate(std::move(reports));
 }
 
@@ -89,20 +105,31 @@ CoherenceReport verify_coherence_parallel(const AddressIndex& index,
 
   std::vector<AddressReport> reports(count);
   std::vector<std::atomic<bool>> done(count);
+  std::atomic<bool> found_incoherent{false};
   CancellationToken cancel;
   parallel_for_each_cancellable(count, workers, cancel, [&](std::size_t k) {
+    // Stop scheduling new addresses once the caller's own deadline or
+    // cancellation fires; in-flight checks notice through ExactOptions.
+    if (interrupted(exact_options)) {
+      cancel.cancel();
+      return;
+    }
     const std::size_t slot = order[k];
     reports[slot] = check_address(index, slot, exact_options);
     done[slot].store(true, std::memory_order_release);
     // An incoherent address decides the whole execution; stop the fleet.
-    if (reports[slot].result.verdict == Verdict::kIncoherent) cancel.cancel();
+    if (reports[slot].result.verdict == Verdict::kIncoherent) {
+      found_incoherent.store(true, std::memory_order_relaxed);
+      cancel.cancel();
+    }
   });
 
+  const char* skip_note = found_incoherent.load(std::memory_order_relaxed)
+                              ? "skipped: another address already proved incoherent"
+                              : "skipped: deadline expired or request cancelled";
   for (std::size_t slot = 0; slot < count; ++slot) {
     if (done[slot].load(std::memory_order_acquire)) continue;
-    reports[slot] = {index.entry(slot).addr,
-                     CheckResult::unknown(
-                         "skipped: another address already proved incoherent")};
+    reports[slot] = {index.entry(slot).addr, CheckResult::unknown(skip_note)};
   }
   return aggregate(std::move(reports));
 }
@@ -121,6 +148,12 @@ CoherenceReport verify_coherence_with_write_order(
   for (std::size_t i = 0; i < index.num_addresses(); ++i) {
     const ProjectedView view = index.view_at(i);
     const Addr addr = view.addr();
+
+    if (interrupted(fallback_options)) {
+      reports.push_back({addr, CheckResult::unknown(
+                                   "skipped: deadline expired or request cancelled")});
+      continue;
+    }
 
     const auto it = write_orders.find(addr);
     if (it == write_orders.end()) {

@@ -32,20 +32,28 @@ struct AddressReport {
 };
 
 struct CoherenceReport {
+  static constexpr std::size_t kNoViolation = static_cast<std::size_t>(-1);
+
   /// kCoherent iff every address verified; kIncoherent if any address has
   /// no coherent schedule; kUnknown if undecided addresses remain (budget)
   /// and none is definitely incoherent.
   Verdict verdict = Verdict::kCoherent;
   std::vector<AddressReport> addresses;
+  /// Index into `addresses` of the lowest-address incoherent report,
+  /// recorded at aggregation time (kNoViolation when every address
+  /// verified). Reports are address-sorted, so this is deterministic even
+  /// when a parallel sweep early-cancelled.
+  std::size_t first_violation_index = kNoViolation;
 
   [[nodiscard]] bool coherent() const noexcept {
     return verdict == Verdict::kCoherent;
   }
-  /// First address that failed (meaningful when verdict == kIncoherent).
+  /// First (lowest) address that failed, O(1) (meaningful when verdict ==
+  /// kIncoherent).
   [[nodiscard]] const AddressReport* first_violation() const noexcept {
-    for (const auto& report : addresses)
-      if (report.result.verdict == Verdict::kIncoherent) return &report;
-    return nullptr;
+    return first_violation_index == kNoViolation
+               ? nullptr
+               : &addresses[first_violation_index];
   }
 };
 

@@ -110,7 +110,9 @@ class ExactSearch {
     if (options_.max_transitions != 0 &&
         stats_.transitions >= options_.max_transitions)
       return true;
-    return (stats_.transitions & 0xff) == 0 && options_.deadline.expired();
+    if ((stats_.transitions & 0xff) != 0) return false;
+    return options_.deadline.expired() ||
+           (options_.cancel && options_.cancel->cancelled());
   }
 
   /// Schedules the next op of history p (must be enabled).

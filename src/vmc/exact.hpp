@@ -14,6 +14,7 @@
 // callers can (and our tests always do) re-validate with
 // check_coherent_schedule().
 
+#include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 #include "vmc/instance.hpp"
 #include "vmc/result.hpp"
@@ -41,6 +42,11 @@ struct ExactOptions {
 
   /// Cooperative wall-clock budget.
   Deadline deadline = Deadline::never();
+
+  /// External cooperative cancellation (e.g. a service request being
+  /// withdrawn or its batch shutting down). Checked at the same cadence
+  /// as the deadline; a cancelled search returns kUnknown. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Decides VMC exactly. kCoherent results include a witness schedule.

@@ -11,6 +11,7 @@
 // in the order but carry no data; under plain SC they are scheduled
 // eagerly like reads.
 
+#include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 #include "trace/address_index.hpp"
 #include "trace/execution.hpp"
@@ -28,6 +29,8 @@ struct ScOptions {
   std::uint64_t max_states = 0;       ///< 0 = unlimited (fresh states)
   std::uint64_t max_transitions = 0;  ///< 0 = unlimited (bounds re-visits too)
   Deadline deadline = Deadline::never();
+  /// External cooperative cancellation; checked alongside the deadline.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Decides VSC exactly. kCoherent here means "a sequentially consistent

@@ -3,11 +3,14 @@
 namespace vermem::vsc {
 
 VsccReport check_vscc(const Execution& exec, const VsccOptions& options) {
-  VsccReport report;
-
   // One indexing pass serves the per-address coherence stage and (when
   // the merge fails) the exact SC search's dense address numbering.
-  const AddressIndex index(exec);
+  return check_vscc(AddressIndex(exec), options);
+}
+
+VsccReport check_vscc(const AddressIndex& index, const VsccOptions& options) {
+  VsccReport report;
+  const Execution& exec = index.execution();
 
   report.coherence =
       options.write_orders

@@ -41,5 +41,10 @@ struct VsccReport {
 
 [[nodiscard]] VsccReport check_vscc(const Execution& exec,
                                     const VsccOptions& options = {});
+/// Same pipeline over a caller-supplied index, amortizing the indexing
+/// pass across calls (the verification service builds one per request at
+/// batch-scheduling time and reuses it here).
+[[nodiscard]] VsccReport check_vscc(const AddressIndex& index,
+                                    const VsccOptions& options = {});
 
 }  // namespace vermem::vsc

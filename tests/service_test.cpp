@@ -1,0 +1,434 @@
+// Tests for the persistent verification service and its parts: the
+// ThreadPool, the stable trace fingerprint, the LRU result cache, and
+// VerificationService end-to-end (verdicts, caching, deadlines,
+// cancellation, shutdown). The *Stress tests are the ThreadSanitizer
+// targets: they race submit/cancel/shutdown and deadline expiry against
+// completion, and must stay TSan-clean.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reductions/sat_to_vmc.hpp"
+#include "sat/gen.hpp"
+#include "service/service.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/fingerprint.hpp"
+#include "trace/text_io.hpp"
+
+namespace {
+
+using namespace vermem;
+using service::CheckMode;
+using service::VerificationRequest;
+using service::VerificationResponse;
+using service::VerificationService;
+
+Execution exec_from(std::string_view text) {
+  ParseResult parsed = parse_execution(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.error;
+  return std::move(parsed.execution);
+}
+
+constexpr std::string_view kCoherentTrace =
+    "init 0 0\ninit 1 0\n"
+    "P: W(0,1) R(1,0) W(1,1) R(0,1)\n"
+    "P: R(0,0) W(0,2) R(0,2) R(1,1)\n";
+
+constexpr std::string_view kFaultyTrace =
+    "init 0 0\n"
+    "P: W(0,1) W(0,2)\n"
+    "P: R(0,2) R(0,1)\n";
+
+/// Reduction-generated adversarial instance: coherence of this trace
+/// decides an UNSAT pigeonhole formula, so the exact checker must
+/// exhaust an exponential search — ideal for deadline/cancel tests.
+Execution adversarial_trace() {
+  return reductions::sat_to_vmc(sat::pigeonhole(5)).instance.execution;
+}
+
+VerificationRequest coherence_request(Execution exec) {
+  VerificationRequest request;
+  request.execution = std::move(exec);
+  request.mode = CheckMode::kCoherence;
+  return request;
+}
+
+// --- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 256; ++i)
+      pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 256);
+  }
+}
+
+TEST(ThreadPool, PostAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.post([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentShutdownIsSafe) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i)
+    pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  std::vector<std::thread> closers;
+  for (int t = 0; t < 4; ++t)
+    closers.emplace_back([&pool] { pool.shutdown(); });
+  for (auto& closer : closers) closer.join();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolStress, PostersRaceShutdown) {
+  ThreadPool pool(3);
+  std::atomic<int> accepted{0}, rejected{0};
+  std::vector<std::thread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        try {
+          pool.post([] {});
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pool.shutdown();
+  for (auto& poster : posters) poster.join();
+  EXPECT_EQ(accepted.load() + rejected.load(), 800);
+}
+
+// --- Trace fingerprint ---------------------------------------------------
+
+TEST(Fingerprint, StableAcrossReparses) {
+  const Execution a = exec_from(kCoherentTrace);
+  const Execution b = exec_from(kCoherentTrace);
+  EXPECT_EQ(fingerprint_execution(a), fingerprint_execution(b));
+}
+
+TEST(Fingerprint, SensitiveToValuesAndStructure) {
+  const auto base = fingerprint_execution(exec_from(kCoherentTrace));
+  EXPECT_NE(base, fingerprint_execution(exec_from(kFaultyTrace)));
+  // One changed data value flips the hash.
+  const Execution tweaked = exec_from(
+      "init 0 0\ninit 1 0\n"
+      "P: W(0,1) R(1,0) W(1,1) R(0,1)\n"
+      "P: R(0,0) W(0,3) R(0,3) R(1,1)\n");
+  EXPECT_NE(base, fingerprint_execution(tweaked));
+}
+
+TEST(Fingerprint, EmptyWriteOrderMatchesAbsent) {
+  const Execution exec = exec_from(kCoherentTrace);
+  const std::unordered_map<Addr, std::vector<OpRef>> empty;
+  EXPECT_EQ(fingerprint_execution(exec), fingerprint_execution(exec, empty));
+}
+
+TEST(Fingerprint, WriteOrdersFold) {
+  const Execution exec = exec_from(kCoherentTrace);
+  std::unordered_map<Addr, std::vector<OpRef>> ab{{0, {{0, 0}, {1, 1}}}};
+  std::unordered_map<Addr, std::vector<OpRef>> ba{{0, {{1, 1}, {0, 0}}}};
+  EXPECT_NE(fingerprint_execution(exec, ab), fingerprint_execution(exec, ba));
+  EXPECT_NE(fingerprint_execution(exec, ab), fingerprint_execution(exec));
+}
+
+// --- Result cache --------------------------------------------------------
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  service::ResultCache cache(2);
+  cache.insert(1, {vmc::Verdict::kCoherent, "one", 1});
+  cache.insert(2, {vmc::Verdict::kCoherent, "two", 1});
+  ASSERT_TRUE(cache.lookup(1).has_value());  // refresh 1: now 2 is LRU
+  cache.insert(3, {vmc::Verdict::kIncoherent, "three", 1});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  ASSERT_TRUE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.lookup(3)->verdict, vmc::Verdict::kIncoherent);
+}
+
+TEST(ResultCache, InsertRefreshesExistingKey) {
+  service::ResultCache cache(2);
+  cache.insert(1, {vmc::Verdict::kCoherent, "old", 1});
+  cache.insert(1, {vmc::Verdict::kIncoherent, "new", 2});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(1)->reason, "new");
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  service::ResultCache cache(0);
+  cache.insert(1, {vmc::Verdict::kCoherent, "", 1});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+}
+
+// --- VerificationService -------------------------------------------------
+
+TEST(Service, VerifiesCoherentAndFaultyTraces) {
+  service::ServiceOptions options;
+  options.workers = 2;
+  VerificationService svc(options);
+  auto good = svc.submit(coherence_request(exec_from(kCoherentTrace)));
+  auto bad = svc.submit(coherence_request(exec_from(kFaultyTrace)));
+  const VerificationResponse good_response = good.response.get();
+  const VerificationResponse bad_response = bad.response.get();
+  EXPECT_EQ(good_response.verdict, vmc::Verdict::kCoherent);
+  EXPECT_FALSE(good_response.cache_hit);
+  EXPECT_EQ(bad_response.verdict, vmc::Verdict::kIncoherent);
+  EXPECT_FALSE(bad_response.reason.empty());
+  EXPECT_NE(good_response.fingerprint, bad_response.fingerprint);
+}
+
+TEST(Service, RepeatedTraceHitsCache) {
+  service::ServiceOptions options;
+  options.workers = 1;
+  VerificationService svc(options);
+  const VerificationResponse first =
+      svc.submit(coherence_request(exec_from(kFaultyTrace))).response.get();
+  const VerificationResponse second =
+      svc.submit(coherence_request(exec_from(kFaultyTrace))).response.get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.verdict, vmc::Verdict::kIncoherent);
+  EXPECT_EQ(second.reason, first.reason);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_GT(stats.cache_hit_rate(), 0.0);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(Service, BypassCacheSkipsLookupAndFingerprint) {
+  VerificationService svc;
+  VerificationRequest request = coherence_request(exec_from(kCoherentTrace));
+  request.bypass_cache = true;
+  const VerificationResponse a = svc.submit(std::move(request)).response.get();
+  VerificationRequest again = coherence_request(exec_from(kCoherentTrace));
+  again.bypass_cache = true;
+  const VerificationResponse b = svc.submit(std::move(again)).response.get();
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_EQ(a.fingerprint, 0u);  // uncacheable requests skip hashing
+  EXPECT_EQ(svc.stats().cache_entries, 0u);
+}
+
+TEST(Service, DeadlineReturnsUnknownWithoutStallingOthers) {
+  service::ServiceOptions options;
+  options.workers = 2;
+  VerificationService svc(options);
+
+  VerificationRequest hard = coherence_request(adversarial_trace());
+  hard.deadline = std::chrono::milliseconds(50);
+  auto hard_ticket = svc.submit(std::move(hard));
+
+  std::vector<VerificationService::Ticket> easy;
+  for (int i = 0; i < 8; ++i) {
+    VerificationRequest request = coherence_request(exec_from(kCoherentTrace));
+    request.bypass_cache = true;  // make each of the 8 do real work
+    easy.push_back(svc.submit(std::move(request)));
+  }
+  for (auto& ticket : easy)
+    EXPECT_EQ(ticket.response.get().verdict, vmc::Verdict::kCoherent);
+
+  const VerificationResponse hard_response = hard_ticket.response.get();
+  EXPECT_EQ(hard_response.verdict, vmc::Verdict::kUnknown);
+  EXPECT_TRUE(hard_response.timed_out);
+  EXPECT_FALSE(hard_response.reason.empty());
+}
+
+TEST(Service, CancelResolvesInFlightRequest) {
+  service::ServiceOptions options;
+  options.workers = 1;
+  VerificationService svc(options);
+  auto ticket = svc.submit(coherence_request(adversarial_trace()));
+  // Let it reach the exact search, then withdraw it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ticket.cancel();
+  const VerificationResponse response = ticket.response.get();
+  EXPECT_EQ(response.verdict, vmc::Verdict::kUnknown);
+  EXPECT_TRUE(response.cancelled);
+}
+
+TEST(Service, ShutdownResolvesEveryFuture) {
+  service::ServiceOptions options;
+  options.workers = 1;
+  VerificationService svc(options);
+  std::vector<VerificationService::Ticket> tickets;
+  tickets.push_back(svc.submit(coherence_request(adversarial_trace())));
+  for (int i = 0; i < 4; ++i) {
+    VerificationRequest request = coherence_request(exec_from(kCoherentTrace));
+    request.bypass_cache = true;
+    tickets.push_back(svc.submit(std::move(request)));
+  }
+  svc.shutdown();
+  for (auto& ticket : tickets) {
+    const VerificationResponse response = ticket.response.get();
+    if (response.verdict == vmc::Verdict::kUnknown) {
+      EXPECT_TRUE(response.cancelled || response.timed_out);
+    }
+  }
+  // Post-shutdown submissions resolve immediately as cancelled.
+  const VerificationResponse late =
+      svc.submit(coherence_request(exec_from(kCoherentTrace))).response.get();
+  EXPECT_TRUE(late.cancelled);
+}
+
+TEST(Service, WriteOrderRequestsUsePolynomialPath) {
+  VerificationService svc;
+  VerificationRequest request = coherence_request(exec_from(
+      "init 0 0\n"
+      "P: W(0,1) R(0,2)\n"
+      "P: W(0,2)\n"));
+  vmc::WriteOrderMap orders;
+  orders[0] = {{0, 0}, {1, 0}};  // W(0,1) then W(0,2)
+  request.write_orders = orders;
+  const VerificationResponse response =
+      svc.submit(std::move(request)).response.get();
+  EXPECT_EQ(response.verdict, vmc::Verdict::kCoherent);
+
+  // The reversed serialization makes P0's R(0,2) unservable.
+  VerificationRequest reversed = coherence_request(exec_from(
+      "init 0 0\n"
+      "P: W(0,1) R(0,2)\n"
+      "P: W(0,2)\n"));
+  vmc::WriteOrderMap reversed_orders;
+  reversed_orders[0] = {{1, 0}, {0, 0}};
+  reversed.write_orders = reversed_orders;
+  const VerificationResponse reversed_response =
+      svc.submit(std::move(reversed)).response.get();
+  EXPECT_EQ(reversed_response.verdict, vmc::Verdict::kIncoherent);
+}
+
+TEST(Service, ConsistencyModeChecksModels) {
+  VerificationService svc;
+  // Dekker/SB: coherent per address, but not sequentially consistent.
+  constexpr std::string_view kStoreBuffer =
+      "init 0 0\ninit 1 0\n"
+      "P: W(0,1) R(1,0)\n"
+      "P: W(1,1) R(0,0)\n";
+  VerificationRequest sc = coherence_request(exec_from(kStoreBuffer));
+  sc.mode = CheckMode::kConsistency;
+  sc.model = models::Model::kSc;
+  EXPECT_EQ(svc.submit(std::move(sc)).response.get().verdict,
+            vmc::Verdict::kIncoherent);
+
+  VerificationRequest tso = coherence_request(exec_from(kStoreBuffer));
+  tso.mode = CheckMode::kConsistency;
+  tso.model = models::Model::kTso;
+  EXPECT_EQ(svc.submit(std::move(tso)).response.get().verdict,
+            vmc::Verdict::kCoherent);
+}
+
+TEST(Service, VsccModeReportsSequentialConsistency) {
+  VerificationService svc;
+  VerificationRequest request = coherence_request(exec_from(kCoherentTrace));
+  request.mode = CheckMode::kVscc;
+  const VerificationResponse response =
+      svc.submit(std::move(request)).response.get();
+  EXPECT_EQ(response.verdict, vmc::Verdict::kCoherent);
+  EXPECT_FALSE(response.coherence.addresses.empty());
+}
+
+TEST(Service, StatsTrackVerdictsAndLatency) {
+  VerificationService svc;
+  (void)svc.submit(coherence_request(exec_from(kCoherentTrace))).response.get();
+  (void)svc.submit(coherence_request(exec_from(kFaultyTrace))).response.get();
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.coherent, 1u);
+  EXPECT_EQ(stats.incoherent, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_GT(stats.p50_micros, 0.0);
+  EXPECT_GE(stats.p99_micros, stats.p50_micros);
+}
+
+/// The TSan centerpiece: submitters, a canceller, and shutdown all race;
+/// deadlines race completion. Every future must still resolve.
+TEST(ServiceStress, ConcurrentSubmitCancelShutdown) {
+  service::ServiceOptions options;
+  options.workers = 2;
+  options.max_batch = 4;
+  options.cache_capacity = 32;
+  VerificationService svc(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::mutex tickets_mutex;
+  std::vector<VerificationService::Ticket> tickets;
+  tickets.reserve(kThreads * kPerThread);
+  std::atomic<bool> stop_cancelling{false};
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        VerificationRequest request = coherence_request(
+            exec_from((t + i) % 2 == 0 ? kCoherentTrace : kFaultyTrace));
+        if (i % 3 == 0) request.bypass_cache = true;
+        if (i % 5 == 0) request.deadline = std::chrono::milliseconds(1);
+        auto ticket = svc.submit(std::move(request));
+        std::lock_guard<std::mutex> lock(tickets_mutex);
+        tickets.push_back(std::move(ticket));
+      }
+    });
+  }
+  std::thread canceller([&] {
+    while (!stop_cancelling.load(std::memory_order_acquire)) {
+      {
+        std::lock_guard<std::mutex> lock(tickets_mutex);
+        for (std::size_t i = 0; i < tickets.size(); i += 7)
+          tickets[i].cancel();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  svc.shutdown();  // races the submitters: late submits resolve cancelled
+  for (auto& submitter : submitters) submitter.join();
+  stop_cancelling.store(true, std::memory_order_release);
+  canceller.join();
+
+  ASSERT_EQ(tickets.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (auto& ticket : tickets) {
+    ASSERT_TRUE(ticket.response.valid());
+    const VerificationResponse response = ticket.response.get();
+    if (response.verdict == vmc::Verdict::kUnknown) {
+      EXPECT_TRUE(response.cancelled || response.timed_out ||
+                  !response.reason.empty());
+    }
+  }
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+}  // namespace

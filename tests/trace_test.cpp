@@ -318,6 +318,57 @@ TEST(TextIo, RejectsUnknownDirective) {
   EXPECT_FALSE(parse_execution("Q: W(0,1)\n").ok());
 }
 
+TEST(TextIo, RejectsDuplicateInitDirective) {
+  const auto result = parse_execution("init 3 1\ninit 3 2\nP: R(3,1)\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("duplicate init"), std::string::npos)
+      << result.error;
+  EXPECT_EQ(result.line, 2u);
+  // Distinct addresses are fine.
+  EXPECT_TRUE(parse_execution("init 3 1\ninit 4 2\nP: R(3,1)\n").ok());
+}
+
+TEST(TextIo, RejectsDuplicateFinalDirective) {
+  const auto result = parse_execution("final 0 1\nfinal 0 1\nP: W(0,1)\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("duplicate final"), std::string::npos)
+      << result.error;
+  EXPECT_EQ(result.line, 2u);
+}
+
+TEST(TextIo, ReportsIntegerOverflowInDirectives) {
+  // Value wider than 64 bits.
+  const auto value = parse_execution("init 0 99999999999999999999999\n");
+  ASSERT_FALSE(value.ok());
+  EXPECT_NE(value.error.find("integer overflow"), std::string::npos)
+      << value.error;
+  // Address beyond the 32-bit Addr range.
+  const auto addr = parse_execution("init 4294967296 0\n");
+  ASSERT_FALSE(addr.ok());
+  EXPECT_NE(addr.error.find("integer overflow"), std::string::npos)
+      << addr.error;
+  // Largest representable address still parses.
+  EXPECT_TRUE(parse_execution("init 4294967295 0\nP: R(4294967295,0)\n").ok());
+  // Negative addresses are rejected, not wrapped.
+  EXPECT_FALSE(parse_execution("init -1 0\n").ok());
+}
+
+TEST(TextIo, ReportsIntegerOverflowInOperations) {
+  const auto addr = parse_execution("P: W(4294967296,1)\n");
+  ASSERT_FALSE(addr.ok());
+  EXPECT_NE(addr.error.find("integer overflow"), std::string::npos)
+      << addr.error;
+  EXPECT_EQ(addr.line, 1u);
+  const auto value = parse_execution("P: W(0,99999999999999999999999)\n");
+  ASSERT_FALSE(value.ok());
+  EXPECT_NE(value.error.find("integer overflow"), std::string::npos)
+      << value.error;
+  // The single-token entry point reports overflow as nullopt, like other
+  // malformed tokens.
+  EXPECT_FALSE(parse_operation("W(4294967296,1)").has_value());
+  EXPECT_FALSE(parse_operation("R(0,99999999999999999999999)").has_value());
+}
+
 TEST(TextIo, RoundTrips) {
   const auto exec = ExecutionBuilder()
                         .process(W(0, 1), R(1, 2), RW(2, 3, 4), Acq(5), Rel(5))

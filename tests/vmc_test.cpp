@@ -627,6 +627,37 @@ TEST(VerifyCoherence, DetectsPlantedViolation) {
   EXPECT_EQ(report.first_violation()->addr, 1u);
 }
 
+TEST(VerifyCoherence, FirstViolationIsRecordedAtAggregation) {
+  // Violations planted on addresses 2 and 5: first_violation() must be
+  // the lowest offending address, located via the recorded index (no
+  // rescan), and the index must agree with the report entry.
+  const auto exec = ExecutionBuilder()
+                        .process(W(0, 1), W(2, 1), W(5, 1))
+                        .process(R(2, 9), R(5, 9))
+                        .build();
+  const auto report = verify_coherence(exec);
+  EXPECT_EQ(report.verdict, Verdict::kIncoherent);
+  ASSERT_NE(report.first_violation_index, CoherenceReport::kNoViolation);
+  ASSERT_LT(report.first_violation_index, report.addresses.size());
+  ASSERT_NE(report.first_violation(), nullptr);
+  EXPECT_EQ(report.first_violation()->addr, 2u);
+  EXPECT_EQ(&report.addresses[report.first_violation_index],
+            report.first_violation());
+
+  // Coherent reports carry the sentinel and a null first_violation.
+  const auto clean =
+      verify_coherence(ExecutionBuilder().process(W(0, 1), R(0, 1)).build());
+  EXPECT_EQ(clean.first_violation_index, CoherenceReport::kNoViolation);
+  EXPECT_EQ(clean.first_violation(), nullptr);
+
+  // The parallel sweep records the same index deterministically, even
+  // though its early-cancel may skip later addresses.
+  const auto parallel = verify_coherence_parallel(exec, 4);
+  EXPECT_EQ(parallel.first_violation_index, report.first_violation_index);
+  ASSERT_NE(parallel.first_violation(), nullptr);
+  EXPECT_EQ(parallel.first_violation()->addr, 2u);
+}
+
 TEST(VerifyCoherenceWithWriteOrder, UsesRecordedOrders) {
   Xoshiro256ss rng(101);
   workload::MultiAddressParams params;

@@ -1,0 +1,291 @@
+// vermemd: verification daemon front-end — the repo's first "serve
+// traffic" binary. Feeds recorded traces through the long-lived
+// VerificationService (persistent thread pool, batching, deadlines,
+// result cache) and emits one JSON verdict line per trace on stdout.
+//
+// Usage:
+//   vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]
+//           [--workers=N] [--batch=N] [--cache=N] [--deadline-ms=N]
+//           [--repeat=N] [--stats] [FILE...]
+//
+// Each FILE is one trace in the text_io format; lines starting with
+// "wo " are split out as the trace's write-order log (enabling the
+// polynomial Section 5.2 coherence path). With no FILE, stdin is read;
+// it may hold several traces separated by lines containing only "---".
+// All traces are submitted up front and verified concurrently by the
+// service; output order matches input order.
+//
+// --deadline-ms bounds each request's wall-clock latency (late requests
+// report "unknown" with "timed_out": true). --repeat submits the input
+// set N times, demonstrating the result cache. --stats appends a final
+// service-stats JSON line to stderr.
+//
+// Exit code: 0 all verified, 1 violation found, 2 undecided/usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/service.hpp"
+#include "trace/text_io.hpp"
+
+namespace {
+
+using namespace vermem;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]\n"
+      "               [--workers=N] [--batch=N] [--cache=N]\n"
+      "               [--deadline-ms=N] [--repeat=N] [--stats] [FILE...]\n");
+  return 2;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One trace's text, split into execution directives and write-order
+/// ("wo ...") lines, plus a display tag.
+struct TraceSource {
+  std::string tag;
+  std::string execution_text;
+  std::string write_order_text;
+};
+
+void split_wo_lines(const std::string& text, TraceSource& out) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const bool is_wo = line.rfind("wo ", 0) == 0 || line == "wo";
+    (is_wo ? out.write_order_text : out.execution_text) += line;
+    (is_wo ? out.write_order_text : out.execution_text) += '\n';
+  }
+}
+
+bool parse_size_arg(const std::string& arg, std::size_t prefix_len,
+                    std::size_t& out) {
+  try {
+    out = static_cast<std::size_t>(std::stoull(arg.substr(prefix_len)));
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+void print_response(const std::string& tag,
+                    const service::VerificationResponse& response) {
+  std::printf(
+      "{\"trace\":\"%s\",\"verdict\":\"%s\",\"reason\":\"%s\","
+      "\"timed_out\":%s,\"cancelled\":%s,\"cache_hit\":%s,"
+      "\"fingerprint\":\"%016llx\",\"ops\":%zu,\"addresses\":%zu,"
+      "\"queue_us\":%.1f,\"run_us\":%.1f}\n",
+      json_escape(tag).c_str(), to_string(response.verdict),
+      json_escape(response.reason).c_str(),
+      response.timed_out ? "true" : "false",
+      response.cancelled ? "true" : "false",
+      response.cache_hit ? "true" : "false",
+      static_cast<unsigned long long>(response.fingerprint),
+      response.num_operations, response.num_addresses, response.queue_micros,
+      response.run_micros);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "coherence";
+  std::size_t workers = 0;
+  std::size_t batch = 16;
+  std::size_t cache = 1024;
+  std::size_t deadline_ms = 0;
+  std::size_t repeat = 1;
+  bool print_stats = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool ok = true;
+    if (arg.rfind("--mode=", 0) == 0)
+      mode = arg.substr(7);
+    else if (arg.rfind("--workers=", 0) == 0)
+      ok = parse_size_arg(arg, 10, workers);
+    else if (arg.rfind("--batch=", 0) == 0)
+      ok = parse_size_arg(arg, 8, batch);
+    else if (arg.rfind("--cache=", 0) == 0)
+      ok = parse_size_arg(arg, 8, cache);
+    else if (arg.rfind("--deadline-ms=", 0) == 0)
+      ok = parse_size_arg(arg, 14, deadline_ms);
+    else if (arg.rfind("--repeat=", 0) == 0)
+      ok = parse_size_arg(arg, 9, repeat);
+    else if (arg == "--stats")
+      print_stats = true;
+    else if (arg.rfind("--", 0) == 0)
+      return usage();
+    else
+      paths.push_back(arg);
+    if (!ok) return usage();
+  }
+
+  service::CheckMode check_mode = service::CheckMode::kCoherence;
+  models::Model model = models::Model::kSc;
+  if (mode == "coherence") {
+    check_mode = service::CheckMode::kCoherence;
+  } else if (mode == "vscc") {
+    check_mode = service::CheckMode::kVscc;
+  } else if (mode == "sc" || mode == "tso" || mode == "pso" ||
+             mode == "coherence-only") {
+    check_mode = service::CheckMode::kConsistency;
+    model = mode == "sc"    ? models::Model::kSc
+            : mode == "tso" ? models::Model::kTso
+            : mode == "pso" ? models::Model::kPso
+                            : models::Model::kCoherenceOnly;
+  } else {
+    return usage();
+  }
+
+  std::vector<TraceSource> sources;
+  if (paths.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    const std::string all = buffer.str();
+    // Split stdin into traces on "---" separator lines.
+    TraceSource current;
+    std::size_t count = 0;
+    std::istringstream lines(all);
+    std::string line;
+    std::string chunk;
+    auto flush = [&] {
+      if (chunk.find_first_not_of(" \t\r\n") == std::string::npos) {
+        chunk.clear();
+        return;
+      }
+      current = {};
+      current.tag = "stdin[" + std::to_string(count++) + "]";
+      split_wo_lines(chunk, current);
+      sources.push_back(std::move(current));
+      chunk.clear();
+    };
+    while (std::getline(lines, line)) {
+      if (line.find_first_not_of('-') == std::string::npos &&
+          line.size() >= 3) {
+        flush();
+      } else {
+        chunk += line;
+        chunk += '\n';
+      }
+    }
+    flush();
+  } else {
+    for (const std::string& path : paths) {
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      TraceSource source;
+      source.tag = path;
+      split_wo_lines(buffer.str(), source);
+      sources.push_back(std::move(source));
+    }
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "no traces to verify\n");
+    return 2;
+  }
+
+  // Parse everything before spinning up the service so a malformed trace
+  // is a clean exit-2, not a half-verified stream.
+  std::vector<service::VerificationRequest> requests;
+  for (const TraceSource& source : sources) {
+    ParseResult parsed = parse_execution(source.execution_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: parse error at line %zu: %s\n",
+                   source.tag.c_str(), parsed.line, parsed.error.c_str());
+      return 2;
+    }
+    service::VerificationRequest request;
+    request.execution = std::move(parsed.execution);
+    if (!source.write_order_text.empty()) {
+      WriteOrderParseResult orders = parse_write_orders(source.write_order_text);
+      if (!orders.ok()) {
+        std::fprintf(stderr, "%s: write-order parse error: %s\n",
+                     source.tag.c_str(), orders.error.c_str());
+        return 2;
+      }
+      request.write_orders.emplace(orders.orders.begin(), orders.orders.end());
+    }
+    request.mode = check_mode;
+    request.model = model;
+    if (deadline_ms != 0)
+      request.deadline = std::chrono::milliseconds(deadline_ms);
+    request.tag = source.tag;
+    requests.push_back(std::move(request));
+  }
+
+  service::ServiceOptions options;
+  options.workers = workers;
+  options.max_batch = batch;
+  options.cache_capacity = cache;
+  service::VerificationService svc(options);
+
+  int exit_code = 0;
+  for (std::size_t round = 0; round < repeat; ++round) {
+    std::vector<service::VerificationService::Ticket> tickets;
+    tickets.reserve(requests.size());
+    for (const service::VerificationRequest& request : requests)
+      tickets.push_back(svc.submit(service::VerificationRequest(request)));
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const service::VerificationResponse response =
+          tickets[i].response.get();
+      print_response(requests[i].tag, response);
+      if (response.verdict == vmc::Verdict::kIncoherent)
+        exit_code = std::max(exit_code, 1);
+      else if (response.verdict == vmc::Verdict::kUnknown)
+        exit_code = std::max(exit_code, 2);
+    }
+  }
+
+  if (print_stats) {
+    const service::ServiceStats stats = svc.stats();
+    std::fprintf(stderr,
+                 "{\"submitted\":%llu,\"completed\":%llu,\"cache_hits\":%llu,"
+                 "\"cache_hit_rate\":%.3f,\"timed_out\":%llu,"
+                 "\"coherent\":%llu,\"incoherent\":%llu,\"unknown\":%llu,"
+                 "\"p50_us\":%.1f,\"p99_us\":%.1f,\"workers\":%zu}\n",
+                 static_cast<unsigned long long>(stats.submitted),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.cache_hits),
+                 stats.cache_hit_rate(),
+                 static_cast<unsigned long long>(stats.timed_out),
+                 static_cast<unsigned long long>(stats.coherent),
+                 static_cast<unsigned long long>(stats.incoherent),
+                 static_cast<unsigned long long>(stats.unknown),
+                 stats.p50_micros, stats.p99_micros, svc.num_workers());
+  }
+  svc.shutdown();
+  return exit_code;
+}
