@@ -1,0 +1,36 @@
+#include "analysis/analyzer.hpp"
+
+namespace vermem::analysis {
+
+AnalysisReport analyze(const AddressIndex& index,
+                       const vmc::WriteOrderMap* write_orders) {
+  AnalysisReport out;
+  out.addresses.reserve(index.num_addresses());
+  for (std::size_t i = 0; i < index.num_addresses(); ++i) {
+    const ProjectedView view = index.view_at(i);
+    const std::vector<OpRef>* order = nullptr;
+    if (write_orders) {
+      const auto it = write_orders->find(view.addr());
+      if (it != write_orders->end()) order = &it->second;
+    }
+    AddressAnalysis address;
+    address.profile = classify(view, order != nullptr);
+    lint_view(view, address.profile, order, address.diagnostics);
+    ++out.fragment_counts[static_cast<std::size_t>(address.profile.fragment)];
+    for (const Diagnostic& diagnostic : address.diagnostics) {
+      if (diagnostic.severity == Severity::kWarning)
+        ++out.warning_count;
+      else
+        ++out.info_count;
+    }
+    out.addresses.push_back(std::move(address));
+  }
+  return out;
+}
+
+AnalysisReport analyze(const Execution& exec,
+                       const vmc::WriteOrderMap* write_orders) {
+  return analyze(AddressIndex(exec), write_orders);
+}
+
+}  // namespace vermem::analysis

@@ -1,0 +1,47 @@
+#pragma once
+// Whole-trace static analysis: fragment classification plus the lint
+// rule set over every per-address projection, reusing one AddressIndex
+// pass (no rescans). This is the entry point vermemd --analyze, the
+// vermemlint CLI, and the service's analyze flag all share. Analysis is
+// purely static — it never runs a decision procedure — so it is O(n)
+// in the trace size and safe to run on every request.
+
+#include <array>
+#include <vector>
+
+#include "analysis/fragment.hpp"
+#include "analysis/lint.hpp"
+#include "vmc/checker.hpp"
+
+namespace vermem::analysis {
+
+/// Classification + diagnostics for one address.
+struct AddressAnalysis {
+  FragmentProfile profile;
+  std::vector<Diagnostic> diagnostics;  ///< rule-ID order, I001 last
+};
+
+struct AnalysisReport {
+  /// Per-address results, address-sorted (same order as AddressIndex).
+  std::vector<AddressAnalysis> addresses;
+  std::array<std::uint64_t, kNumFragments> fragment_counts{};
+  std::size_t warning_count = 0;
+  std::size_t info_count = 0;
+
+  [[nodiscard]] bool has_warnings() const noexcept {
+    return warning_count > 0;
+  }
+};
+
+/// Analyzes every address of an indexed execution. `write_orders`, when
+/// non-null, enables the write-order fragment and rule W004 for the
+/// addresses it covers.
+[[nodiscard]] AnalysisReport analyze(
+    const AddressIndex& index,
+    const vmc::WriteOrderMap* write_orders = nullptr);
+
+/// Convenience overload building the index internally.
+[[nodiscard]] AnalysisReport analyze(
+    const Execution& exec, const vmc::WriteOrderMap* write_orders = nullptr);
+
+}  // namespace vermem::analysis

@@ -1,0 +1,104 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/poly/write_order.hpp"
+
+namespace vermem::analysis {
+
+namespace {
+
+std::string op_at(const ProjectedView& view, OpRef original) {
+  return "P" + std::to_string(original.process) + "#" +
+         std::to_string(original.index) + " " + to_string(view.op(original));
+}
+
+}  // namespace
+
+void lint_view(const ProjectedView& view, const FragmentProfile& profile,
+               const std::vector<OpRef>* write_order,
+               std::vector<Diagnostic>& out) {
+  const Addr addr = view.addr();
+  auto emit = [&](RuleId rule, std::optional<OpRef> location,
+                  std::string message) {
+    out.push_back({rule, rule_severity(rule), addr, location,
+                   std::move(message)});
+  };
+
+  // W001/W002 need per-value locations; one scan shared by both, run
+  // only when the classifier's counters say either rule fires.
+  if (profile.values_written_thrice > 0 || profile.unread_values > 0) {
+    struct ValueSite {
+      std::uint32_t writes = 0;
+      bool read = false;
+      OpRef first_write;  ///< location for W002
+      OpRef third_write;  ///< location for W001
+    };
+    std::unordered_map<Value, ValueSite> sites;
+    for (const OpRef ref : view.refs()) {
+      const Operation& op = view.op(ref);
+      if (op.reads_memory()) sites[op.value_read].read = true;
+      if (op.writes_memory()) {
+        ValueSite& site = sites[op.value_written];
+        ++site.writes;
+        if (site.writes == 1) site.first_write = ref;
+        if (site.writes == 3) site.third_write = ref;
+      }
+    }
+    std::vector<Value> ordered;
+    ordered.reserve(sites.size());
+    for (const auto& [value, site] : sites)
+      if (site.writes > 0) ordered.push_back(value);
+    std::sort(ordered.begin(), ordered.end());
+    const auto fin = view.final_value();
+    for (const Value value : ordered) {
+      const ValueSite& site = sites[value];
+      if (site.writes > 2) {
+        emit(RuleId::kDuplicateValueWrite, site.third_write,
+             "value " + std::to_string(value) + " written " +
+                 std::to_string(site.writes) +
+                 " times (third write at " + op_at(view, site.third_write) +
+                 "); exceeds the 2-writes-per-value cap of the restricted "
+                 "fragment, exact verification may go exponential");
+      }
+      if (!site.read && !(fin && *fin == value)) {
+        emit(RuleId::kUnreadWrite, site.first_write,
+             "value " + std::to_string(value) + " written at " +
+                 op_at(view, site.first_write) +
+                 " is never read on address " + std::to_string(addr) +
+                 " and is not its final value");
+      }
+    }
+  }
+
+  if (profile.rmw_candidate_pairs > 0) {
+    for (std::size_t h = 0; h < view.num_histories(); ++h) {
+      const auto refs = view.history_refs(h);
+      for (std::size_t i = 1; i < refs.size(); ++i) {
+        if (view.op(refs[i - 1]).kind == OpKind::kRead &&
+            view.op(refs[i]).kind == OpKind::kWrite) {
+          emit(RuleId::kRmwAtomicityCandidate, refs[i - 1],
+               "read-then-write pair " + op_at(view, refs[i - 1]) + " ; " +
+                   op_at(view, refs[i]) +
+                   " on address " + std::to_string(addr) +
+                   " is not atomic; consider a read-modify-write");
+        }
+      }
+    }
+  }
+
+  if (write_order) {
+    const poly::WriteOrderLogCheck check =
+        poly::validate_write_order_log(view, *write_order);
+    if (!check.ok) {
+      emit(RuleId::kInconsistentWriteOrderLog, check.entry,
+           "write-order log for address " + std::to_string(addr) +
+               " does not validate: " + check.problem);
+    }
+  }
+
+  emit(RuleId::kFragmentClassification, std::nullopt, profile.summary());
+}
+
+}  // namespace vermem::analysis

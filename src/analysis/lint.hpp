@@ -1,0 +1,101 @@
+#pragma once
+// Lint rules over recorded traces: structured diagnostics with stable
+// rule IDs, a severity, and an operation location, in the style of a
+// compiler's warning set. Rules point at trace shapes that either void a
+// complexity guarantee from the paper (W001), waste verification effort
+// (W002), hint at a memory-system misconfiguration (W003, W004), or
+// simply report which Figure 5.3 fragment the trace landed in (I001).
+//
+// Rule catalog (docs/ANALYSIS.md holds the long-form version):
+//   W001 duplicate-value-write       value written more than twice; the
+//                                    trace leaves the <=2 writes/value
+//                                    fragment of the restricted 3SAT
+//                                    reduction (Figure 5.1) and exact
+//                                    verification may go exponential
+//   W002 unread-write                a written value no read observes
+//                                    (and not the final value): dead
+//                                    traffic or a coverage gap in the
+//                                    recorded trace
+//   W003 rmw-atomicity-candidate     adjacent read-then-write pair on
+//                                    one address in one history: the
+//                                    non-atomic shape where atomicity
+//                                    violations hide; consider RMW
+//   W004 inconsistent-write-order-log supplied write-order log does not
+//                                    validate against the trace
+//   I001 fragment-classification     the address's fragment + bound
+//
+// Severities: W-rules are warnings (vermemlint exits nonzero iff one
+// fires), I-rules are informational.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/fragment.hpp"
+#include "trace/address_index.hpp"
+
+namespace vermem::analysis {
+
+enum class RuleId : std::uint8_t {
+  kDuplicateValueWrite,        ///< W001
+  kUnreadWrite,                ///< W002
+  kRmwAtomicityCandidate,      ///< W003
+  kInconsistentWriteOrderLog,  ///< W004
+  kFragmentClassification,     ///< I001
+};
+
+enum class Severity : std::uint8_t { kInfo, kWarning };
+
+[[nodiscard]] constexpr const char* rule_code(RuleId rule) noexcept {
+  switch (rule) {
+    case RuleId::kDuplicateValueWrite: return "W001";
+    case RuleId::kUnreadWrite: return "W002";
+    case RuleId::kRmwAtomicityCandidate: return "W003";
+    case RuleId::kInconsistentWriteOrderLog: return "W004";
+    case RuleId::kFragmentClassification: return "I001";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* rule_name(RuleId rule) noexcept {
+  switch (rule) {
+    case RuleId::kDuplicateValueWrite: return "duplicate-value-write";
+    case RuleId::kUnreadWrite: return "unread-write";
+    case RuleId::kRmwAtomicityCandidate: return "rmw-atomicity-candidate";
+    case RuleId::kInconsistentWriteOrderLog:
+      return "inconsistent-write-order-log";
+    case RuleId::kFragmentClassification: return "fragment-classification";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr Severity rule_severity(RuleId rule) noexcept {
+  return rule == RuleId::kFragmentClassification ? Severity::kInfo
+                                                 : Severity::kWarning;
+}
+
+[[nodiscard]] constexpr const char* to_string(Severity severity) noexcept {
+  return severity == Severity::kWarning ? "warning" : "info";
+}
+
+/// One finding: rule, severity, the address it concerns, and (when the
+/// rule points at a specific operation) a location in original-execution
+/// coordinates.
+struct Diagnostic {
+  RuleId rule = RuleId::kFragmentClassification;
+  Severity severity = Severity::kInfo;
+  Addr addr = 0;
+  std::optional<OpRef> location;
+  std::string message;
+};
+
+/// Runs every rule over one per-address projection. `profile` must be
+/// classify()'s output for the same view (the lint pass reuses its
+/// counters to skip rules that cannot fire). `write_order`, when
+/// non-null, is the address's serialization log (rule W004).
+/// Diagnostics are appended in rule-ID order, I001 last.
+void lint_view(const ProjectedView& view, const FragmentProfile& profile,
+               const std::vector<OpRef>* write_order,
+               std::vector<Diagnostic>& out);
+
+}  // namespace vermem::analysis

@@ -1,0 +1,13 @@
+#include "analysis/poly/one_op.hpp"
+
+#include "vmc/special.hpp"
+
+namespace vermem::analysis::poly {
+
+vmc::CheckResult decide_one_op(const vmc::VmcInstance& instance,
+                               bool rmw_only) {
+  return rmw_only ? vmc::check_rmw_one_op_per_process(instance)
+                  : vmc::check_one_op_per_process(instance);
+}
+
+}  // namespace vermem::analysis::poly

@@ -1,0 +1,20 @@
+#pragma once
+// Fragment decider: "1 Operation/Process" (Figure 5.3 row 1).
+//
+// Thin routing shim over the proven Section 5 special-case checkers: the
+// classifier has already established the precondition (max one operation
+// per history, and whether the instance is all-RMW), so the decider just
+// picks the simple or the Eulerian-trail variant. Both run in O(n).
+
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::analysis::poly {
+
+/// Decides a one-op-per-process instance. `rmw_only` comes from the
+/// FragmentProfile; passing the wrong flag yields kUnknown (the wrapped
+/// checker re-verifies its precondition), never a wrong verdict.
+[[nodiscard]] vmc::CheckResult decide_one_op(const vmc::VmcInstance& instance,
+                                             bool rmw_only);
+
+}  // namespace vermem::analysis::poly

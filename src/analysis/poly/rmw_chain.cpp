@@ -1,0 +1,76 @@
+#include "analysis/poly/rmw_chain.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace vermem::analysis::poly {
+
+using vmc::CheckResult;
+using vmc::VmcInstance;
+
+CheckResult decide_rmw_chain(const VmcInstance& instance) {
+  if (const auto why = instance.malformed())
+    return CheckResult::unknown("malformed instance: " + *why);
+  if (!instance.all_rmw())
+    return CheckResult::unknown("not applicable: non-RMW operation present");
+
+  const std::size_t total = instance.num_operations();
+  const Value initial = instance.initial_value();
+  const auto fin = instance.final_value();
+  if (total == 0) {
+    if (fin && *fin != initial)
+      return CheckResult::no("no operations, final value differs from initial");
+    return CheckResult::yes({});
+  }
+
+  // Heads of each history; readers[v] lists the processes whose head
+  // currently reads v. Each process sits in exactly one bucket, so the
+  // total bucket churn over the walk is O(n).
+  const std::size_t num_histories = instance.num_histories();
+  std::vector<std::uint32_t> next(num_histories, 0);
+  std::unordered_map<Value, std::vector<std::uint32_t>> readers;
+  readers.reserve(num_histories);
+  for (std::uint32_t p = 0; p < num_histories; ++p) {
+    const auto& history = instance.execution.history(p);
+    if (!history.empty()) readers[history[0].value_read].push_back(p);
+  }
+
+  Schedule schedule;
+  schedule.reserve(total);
+  vmc::SearchStats stats;
+  Value current = initial;
+  for (std::size_t step = 0; step < total; ++step) {
+    ++stats.transitions;
+    const auto it = readers.find(current);
+    if (it == readers.end() || it->second.empty()) {
+      // The prefix so far was forced, so no coherent schedule continues
+      // from here: a genuine incoherence proof, not a search failure.
+      return CheckResult::no(
+          "RMW chain stalls after " + std::to_string(step) +
+              " operations: nothing reads value " + std::to_string(current),
+          stats);
+    }
+    if (it->second.size() > 1) {
+      return CheckResult::unknown(
+          "chain not forced: " + std::to_string(it->second.size()) +
+              " enabled RMWs read value " + std::to_string(current),
+          stats);
+    }
+    const std::uint32_t p = it->second.front();
+    it->second.clear();
+    const auto& history = instance.execution.history(p);
+    const OpRef ref{p, next[p]};
+    schedule.push_back(ref);
+    current = history[next[p]].value_written;
+    if (++next[p] < history.size())
+      readers[history[next[p]].value_read].push_back(p);
+  }
+  if (fin && current != *fin)
+    return CheckResult::no("forced chain ends at " + std::to_string(current) +
+                               ", final value is " + std::to_string(*fin),
+                           stats);
+  return CheckResult::yes(std::move(schedule), stats);
+}
+
+}  // namespace vermem::analysis::poly

@@ -1,0 +1,29 @@
+#pragma once
+// Fragment decider: all-RMW instances (Figure 5.3 RMW column, general row
+// fast path).
+//
+// In an all-RMW instance every scheduled operation must read the value
+// the previous one wrote, so a coherent schedule is a single chain
+// through the value graph starting at the initial value. The chain is
+// not always forced — several enabled operations may read the current
+// value — and the general all-RMW problem stays NP-hard. But real RMW
+// traffic (locks, counters, CAS loops) almost always yields a *forced*
+// chain: at each step exactly one program-order-enabled operation reads
+// the current value. This decider walks that chain in O(n); on a stall
+// with zero candidates it is a proof of incoherence (the prefix was the
+// only possible one), and when the chain ever branches it returns
+// kUnknown so the router falls back to the exact search. It never
+// guesses: every verdict is sound.
+
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::analysis::poly {
+
+/// Decides an all-RMW instance by forced-chain walking. Returns
+/// kCoherent with a witness, kIncoherent on a stall, or kUnknown when
+/// the chain branches (more than one enabled reader of the current
+/// value) and the walk cannot proceed deterministically.
+[[nodiscard]] vmc::CheckResult decide_rmw_chain(const vmc::VmcInstance& instance);
+
+}  // namespace vermem::analysis::poly

@@ -1,0 +1,13 @@
+#include "analysis/poly/write_once.hpp"
+
+#include "vmc/special.hpp"
+
+namespace vermem::analysis::poly {
+
+vmc::CheckResult decide_write_once(const vmc::VmcInstance& instance,
+                                   bool rmw_only) {
+  return rmw_only ? vmc::check_rmw_read_map(instance)
+                  : vmc::check_read_map(instance);
+}
+
+}  // namespace vermem::analysis::poly

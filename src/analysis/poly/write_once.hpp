@@ -1,0 +1,20 @@
+#pragma once
+// Fragment decider: "1 Write/Value" / read-map known (Figure 5.3 row 3).
+//
+// When every value is written at most once (and no write restores the
+// initial value) the read-map is implied by the data: each read names its
+// writer. The simple variant reduces to a precedence-graph acyclicity
+// check over write clusters; the all-RMW variant to a single forced
+// chain walk. Both run in O(n) — the paper lists O(n) and O(n lg n).
+
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::analysis::poly {
+
+/// Decides a write-once instance. `rmw_only` comes from the
+/// FragmentProfile; a wrong flag yields kUnknown, never a wrong verdict.
+[[nodiscard]] vmc::CheckResult decide_write_once(const vmc::VmcInstance& instance,
+                                                 bool rmw_only);
+
+}  // namespace vermem::analysis::poly

@@ -1,0 +1,46 @@
+#pragma once
+// Fragment decider: write-order supplied (Section 5.2, Figure 5.3 row 4).
+//
+// When the memory system reports the serialization order of writes, the
+// question becomes "is there a coherent schedule embedding exactly this
+// write order" — polynomial: O(W + R*W) greedy read insertion for mixed
+// traces, O(n) for all-RMW. This decider remaps an original-coordinate
+// write-order log into the projected instance and dispatches to the
+// Section 5.2 checkers; validate_write_order_log() is the static half,
+// shared with lint rule W004 (inconsistent-write-order-log), which
+// checks a log against a ProjectedView without deciding coherence.
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "trace/address_index.hpp"
+#include "vmc/instance.hpp"
+#include "vmc/result.hpp"
+#include "vmc/write_order.hpp"
+
+namespace vermem::analysis::poly {
+
+/// Static validation verdict for one address's write-order log.
+struct WriteOrderLogCheck {
+  bool ok = true;
+  std::string problem;  ///< empty when ok
+  /// Offending log entry (original coordinates) when one exists.
+  std::optional<OpRef> entry;
+};
+
+/// Statically validates an original-coordinate write-order log against a
+/// projection: every entry must be a distinct writing operation on the
+/// view's address, the log must cover all of them, and it must not
+/// contradict program order. O(n_a + |log| log n_a).
+[[nodiscard]] WriteOrderLogCheck validate_write_order_log(
+    const ProjectedView& view, std::span<const OpRef> order);
+
+/// Decides coherence of the (already materialized) instance under the
+/// given original-coordinate write order. `view` provides the coordinate
+/// remap; `rmw_only` picks the O(n) all-RMW chain scan.
+[[nodiscard]] vmc::CheckResult decide_with_write_order(
+    const vmc::VmcInstance& instance, const ProjectedView& view,
+    std::span<const OpRef> order, bool rmw_only);
+
+}  // namespace vermem::analysis::poly

@@ -1,0 +1,87 @@
+#pragma once
+// Shape-directed routing: classify each per-address projection into its
+// Figure 5.3 fragment and dispatch it to the cheapest dedicated decider.
+//
+// This is the analysis subsystem's hot-path scheduler. Where
+// vmc::check_auto probes each special case in turn by rescanning the
+// instance, the router classifies once from the ProjectedView (a single
+// arena scan, reusing AddressIndex stats) and jumps straight to the
+// fragment's polynomial decider; only kBoundedProcesses/kGeneral
+// instances — and the rare branching RMW chain — reach the exact
+// frontier search. Verdicts are identical to the vmc cascade by
+// construction (every polynomial decider is sound, and any kUnknown
+// from a structural decider falls back to exact); the differential
+// suite in tests/analysis_test.cpp enforces that.
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/fragment.hpp"
+#include "vmc/checker.hpp"
+
+namespace vermem::analysis {
+
+/// Which decision procedure produced the verdict.
+enum class Decider : std::uint8_t {
+  kTrivial,     ///< empty projection, vacuous verdict
+  kOneOp,       ///< poly/one_op
+  kWriteOnce,   ///< poly/write_once
+  kWriteOrder,  ///< poly/write_order (Section 5.2)
+  kRmwChain,    ///< poly/rmw_chain forced walk
+  kExact,       ///< exact frontier search (incl. fallbacks)
+};
+
+inline constexpr std::size_t kNumDeciders =
+    static_cast<std::size_t>(Decider::kExact) + 1;
+
+[[nodiscard]] constexpr const char* to_string(Decider d) noexcept {
+  switch (d) {
+    case Decider::kTrivial: return "trivial";
+    case Decider::kOneOp: return "one-op";
+    case Decider::kWriteOnce: return "write-once";
+    case Decider::kWriteOrder: return "write-order";
+    case Decider::kRmwChain: return "rmw-chain";
+    case Decider::kExact: return "exact";
+  }
+  return "?";
+}
+
+/// Verdict plus routing provenance for one address.
+struct RouteOutcome {
+  vmc::CheckResult result;
+  Fragment fragment = Fragment::kGeneral;
+  Decider decider = Decider::kExact;
+  /// True when a polynomial decider bailed (kUnknown) and the exact
+  /// search produced the verdict instead.
+  bool fell_back = false;
+};
+
+/// Classifies and decides one projection. `write_order`, when non-null,
+/// is this address's serialization log in original-execution
+/// coordinates; the witness in the outcome is likewise translated back
+/// to original coordinates.
+[[nodiscard]] RouteOutcome check_routed(
+    const ProjectedView& view, const std::vector<OpRef>* write_order,
+    const vmc::ExactOptions& exact_options = {});
+
+/// verify_coherence with routing provenance: same verdicts as the vmc
+/// entry points (addresses in sorted order, early exit bookkeeping via
+/// CoherenceReport), plus per-address fragments/deciders and aggregate
+/// routing counters for service stats.
+struct RoutedReport {
+  vmc::CoherenceReport report;
+  /// Parallel to report.addresses.
+  std::vector<Fragment> fragments;
+  std::vector<Decider> deciders;
+  std::array<std::uint64_t, kNumFragments> fragment_counts{};
+  std::array<std::uint64_t, kNumDeciders> decider_counts{};
+  std::uint64_t poly_routed = 0;   ///< addresses decided polynomially
+  std::uint64_t exact_routed = 0;  ///< addresses that reached exact search
+};
+
+[[nodiscard]] RoutedReport verify_coherence_routed(
+    const AddressIndex& index,
+    const vmc::WriteOrderMap* write_orders = nullptr,
+    const vmc::ExactOptions& exact_options = {});
+
+}  // namespace vermem::analysis

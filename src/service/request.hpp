@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/analyzer.hpp"
 #include "models/model.hpp"
 #include "trace/execution.hpp"
 #include "vmc/checker.hpp"
@@ -65,6 +66,11 @@ struct VerificationRequest {
   std::optional<std::chrono::milliseconds> deadline;
   /// Skip cache lookup and insertion for this request.
   bool bypass_cache = false;
+  /// Also run the static trace analyzer (fragment classification + lint
+  /// rules) and attach its report to the response. Analyze requests
+  /// bypass the result cache: a cached verdict carries no analysis, and
+  /// the analysis itself is a cheap O(n) pass.
+  bool analyze = false;
   /// Opaque caller label (e.g. a file name); echoed in the response.
   std::string tag;
 };
@@ -87,6 +93,9 @@ struct VerificationResponse {
   /// Per-address detail for coherence-bearing modes; empty for cache hits
   /// and consistency-mode requests.
   vmc::CoherenceReport coherence;
+  /// Static analysis report; populated iff request.analyze was set.
+  bool analyzed = false;
+  analysis::AnalysisReport analysis;
 };
 
 }  // namespace vermem::service

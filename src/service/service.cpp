@@ -86,10 +86,11 @@ VerificationService::Ticket VerificationService::submit(
   if (slot->request.deadline)
     slot->deadline = Deadline(*slot->request.deadline);
   // The fingerprint exists to key the cache; an uncacheable request
-  // (bypass, or cache disabled) skips the O(n) hashing pass and reports
-  // fingerprint 0.
-  slot->cacheable =
-      !slot->request.bypass_cache && options_.cache_capacity != 0;
+  // (bypass, analyze, or cache disabled) skips the O(n) hashing pass and
+  // reports fingerprint 0. Analyze requests are uncacheable because a
+  // cached verdict carries no analysis report.
+  slot->cacheable = !slot->request.bypass_cache && !slot->request.analyze &&
+                    options_.cache_capacity != 0;
   if (slot->cacheable) {
     slot->fingerprint =
         slot->request.write_orders
@@ -237,14 +238,24 @@ VerificationResponse VerificationService::execute(Slot& slot) {
 
   switch (slot.request.mode) {
     case CheckMode::kCoherence: {
-      vmc::CoherenceReport report =
-          slot.request.write_orders
-              ? vmc::verify_coherence_with_write_order(
-                    *slot.index, *slot.request.write_orders, exact)
-              : vmc::verify_coherence(*slot.index, exact);
-      response.verdict = report.verdict;
-      response.reason = reason_for(report);
-      response.coherence = std::move(report);
+      // Shape-directed routing: classify each per-address projection into
+      // its Figure 5.3 fragment and decide it with the dedicated
+      // polynomial checker; only general-shaped instances reach the
+      // exact search. Verdicts match the plain vmc cascade.
+      analysis::RoutedReport routed = analysis::verify_coherence_routed(
+          *slot.index,
+          slot.request.write_orders ? &*slot.request.write_orders : nullptr,
+          exact);
+      response.verdict = routed.report.verdict;
+      response.reason = reason_for(routed.report);
+      response.coherence = std::move(routed.report);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t f = 0; f < analysis::kNumFragments; ++f)
+          counters_.fragments[f] += routed.fragment_counts[f];
+        counters_.poly_routed += routed.poly_routed;
+        counters_.exact_routed += routed.exact_routed;
+      }
       break;
     }
     case CheckMode::kVscc: {
@@ -272,6 +283,19 @@ VerificationResponse VerificationService::execute(Slot& slot) {
       response.verdict = result.verdict;
       response.reason = result.note;
       break;
+    }
+  }
+
+  if (slot.request.analyze) {
+    // Static pass over the same AddressIndex the checkers used; cheap
+    // (O(n)) and deterministic, so it runs even after an unknown verdict.
+    response.analysis = analysis::analyze(
+        *slot.index,
+        slot.request.write_orders ? &*slot.request.write_orders : nullptr);
+    response.analyzed = true;
+    if (response.analysis.warning_count > 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      counters_.lint_warnings += response.analysis.warning_count;
     }
   }
 

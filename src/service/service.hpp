@@ -22,6 +22,7 @@
 // future is eventually resolved, including across shutdown (pending and
 // in-flight requests resolve as cancelled).
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -33,6 +34,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/router.hpp"
 #include "service/cache.hpp"
 #include "service/request.hpp"
 #include "support/parallel.hpp"
@@ -64,6 +66,15 @@ struct ServiceStats {
   std::size_t cache_entries = 0;
   double p50_micros = 0;  ///< end-to-end latency, recent window
   double p99_micros = 0;
+  /// Routing provenance from the Figure 5.3 fragment classifier, summed
+  /// over every address of every coherence-mode request: how many
+  /// per-address instances landed in each fragment, and how many were
+  /// decided polynomially vs by the exact frontier search.
+  std::array<std::uint64_t, analysis::kNumFragments> fragments{};
+  std::uint64_t poly_routed = 0;
+  std::uint64_t exact_routed = 0;
+  /// Warning-severity lint diagnostics emitted by analyze requests.
+  std::uint64_t lint_warnings = 0;
 
   [[nodiscard]] double cache_hit_rate() const noexcept {
     const double total =

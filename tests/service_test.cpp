@@ -325,6 +325,34 @@ TEST(Service, WriteOrderRequestsUsePolynomialPath) {
   EXPECT_EQ(reversed_response.verdict, vmc::Verdict::kIncoherent);
 }
 
+TEST(Service, AnalyzeFlagEmbedsReportAndStatsCountRouting) {
+  VerificationService svc;
+  // Three writes of value 1 (W001) and an adjacent R;W pair (W003).
+  VerificationRequest request = coherence_request(exec_from(
+      "init 0 0\n"
+      "P: W(0,1) R(0,1) W(0,1) W(0,1)\n"));
+  request.analyze = true;
+  const VerificationResponse response =
+      svc.submit(std::move(request)).response.get();
+  EXPECT_EQ(response.verdict, vmc::Verdict::kCoherent);
+  ASSERT_TRUE(response.analyzed);
+  ASSERT_EQ(response.analysis.addresses.size(), 1u);
+  EXPECT_TRUE(response.analysis.has_warnings());
+  // Analyze responses are not cached: a repeat is a fresh verification.
+  VerificationRequest again = coherence_request(exec_from(
+      "init 0 0\n"
+      "P: W(0,1) R(0,1) W(0,1) W(0,1)\n"));
+  again.analyze = true;
+  EXPECT_FALSE(svc.submit(std::move(again)).response.get().cache_hit);
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.poly_routed + stats.exact_routed, 2u);
+  EXPECT_GT(stats.lint_warnings, 0u);
+  std::uint64_t classified = 0;
+  for (const std::uint64_t count : stats.fragments) classified += count;
+  EXPECT_EQ(classified, 2u);
+}
+
 TEST(Service, ConsistencyModeChecksModels) {
   VerificationService svc;
   // Dekker/SB: coherent per address, but not sequentially consistent.

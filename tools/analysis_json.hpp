@@ -1,0 +1,54 @@
+#pragma once
+// JSON rendering of an AnalysisReport, shared by `vermemd --analyze`
+// and the standalone vermemlint CLI so both emit the same object shape:
+//   {"warnings":N,"infos":N,
+//    "fragments":[{"addr":A,"fragment":"write-once","bound":"O(n)"}...],
+//    "diagnostics":[{"rule":"W001","name":"duplicate-value-write",
+//                    "severity":"warning","addr":A,"op":"P0#2",
+//                    "message":"..."}...]}
+
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "trace_stream.hpp"
+
+namespace vermem::tools {
+
+inline std::string analysis_json(const analysis::AnalysisReport& report) {
+  std::string out = "{\"warnings\":" + std::to_string(report.warning_count) +
+                    ",\"infos\":" + std::to_string(report.info_count) +
+                    ",\"fragments\":[";
+  bool first = true;
+  for (const analysis::AddressAnalysis& address : report.addresses) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"addr\":" + std::to_string(address.profile.addr) +
+           ",\"fragment\":\"" + to_string(address.profile.fragment) +
+           "\",\"bound\":\"" + complexity_bound(address.profile.fragment) +
+           "\"}";
+  }
+  out += "],\"diagnostics\":[";
+  first = true;
+  for (const analysis::AddressAnalysis& address : report.addresses) {
+    for (const analysis::Diagnostic& diagnostic : address.diagnostics) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"rule\":\"";
+      out += rule_code(diagnostic.rule);
+      out += "\",\"name\":\"";
+      out += rule_name(diagnostic.rule);
+      out += "\",\"severity\":\"";
+      out += to_string(diagnostic.severity);
+      out += "\",\"addr\":" + std::to_string(diagnostic.addr);
+      if (diagnostic.location) {
+        out += ",\"op\":\"P" + std::to_string(diagnostic.location->process) +
+               "#" + std::to_string(diagnostic.location->index) + "\"";
+      }
+      out += ",\"message\":\"" + json_escape(diagnostic.message) + "\"}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace vermem::tools

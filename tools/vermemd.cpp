@@ -6,7 +6,7 @@
 // Usage:
 //   vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]
 //           [--workers=N] [--batch=N] [--cache=N] [--deadline-ms=N]
-//           [--repeat=N] [--stats] [FILE...]
+//           [--repeat=N] [--analyze] [--stats] [FILE...]
 //
 // Each FILE is one trace in the text_io format; lines starting with
 // "wo " are split out as the trace's write-order log (enabling the
@@ -17,21 +17,30 @@
 //
 // --deadline-ms bounds each request's wall-clock latency (late requests
 // report "unknown" with "timed_out": true). --repeat submits the input
-// set N times, demonstrating the result cache. --stats appends a final
-// service-stats JSON line to stderr.
+// set N times, demonstrating the result cache. --analyze additionally
+// runs the static trace analyzer on every request and embeds one
+// "analysis" JSON object per trace (fragment classification per address
+// plus lint diagnostics with rule IDs and severities). --stats appends
+// a final service-stats JSON line to stderr, including the fragment
+// routing counters.
 //
-// Exit code: 0 all verified, 1 violation found, 2 undecided/usage error.
+// Exit codes (see docs/SERVICE.md):
+//   0  every trace verified with a definite coherent/admissible verdict
+//   1  at least one trace is incoherent (a violation was found)
+//   2  usage or parse error; nothing was verified
+//   3  no violation, but at least one verdict is unknown (deadline,
+//      cancellation, or effort budget) — CI smoke tests assert "no
+//      timeouts" by requiring exit != 3
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <string_view>
 #include <vector>
 
+#include "analysis_json.hpp"
 #include "service/service.hpp"
 #include "trace/text_io.hpp"
+#include "trace_stream.hpp"
 
 namespace {
 
@@ -42,58 +51,9 @@ int usage() {
       stderr,
       "usage: vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]\n"
       "               [--workers=N] [--batch=N] [--cache=N]\n"
-      "               [--deadline-ms=N] [--repeat=N] [--stats] [FILE...]\n");
+      "               [--deadline-ms=N] [--repeat=N] [--analyze] [--stats]\n"
+      "               [FILE...]\n");
   return 2;
-}
-
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// One trace's text, split into execution directives and write-order
-/// ("wo ...") lines, plus a display tag.
-struct TraceSource {
-  std::string tag;
-  std::string execution_text;
-  std::string write_order_text;
-};
-
-void split_wo_lines(const std::string& text, TraceSource& out) {
-  std::istringstream lines(text);
-  std::string line;
-  while (std::getline(lines, line)) {
-    const bool is_wo = line.rfind("wo ", 0) == 0 || line == "wo";
-    (is_wo ? out.write_order_text : out.execution_text) += line;
-    (is_wo ? out.write_order_text : out.execution_text) += '\n';
-  }
-}
-
-bool parse_size_arg(const std::string& arg, std::size_t prefix_len,
-                    std::size_t& out) {
-  try {
-    out = static_cast<std::size_t>(std::stoull(arg.substr(prefix_len)));
-    return true;
-  } catch (...) {
-    return false;
-  }
 }
 
 void print_response(const std::string& tag,
@@ -102,15 +62,19 @@ void print_response(const std::string& tag,
       "{\"trace\":\"%s\",\"verdict\":\"%s\",\"reason\":\"%s\","
       "\"timed_out\":%s,\"cancelled\":%s,\"cache_hit\":%s,"
       "\"fingerprint\":\"%016llx\",\"ops\":%zu,\"addresses\":%zu,"
-      "\"queue_us\":%.1f,\"run_us\":%.1f}\n",
-      json_escape(tag).c_str(), to_string(response.verdict),
-      json_escape(response.reason).c_str(),
+      "\"queue_us\":%.1f,\"run_us\":%.1f",
+      tools::json_escape(tag).c_str(), to_string(response.verdict),
+      tools::json_escape(response.reason).c_str(),
       response.timed_out ? "true" : "false",
       response.cancelled ? "true" : "false",
       response.cache_hit ? "true" : "false",
       static_cast<unsigned long long>(response.fingerprint),
       response.num_operations, response.num_addresses, response.queue_micros,
       response.run_micros);
+  if (response.analyzed)
+    std::printf(",\"analysis\":%s",
+                tools::analysis_json(response.analysis).c_str());
+  std::printf("}\n");
 }
 
 }  // namespace
@@ -122,6 +86,7 @@ int main(int argc, char** argv) {
   std::size_t cache = 1024;
   std::size_t deadline_ms = 0;
   std::size_t repeat = 1;
+  bool analyze = false;
   bool print_stats = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -130,15 +95,17 @@ int main(int argc, char** argv) {
     if (arg.rfind("--mode=", 0) == 0)
       mode = arg.substr(7);
     else if (arg.rfind("--workers=", 0) == 0)
-      ok = parse_size_arg(arg, 10, workers);
+      ok = tools::parse_size_arg(arg, 10, workers);
     else if (arg.rfind("--batch=", 0) == 0)
-      ok = parse_size_arg(arg, 8, batch);
+      ok = tools::parse_size_arg(arg, 8, batch);
     else if (arg.rfind("--cache=", 0) == 0)
-      ok = parse_size_arg(arg, 8, cache);
+      ok = tools::parse_size_arg(arg, 8, cache);
     else if (arg.rfind("--deadline-ms=", 0) == 0)
-      ok = parse_size_arg(arg, 14, deadline_ms);
+      ok = tools::parse_size_arg(arg, 14, deadline_ms);
     else if (arg.rfind("--repeat=", 0) == 0)
-      ok = parse_size_arg(arg, 9, repeat);
+      ok = tools::parse_size_arg(arg, 9, repeat);
+    else if (arg == "--analyze")
+      analyze = true;
     else if (arg == "--stats")
       print_stats = true;
     else if (arg.rfind("--", 0) == 0)
@@ -165,53 +132,8 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  std::vector<TraceSource> sources;
-  if (paths.empty()) {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    const std::string all = buffer.str();
-    // Split stdin into traces on "---" separator lines.
-    TraceSource current;
-    std::size_t count = 0;
-    std::istringstream lines(all);
-    std::string line;
-    std::string chunk;
-    auto flush = [&] {
-      if (chunk.find_first_not_of(" \t\r\n") == std::string::npos) {
-        chunk.clear();
-        return;
-      }
-      current = {};
-      current.tag = "stdin[" + std::to_string(count++) + "]";
-      split_wo_lines(chunk, current);
-      sources.push_back(std::move(current));
-      chunk.clear();
-    };
-    while (std::getline(lines, line)) {
-      if (line.find_first_not_of('-') == std::string::npos &&
-          line.size() >= 3) {
-        flush();
-      } else {
-        chunk += line;
-        chunk += '\n';
-      }
-    }
-    flush();
-  } else {
-    for (const std::string& path : paths) {
-      std::ifstream file(path);
-      if (!file) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 2;
-      }
-      std::ostringstream buffer;
-      buffer << file.rdbuf();
-      TraceSource source;
-      source.tag = path;
-      split_wo_lines(buffer.str(), source);
-      sources.push_back(std::move(source));
-    }
-  }
+  std::vector<tools::TraceSource> sources;
+  if (!tools::load_trace_sources(paths, sources)) return 2;
   if (sources.empty()) {
     std::fprintf(stderr, "no traces to verify\n");
     return 2;
@@ -220,7 +142,7 @@ int main(int argc, char** argv) {
   // Parse everything before spinning up the service so a malformed trace
   // is a clean exit-2, not a half-verified stream.
   std::vector<service::VerificationRequest> requests;
-  for (const TraceSource& source : sources) {
+  for (const tools::TraceSource& source : sources) {
     ParseResult parsed = parse_execution(source.execution_text);
     if (!parsed.ok()) {
       std::fprintf(stderr, "%s: parse error at line %zu: %s\n",
@@ -242,6 +164,7 @@ int main(int argc, char** argv) {
     request.model = model;
     if (deadline_ms != 0)
       request.deadline = std::chrono::milliseconds(deadline_ms);
+    request.analyze = analyze;
     request.tag = source.tag;
     requests.push_back(std::move(request));
   }
@@ -252,7 +175,8 @@ int main(int argc, char** argv) {
   options.cache_capacity = cache;
   service::VerificationService svc(options);
 
-  int exit_code = 0;
+  bool any_incoherent = false;
+  bool any_unknown = false;
   for (std::size_t round = 0; round < repeat; ++round) {
     std::vector<service::VerificationService::Ticket> tickets;
     tickets.reserve(requests.size());
@@ -263,19 +187,29 @@ int main(int argc, char** argv) {
           tickets[i].response.get();
       print_response(requests[i].tag, response);
       if (response.verdict == vmc::Verdict::kIncoherent)
-        exit_code = std::max(exit_code, 1);
+        any_incoherent = true;
       else if (response.verdict == vmc::Verdict::kUnknown)
-        exit_code = std::max(exit_code, 2);
+        any_unknown = true;
     }
   }
 
   if (print_stats) {
     const service::ServiceStats stats = svc.stats();
+    std::string fragments;
+    for (std::size_t f = 0; f < analysis::kNumFragments; ++f) {
+      if (stats.fragments[f] == 0) continue;
+      if (!fragments.empty()) fragments += ",";
+      fragments += "\"";
+      fragments += to_string(static_cast<analysis::Fragment>(f));
+      fragments += "\":" + std::to_string(stats.fragments[f]);
+    }
     std::fprintf(stderr,
                  "{\"submitted\":%llu,\"completed\":%llu,\"cache_hits\":%llu,"
                  "\"cache_hit_rate\":%.3f,\"timed_out\":%llu,"
                  "\"coherent\":%llu,\"incoherent\":%llu,\"unknown\":%llu,"
-                 "\"p50_us\":%.1f,\"p99_us\":%.1f,\"workers\":%zu}\n",
+                 "\"p50_us\":%.1f,\"p99_us\":%.1f,\"workers\":%zu,"
+                 "\"poly_routed\":%llu,\"exact_routed\":%llu,"
+                 "\"lint_warnings\":%llu,\"fragments\":{%s}}\n",
                  static_cast<unsigned long long>(stats.submitted),
                  static_cast<unsigned long long>(stats.completed),
                  static_cast<unsigned long long>(stats.cache_hits),
@@ -284,8 +218,14 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.coherent),
                  static_cast<unsigned long long>(stats.incoherent),
                  static_cast<unsigned long long>(stats.unknown),
-                 stats.p50_micros, stats.p99_micros, svc.num_workers());
+                 stats.p50_micros, stats.p99_micros, svc.num_workers(),
+                 static_cast<unsigned long long>(stats.poly_routed),
+                 static_cast<unsigned long long>(stats.exact_routed),
+                 static_cast<unsigned long long>(stats.lint_warnings),
+                 fragments.c_str());
   }
   svc.shutdown();
-  return exit_code;
+  if (any_incoherent) return 1;
+  if (any_unknown) return 3;
+  return 0;
 }

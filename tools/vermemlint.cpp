@@ -1,0 +1,122 @@
+// vermemlint: standalone static trace linter. Runs the analysis
+// subsystem (Figure 5.3 fragment classification + the W/I rule catalog,
+// see docs/ANALYSIS.md) over recorded traces WITHOUT deciding
+// coherence: a pure O(n) static pass, suitable as a pre-submit gate in
+// a trace-collection pipeline or a CI check on trace corpora.
+//
+// Usage:
+//   vermemlint [--json|--text] [--no-info] [FILE...]
+//
+// Input conventions match vermemd: each FILE is one text_io trace with
+// optional "wo " write-order lines; with no FILE, stdin may hold
+// several traces separated by "---" lines.
+//
+// --json (default) emits one JSON object per trace: the same "analysis"
+// shape vermemd --analyze embeds (fragments per address, diagnostics
+// with rule ID/severity/op location). --text prints compiler-style
+// "tag: severity rule: message" lines. --no-info suppresses
+// informational (I-rule) diagnostics in text mode.
+//
+// Exit codes:
+//   0  no warning-severity rule fired on any trace
+//   1  at least one warning-severity diagnostic (W001..W004)
+//   2  usage or parse error
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis_json.hpp"
+#include "trace/text_io.hpp"
+#include "trace_stream.hpp"
+
+namespace {
+
+using namespace vermem;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vermemlint [--json|--text] [--no-info] [FILE...]\n");
+  return 2;
+}
+
+void print_text(const std::string& tag,
+                const analysis::AnalysisReport& report, bool show_info) {
+  for (const analysis::AddressAnalysis& address : report.addresses) {
+    for (const analysis::Diagnostic& diagnostic : address.diagnostics) {
+      if (!show_info && diagnostic.severity == analysis::Severity::kInfo)
+        continue;
+      std::string where = tag + ": addr " + std::to_string(diagnostic.addr);
+      if (diagnostic.location)
+        where += " P" + std::to_string(diagnostic.location->process) + "#" +
+                 std::to_string(diagnostic.location->index);
+      std::printf("%s: %s %s [%s]: %s\n", where.c_str(),
+                  to_string(diagnostic.severity), rule_code(diagnostic.rule),
+                  rule_name(diagnostic.rule), diagnostic.message.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = true;
+  bool show_info = true;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json")
+      json = true;
+    else if (arg == "--text")
+      json = false;
+    else if (arg == "--no-info")
+      show_info = false;
+    else if (arg.rfind("--", 0) == 0)
+      return usage();
+    else
+      paths.push_back(arg);
+  }
+
+  std::vector<tools::TraceSource> sources;
+  if (!tools::load_trace_sources(paths, sources)) return 2;
+  if (sources.empty()) {
+    std::fprintf(stderr, "no traces to lint\n");
+    return 2;
+  }
+
+  bool any_warning = false;
+  for (const tools::TraceSource& source : sources) {
+    ParseResult parsed = parse_execution(source.execution_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: parse error at line %zu: %s\n",
+                   source.tag.c_str(), parsed.line, parsed.error.c_str());
+      return 2;
+    }
+    vmc::WriteOrderMap orders;
+    bool have_orders = false;
+    if (!source.write_order_text.empty()) {
+      WriteOrderParseResult parsed_orders =
+          parse_write_orders(source.write_order_text);
+      if (!parsed_orders.ok()) {
+        std::fprintf(stderr, "%s: write-order parse error: %s\n",
+                     source.tag.c_str(), parsed_orders.error.c_str());
+        return 2;
+      }
+      orders.insert(parsed_orders.orders.begin(), parsed_orders.orders.end());
+      have_orders = true;
+    }
+
+    const analysis::AnalysisReport report =
+        analysis::analyze(parsed.execution, have_orders ? &orders : nullptr);
+    if (report.has_warnings()) any_warning = true;
+    if (json) {
+      std::printf("{\"trace\":\"%s\",\"analysis\":%s}\n",
+                  tools::json_escape(source.tag).c_str(),
+                  tools::analysis_json(report).c_str());
+    } else {
+      print_text(source.tag, report, show_info);
+    }
+  }
+  return any_warning ? 1 : 0;
+}
