@@ -1,11 +1,13 @@
 #include "analysis/poly/one_op.hpp"
 
+#include "obs/span.hpp"
 #include "vmc/special.hpp"
 
 namespace vermem::analysis::poly {
 
 vmc::CheckResult decide_one_op(const vmc::VmcInstance& instance,
                                bool rmw_only) {
+  obs::Span span("poly.one_op");
   return rmw_only ? vmc::check_rmw_one_op_per_process(instance)
                   : vmc::check_one_op_per_process(instance);
 }

@@ -4,12 +4,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace vermem::analysis::poly {
 
 using vmc::CheckResult;
 using vmc::VmcInstance;
 
 CheckResult decide_rmw_chain(const VmcInstance& instance) {
+  obs::Span span("poly.rmw_chain");
   if (const auto why = instance.malformed())
     return CheckResult::unknown("malformed instance: " + *why);
   if (!instance.all_rmw())

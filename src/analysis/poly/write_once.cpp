@@ -1,11 +1,13 @@
 #include "analysis/poly/write_once.hpp"
 
+#include "obs/span.hpp"
 #include "vmc/special.hpp"
 
 namespace vermem::analysis::poly {
 
 vmc::CheckResult decide_write_once(const vmc::VmcInstance& instance,
                                    bool rmw_only) {
+  obs::Span span("poly.write_once");
   return rmw_only ? vmc::check_rmw_read_map(instance)
                   : vmc::check_read_map(instance);
 }

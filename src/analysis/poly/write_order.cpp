@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace vermem::analysis::poly {
 
 WriteOrderLogCheck validate_write_order_log(const ProjectedView& view,
@@ -60,6 +62,7 @@ vmc::CheckResult decide_with_write_order(const vmc::VmcInstance& instance,
                                          const ProjectedView& view,
                                          std::span<const OpRef> order,
                                          bool rmw_only) {
+  obs::Span span("poly.write_order");
   vmc::WriteOrder local;
   local.reserve(order.size());
   for (const OpRef original : order) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "analysis/poly/one_op.hpp"
 #include "analysis/poly/rmw_chain.hpp"
 #include "analysis/poly/write_once.hpp"
@@ -39,18 +41,44 @@ bool interrupted(const vmc::ExactOptions& options) {
          (options.cancel && options.cancel->cancelled());
 }
 
+/// Labeled per-fragment routing counters, registered once. The label
+/// set matches the fragment names ServiceStats and vermemd report.
+void count_fragment(Fragment fragment) {
+  static const std::array<obs::Counter, kNumFragments> counters = [] {
+    std::array<obs::Counter, kNumFragments> out;
+    for (std::size_t f = 0; f < kNumFragments; ++f)
+      out[f] = obs::counter(
+          std::string("vermem_fragments_total{fragment=\"") +
+          to_string(static_cast<Fragment>(f)) + "\"}");
+    return out;
+  }();
+  counters[static_cast<std::size_t>(fragment)].add();
+}
+
 }  // namespace
 
 RouteOutcome check_routed(const ProjectedView& view,
                           const std::vector<OpRef>* write_order,
                           const vmc::ExactOptions& exact_options) {
+  obs::Span span("analysis.route");
   RouteOutcome out;
   const FragmentProfile profile = classify(view, write_order != nullptr);
   out.fragment = profile.fragment;
+  if (span.active()) {
+    span.attr("addr", static_cast<std::uint64_t>(view.addr()));
+    span.attr("ops", view.num_ops());
+    span.attr("fragment", to_string(profile.fragment));
+  }
 
   if (profile.fragment == Fragment::kEmpty) {
     out.decider = Decider::kTrivial;
     out.result = CheckResult::yes({});
+    if (span.active()) span.attr("decider", to_string(out.decider));
+    if (obs::enabled()) {
+      static const obs::Counter poly = obs::counter("vermem_poly_routed_total");
+      count_fragment(out.fragment);
+      poly.add();
+    }
     return out;
   }
 
@@ -102,14 +130,29 @@ RouteOutcome check_routed(const ProjectedView& view,
   for (OpRef& ref : result.witness)
     ref = projection.origin[ref.process][ref.index];
   out.result = std::move(result);
+  if (span.active()) span.attr("decider", to_string(out.decider));
+  if (obs::enabled()) {
+    static const obs::Counter poly = obs::counter("vermem_poly_routed_total");
+    static const obs::Counter exact = obs::counter("vermem_exact_routed_total");
+    static const obs::Counter fallbacks =
+        obs::counter("vermem_route_fallbacks_total");
+    count_fragment(out.fragment);
+    (out.decider == Decider::kExact ? exact : poly).add();
+    if (out.fell_back) fallbacks.add();
+  }
   return out;
 }
 
 RoutedReport verify_coherence_routed(const AddressIndex& index,
                                      const vmc::WriteOrderMap* write_orders,
                                      const vmc::ExactOptions& exact_options) {
+  obs::Span span("analysis.verify_routed");
   RoutedReport out;
   const std::size_t count = index.num_addresses();
+  if (span.active()) {
+    span.attr("addresses", count);
+    span.attr("ops", index.execution().num_operations());
+  }
   std::vector<vmc::AddressReport> reports;
   reports.reserve(count);
   out.fragments.reserve(count);
@@ -145,6 +188,10 @@ RoutedReport verify_coherence_routed(const AddressIndex& index,
     reports.push_back({addr, std::move(outcome.result)});
   }
   out.report = aggregate(std::move(reports));
+  if (span.active()) {
+    span.attr("poly_routed", out.poly_routed);
+    span.attr("verdict", vmc::to_string(out.report.verdict));
+  }
   return out;
 }
 

@@ -1,0 +1,247 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace vermem::obs {
+
+namespace detail {
+
+namespace {
+[[nodiscard]] bool env_initial(const char* value, bool metrics) {
+  if (value == nullptr) return metrics;  // default: metrics on, tracing off
+  const std::string_view v = value;
+  if (v == "off" || v == "0" || v == "false") return false;
+  if (v == "trace") return true;
+  return metrics;
+}
+}  // namespace
+
+std::atomic<bool> g_metrics_enabled{
+    env_initial(std::getenv("VERMEM_OBS"), /*metrics=*/true)};
+std::atomic<bool> g_tracing_enabled{
+    env_initial(std::getenv("VERMEM_OBS"), /*metrics=*/false)};
+
+}  // namespace detail
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, std::uint32_t> counter_ids;
+  std::vector<std::string> counter_names;  // slot -> name
+  std::unordered_map<std::string, std::uint32_t> histogram_ids;
+  std::vector<std::string> histogram_names;
+  std::vector<std::unique_ptr<detail::Shard>> shards;
+};
+
+Registry::Registry() : impl_(new Impl) {
+  // Slot 0 is the sink for registrations past kMaxCounters.
+  impl_->counter_ids.emplace("vermem_obs_overflow_total", 0);
+  impl_->counter_names.emplace_back("vermem_obs_overflow_total");
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry;  // leaked: see header
+  return *registry;
+}
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->counter_ids.find(std::string(name));
+  if (it != impl_->counter_ids.end()) return Counter{it->second};
+  if (impl_->counter_names.size() >= kMaxCounters) return Counter{0};
+  const auto id = static_cast<std::uint32_t>(impl_->counter_names.size());
+  impl_->counter_ids.emplace(std::string(name), id);
+  impl_->counter_names.emplace_back(name);
+  return Counter{id};
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->histogram_ids.find(std::string(name));
+  if (it != impl_->histogram_ids.end()) return Histogram{it->second};
+  if (impl_->histogram_names.size() >= kMaxHistograms)
+    return Histogram{kMaxHistograms - 1};
+  const auto id = static_cast<std::uint32_t>(impl_->histogram_names.size());
+  impl_->histogram_ids.emplace(std::string(name), id);
+  impl_->histogram_names.emplace_back(name);
+  return Histogram{id};
+}
+
+detail::Shard& Registry::register_thread_shard() {
+  auto shard = std::make_unique<detail::Shard>();
+  detail::Shard& ref = *shard;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->shards.push_back(std::move(shard));
+  return ref;
+}
+
+namespace detail {
+Shard& local_shard() {
+  thread_local Shard* shard = &Registry::instance().register_thread_shard();
+  return *shard;
+}
+}  // namespace detail
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  out.counters.reserve(impl_->counter_names.size());
+  for (std::size_t id = 0; id < impl_->counter_names.size(); ++id) {
+    std::uint64_t total = 0;
+    for (const auto& shard : impl_->shards)
+      total += shard->counters[id].load(std::memory_order_relaxed);
+    out.counters.emplace_back(impl_->counter_names[id], total);
+  }
+  out.histograms.reserve(impl_->histogram_names.size());
+  for (std::size_t id = 0; id < impl_->histogram_names.size(); ++id) {
+    HistogramSnapshot hist;
+    hist.name = impl_->histogram_names[id];
+    for (const auto& shard : impl_->shards) {
+      const detail::HistShard& hs = shard->histograms[id];
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        const std::uint64_t n = hs.buckets[b].load(std::memory_order_relaxed);
+        hist.data.buckets[b] += n;
+        hist.data.count += n;
+      }
+      hist.data.sum += hs.sum.load(std::memory_order_relaxed);
+    }
+    out.histograms.push_back(std::move(hist));
+  }
+  std::sort(out.counters.begin(), out.counters.end());
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& shard : impl_->shards) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->histograms) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+double HistogramData::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double lo_rank = static_cast<double>(seen);
+    seen += buckets[b];
+    if (static_cast<double>(seen) <= rank) continue;
+    if (b == 0) return 0.0;
+    // Geometric interpolation across the bucket [2^(b-1), 2^b).
+    const double lower = std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double frac = buckets[b] == 1
+                            ? 0.5
+                            : (rank - lo_rank) / static_cast<double>(buckets[b]);
+    return lower * std::exp2(std::min(1.0, std::max(0.0, frac)));
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Metric name without its {label} suffix, for # TYPE lines.
+[[nodiscard]] std::string_view base_name(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  std::string_view last_type;
+  for (const auto& [name, value] : counters) {
+    const std::string_view base = base_name(name);
+    if (base != last_type) {
+      out += "# TYPE ";
+      out += base;
+      out += " counter\n";
+      last_type = base;
+    }
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  char buf[64];
+  for (const HistogramSnapshot& hist : histograms) {
+    out += "# TYPE " + hist.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    std::size_t top = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+      if (hist.data.buckets[b] != 0) top = b;
+    for (std::size_t b = 0; b <= top; ++b) {
+      cumulative += hist.data.buckets[b];
+      std::snprintf(buf, sizeof buf, "%.0f", std::ldexp(1.0, static_cast<int>(b)));
+      out += hist.name + "_bucket{le=\"" + buf + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += hist.name + "_bucket{le=\"+Inf\"} " +
+           std::to_string(hist.data.count) + "\n";
+    out += hist.name + "_sum " + std::to_string(hist.data.sum) + "\n";
+    out += hist.name + "_count " + std::to_string(hist.data.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  char buf[64];
+  first = true;
+  for (const HistogramSnapshot& hist : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, hist.name);
+    out += "\":{\"count\":" + std::to_string(hist.data.count) +
+           ",\"sum\":" + std::to_string(hist.data.sum);
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"p50", 0.50},
+          {"p90", 0.90},
+          {"p99", 0.99}}) {
+      std::snprintf(buf, sizeof buf, ",\"%s\":%.3f", label,
+                    hist.data.quantile(q));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace vermem::obs

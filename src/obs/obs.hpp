@@ -1,0 +1,67 @@
+#pragma once
+// Master switches for the observability subsystem (metrics + span
+// tracing). Everything in obs/ is gated on these flags so that the
+// instrumented hot paths degrade to a single relaxed atomic load when
+// observability is off — bench_obs enforces a <=5% ceiling even with it
+// on.
+//
+// Defaults come from the VERMEM_OBS environment variable, read once:
+//   (unset)        metrics on, span collection off
+//   VERMEM_OBS=off / 0 / false   everything off
+//   VERMEM_OBS=trace             metrics AND span collection on
+// Span collection is opt-in (vermemd --trace-out, bench_obs, tests)
+// because a long-lived service would otherwise retain every span event
+// until the per-thread cap; metrics are bounded-size and stay on.
+
+#include <atomic>
+
+namespace vermem::obs {
+
+namespace detail {
+/// Backing flags; use the accessors below. Initialized from VERMEM_OBS
+/// before main() (const-initialized atomics, assigned during dynamic
+/// initialization of obs.cpp's translation unit).
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+/// True when metric counters/histograms record. Relaxed load: the flag
+/// is a sampling switch, not a synchronization point.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// True when Span objects collect events for the Chrome trace exporter.
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+inline void set_tracing_enabled(bool on) noexcept {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// RAII off-switch for both metrics and tracing; restores the previous
+/// flags on destruction. Used by bench_obs's uninstrumented arm and by
+/// tests that need a quiet registry.
+class scoped_disable {
+ public:
+  scoped_disable() noexcept
+      : metrics_were_(enabled()), tracing_was_(tracing_enabled()) {
+    set_enabled(false);
+    set_tracing_enabled(false);
+  }
+  ~scoped_disable() {
+    set_enabled(metrics_were_);
+    set_tracing_enabled(tracing_was_);
+  }
+  scoped_disable(const scoped_disable&) = delete;
+  scoped_disable& operator=(const scoped_disable&) = delete;
+
+ private:
+  bool metrics_were_;
+  bool tracing_was_;
+};
+
+}  // namespace vermem::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sat/effort.hpp"
+
 namespace vermem::sat {
 
 namespace {
@@ -143,9 +145,13 @@ class Dpll {
 }  // namespace
 
 DpllResult solve_dpll(const Cnf& cnf, Deadline deadline) {
+  obs::Span span("sat.dpll");
   Dpll solver(cnf, deadline);
   DpllResult result = solver.run();
   if (result.status == Status::kSat && !cnf.satisfied_by(result.model)) std::abort();
+  record_sat_effort(span, result.stats.decisions, result.stats.propagations,
+                    result.stats.backtracks, result.stats.restarts,
+                    result.status);
   return result;
 }
 

@@ -12,6 +12,9 @@ struct DpllStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
   std::uint64_t backtracks = 0;
+  /// Always 0: chronological DPLL never restarts. Present so effort
+  /// records share one schema with the CDCL solver's SolverStats.
+  std::uint64_t restarts = 0;
 };
 
 struct DpllResult {

@@ -1,0 +1,44 @@
+#pragma once
+// Internal: one effort-reporting helper shared by the DPLL and CDCL
+// entry points, so both emit the same span-attribute and metric schema
+// (decisions / propagations / backtracks / restarts — DPLL's restarts
+// are structurally 0, see DpllStats).
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sat/solver.hpp"
+
+namespace vermem::sat {
+
+inline void record_sat_effort(obs::Span& span, std::uint64_t decisions,
+                              std::uint64_t propagations,
+                              std::uint64_t backtracks, std::uint64_t restarts,
+                              Status status) {
+  if (span.active()) {
+    span.attr("decisions", decisions);
+    span.attr("propagations", propagations);
+    span.attr("backtracks", backtracks);
+    span.attr("restarts", restarts);
+    span.attr("status", to_string(status));
+  }
+  if (obs::enabled()) {
+    static const obs::Counter solves = obs::counter("vermem_sat_solves_total");
+    static const obs::Counter decision_count =
+        obs::counter("vermem_sat_decisions_total");
+    static const obs::Counter propagation_count =
+        obs::counter("vermem_sat_propagations_total");
+    static const obs::Counter backtrack_count =
+        obs::counter("vermem_sat_backtracks_total");
+    static const obs::Counter restart_count =
+        obs::counter("vermem_sat_restarts_total");
+    solves.add();
+    decision_count.add(decisions);
+    propagation_count.add(propagations);
+    backtrack_count.add(backtracks);
+    restart_count.add(restarts);
+  }
+}
+
+}  // namespace vermem::sat

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "sat/effort.hpp"
+
 namespace vermem::sat {
 
 namespace {
@@ -495,6 +497,7 @@ class Cdcl {
 }  // namespace
 
 SolveResult solve(const Cnf& cnf, const SolverOptions& options) {
+  obs::Span span("sat.cdcl");
   Cdcl solver(cnf, options);
   SolveResult result = solver.run();
   if (result.status == Status::kSat && !cnf.satisfied_by(result.model)) {
@@ -502,6 +505,11 @@ SolveResult solve(const Cnf& cnf, const SolverOptions& options) {
     // rather than report a wrong answer.
     std::abort();
   }
+  // CDCL has no explicit backtrack counter; conflicts is the analogous
+  // "undo" count in the shared effort schema.
+  record_sat_effort(span, result.stats.decisions, result.stats.propagations,
+                    result.stats.conflicts, result.stats.restarts,
+                    result.status);
   return result;
 }
 

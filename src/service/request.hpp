@@ -90,6 +90,11 @@ struct VerificationResponse {
   std::size_t num_addresses = 0;
   double queue_micros = 0;  ///< submission -> dispatch to a worker
   double run_micros = 0;    ///< dispatch -> verdict
+  /// Solver effort behind this verdict: per-address exact-search
+  /// states/transitions/prunes summed, peak frontier maxed. All zero
+  /// when every address routed polynomially (the cheap-path signature)
+  /// and for cache hits.
+  vmc::SearchStats effort;
   /// Per-address detail for coherence-bearing modes; empty for cache hits
   /// and consistency-mode requests.
   vmc::CoherenceReport coherence;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "models/checker.hpp"
+#include "obs/span.hpp"
 #include "support/hash.hpp"
 #include "support/stopwatch.hpp"
 #include "trace/address_index.hpp"
@@ -32,6 +34,13 @@ double micros_between(Stopwatch::Clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+/// Sums per-address solver effort into the response's per-trace record.
+vmc::SearchStats aggregate_effort(const vmc::CoherenceReport& report) {
+  vmc::SearchStats out;
+  for (const auto& address : report.addresses) out.merge(address.result.stats);
+  return out;
+}
+
 /// Reason string for an aggregate coherence report: the first violation
 /// for kIncoherent, the first undecided address's note for kUnknown.
 std::string reason_for(const vmc::CoherenceReport& report) {
@@ -49,6 +58,65 @@ std::string reason_for(const vmc::CoherenceReport& report) {
 }
 
 }  // namespace
+
+std::string ServiceStats::to_prometheus() const {
+  std::string out;
+  const auto counter = [&out](std::string_view name, std::uint64_t value) {
+    out += "# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  const auto gauge = [&out](std::string_view name, std::uint64_t value) {
+    out += "# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  counter("vermem_service_submitted_total", submitted);
+  counter("vermem_service_completed_total", completed);
+  counter("vermem_service_cache_hits_total", cache_hits);
+  counter("vermem_service_cache_misses_total", cache_misses);
+  counter("vermem_service_timed_out_total", timed_out);
+  counter("vermem_service_cancelled_total", cancelled);
+  out += "# TYPE vermem_service_verdicts_total counter\n";
+  out += "vermem_service_verdicts_total{verdict=\"coherent\"} " +
+         std::to_string(coherent) + "\n";
+  out += "vermem_service_verdicts_total{verdict=\"incoherent\"} " +
+         std::to_string(incoherent) + "\n";
+  out += "vermem_service_verdicts_total{verdict=\"unknown\"} " +
+         std::to_string(unknown) + "\n";
+  gauge("vermem_service_queue_depth", queue_depth);
+  gauge("vermem_service_in_flight", in_flight);
+  gauge("vermem_service_cache_entries", cache_entries);
+  out += "# TYPE vermem_service_fragments_total counter\n";
+  for (std::size_t f = 0; f < analysis::kNumFragments; ++f) {
+    out += "vermem_service_fragments_total{fragment=\"";
+    out += to_string(static_cast<analysis::Fragment>(f));
+    out += "\"} " + std::to_string(fragments[f]) + "\n";
+  }
+  counter("vermem_service_poly_routed_total", poly_routed);
+  counter("vermem_service_exact_routed_total", exact_routed);
+  counter("vermem_service_lint_warnings_total", lint_warnings);
+  counter("vermem_service_effort_states_total", effort.states_visited);
+  counter("vermem_service_effort_transitions_total", effort.transitions);
+  counter("vermem_service_effort_prunes_total", effort.prunes);
+  gauge("vermem_service_effort_max_frontier", effort.max_frontier);
+  // Same cumulative-le exposition obs::MetricsSnapshot uses, over the
+  // service-local latency distribution.
+  obs::MetricsSnapshot latency;
+  latency.histograms.push_back(
+      obs::HistogramSnapshot{"vermem_service_stats_latency_nanos",
+                             latency_nanos});
+  out += latency.to_prometheus();
+  return out;
+}
 
 struct VerificationService::Slot {
   VerificationRequest request;
@@ -70,11 +138,8 @@ struct VerificationService::Slot {
 VerificationService::VerificationService(ServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity),
-      latencies_(),
       pool_(options.workers),
-      dispatcher_([this] { dispatcher_loop(); }) {
-  latencies_.reserve(std::min<std::size_t>(options_.latency_window, 1 << 16));
-}
+      dispatcher_([this] { dispatcher_loop(); }) {}
 
 VerificationService::~VerificationService() { shutdown(); }
 
@@ -162,6 +227,14 @@ void VerificationService::dispatcher_loop() {
       }
     }
 
+    obs::Span span("service.batch");
+    if (span.active()) span.attr("requests", batch.size());
+    if (obs::enabled()) {
+      static const obs::Histogram batch_size =
+          obs::histogram("vermem_service_batch_size");
+      batch_size.observe(batch.size());
+    }
+
     // One O(n) indexing pass per request now; the checkers reuse it, and
     // its op totals drive size-aware dispatch below. Cancelled requests
     // skip the pass — run_request resolves them without touching it.
@@ -211,12 +284,18 @@ void VerificationService::run_request(const std::shared_ptr<Slot>& slot) {
 }
 
 VerificationResponse VerificationService::execute(Slot& slot) {
+  obs::Span span("service.request");
   VerificationResponse response;
   response.tag = slot.request.tag;
   response.fingerprint = slot.fingerprint;
   response.num_operations = slot.request.execution.num_operations();
   if (slot.index) response.num_addresses = slot.index->num_addresses();
   response.queue_micros = micros_between(slot.submitted, slot.dispatched);
+  if (span.active()) {
+    span.attr("ops", response.num_operations);
+    span.attr("addresses", response.num_addresses);
+    span.attr("mode", to_string(slot.request.mode));
+  }
   Stopwatch run_timer;
 
   if (slot.token->cancelled()) {
@@ -248,6 +327,7 @@ VerificationResponse VerificationService::execute(Slot& slot) {
           exact);
       response.verdict = routed.report.verdict;
       response.reason = reason_for(routed.report);
+      response.effort = aggregate_effort(routed.report);
       response.coherence = std::move(routed.report);
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -270,6 +350,8 @@ VerificationResponse VerificationService::execute(Slot& slot) {
       vsc::VsccReport report = vsc::check_vscc(*slot.index, vscc);
       response.verdict = report.sc.verdict;
       response.reason = report.sc.note;
+      response.effort = aggregate_effort(report.coherence);
+      response.effort.merge(report.sc.stats);
       response.coherence = std::move(report.coherence);
       break;
     }
@@ -282,6 +364,7 @@ VerificationResponse VerificationService::execute(Slot& slot) {
           slot.request.execution, slot.request.model, model_options);
       response.verdict = result.verdict;
       response.reason = result.note;
+      response.effort = result.stats;
       break;
     }
   }
@@ -308,6 +391,15 @@ VerificationResponse VerificationService::execute(Slot& slot) {
                                              : "effort budget exhausted";
   }
   response.run_micros = run_timer.millis() * 1e3;
+  if (span.active()) span.attr("verdict", to_string(response.verdict));
+  if (obs::enabled()) {
+    static const obs::Histogram queue_nanos =
+        obs::histogram("vermem_service_queue_nanos");
+    static const obs::Histogram run_nanos =
+        obs::histogram("vermem_service_run_nanos");
+    queue_nanos.observe_nanos(response.queue_micros * 1e3);
+    run_nanos.observe_nanos(response.run_micros * 1e3);
+  }
   return response;
 }
 
@@ -322,40 +414,39 @@ void VerificationService::respond(Slot& slot, VerificationResponse&& response) {
       case vmc::Verdict::kIncoherent: ++counters_.incoherent; break;
       case vmc::Verdict::kUnknown: ++counters_.unknown; break;
     }
-    const double latency =
-        micros_between(slot.submitted, Stopwatch::Clock::now());
     if (options_.latency_window != 0) {
-      if (latencies_.size() < options_.latency_window) {
-        latencies_.push_back(latency);
-      } else {
-        latencies_[latency_next_] = latency;
-        latency_next_ = (latency_next_ + 1) % options_.latency_window;
-      }
+      const double nanos =
+          micros_between(slot.submitted, Stopwatch::Clock::now()) * 1e3;
+      counters_.latency_nanos.record(
+          nanos <= 0 ? 0 : static_cast<std::uint64_t>(nanos));
     }
+    counters_.effort.merge(response.effort);
+  }
+  if (obs::enabled()) {
+    static const obs::Counter responses =
+        obs::counter("vermem_service_responses_total");
+    static const obs::Histogram latency =
+        obs::histogram("vermem_service_latency_nanos");
+    responses.add(1);
+    latency.observe_nanos(micros_between(slot.submitted,
+                                         Stopwatch::Clock::now()) *
+                          1e3);
   }
   slot.promise.set_value(std::move(response));
 }
 
 ServiceStats VerificationService::stats() const {
   ServiceStats out;
-  std::vector<double> window;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     out = counters_;
     out.queue_depth = pending_.size();
     out.in_flight = active_.size();
     out.cache_entries = cache_.size();
-    window = latencies_;
   }
-  if (!window.empty()) {
-    std::sort(window.begin(), window.end());
-    auto quantile = [&](double q) {
-      const auto rank = static_cast<std::size_t>(
-          q * static_cast<double>(window.size() - 1) + 0.5);
-      return window[std::min(rank, window.size() - 1)];
-    };
-    out.p50_micros = quantile(0.50);
-    out.p99_micros = quantile(0.99);
+  if (out.latency_nanos.count > 0) {
+    out.p50_micros = out.latency_nanos.quantile(0.50) / 1e3;
+    out.p99_micros = out.latency_nanos.quantile(0.99) / 1e3;
   }
   return out;
 }

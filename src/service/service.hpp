@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "analysis/router.hpp"
+#include "obs/metrics.hpp"
 #include "service/cache.hpp"
 #include "service/request.hpp"
 #include "support/parallel.hpp"
@@ -46,7 +47,11 @@ struct ServiceOptions {
   std::size_t workers = 0;        ///< pool size; 0 = hardware concurrency
   std::size_t max_batch = 16;     ///< requests drained per scheduling round
   std::size_t cache_capacity = 1024;  ///< result-cache entries; 0 disables
-  std::size_t latency_window = 4096;  ///< completions kept for percentiles
+  /// Retained for source compatibility; latency percentiles now come
+  /// from an O(1)-memory log-bucketed obs::Histogram over the service's
+  /// whole lifetime, so no completion window is kept. 0 still disables
+  /// latency recording entirely.
+  std::size_t latency_window = 4096;
 };
 
 /// Monotonic counters plus a point-in-time snapshot of queue state and
@@ -64,8 +69,15 @@ struct ServiceStats {
   std::size_t queue_depth = 0;   ///< submitted, not yet dispatched
   std::size_t in_flight = 0;     ///< dispatched, not yet resolved
   std::size_t cache_entries = 0;
-  double p50_micros = 0;  ///< end-to-end latency, recent window
+  /// End-to-end latency estimates from the log-bucketed histogram
+  /// (exact to within a factor of 2 per bucket; see obs/metrics.hpp).
+  double p50_micros = 0;
   double p99_micros = 0;
+  /// Raw latency distribution (nanoseconds) behind the percentiles.
+  obs::HistogramData latency_nanos;
+  /// Aggregate solver effort over every resolved request: exact-search
+  /// states/transitions/prunes summed, peak frontier maxed.
+  vmc::SearchStats effort;
   /// Routing provenance from the Figure 5.3 fragment classifier, summed
   /// over every address of every coherence-mode request: how many
   /// per-address instances landed in each fragment, and how many were
@@ -81,6 +93,12 @@ struct ServiceStats {
         static_cast<double>(cache_hits) + static_cast<double>(cache_misses);
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
   }
+
+  /// Prometheus text exposition of every field (vermem_service_* names,
+  /// labeled vermem_service_fragments_total series, latency histogram
+  /// with cumulative le buckets). Concatenates cleanly with
+  /// obs::MetricsSnapshot::to_prometheus() — names do not collide.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 class VerificationService {
@@ -142,10 +160,9 @@ class VerificationService {
   ResultCache cache_;                          // guarded by mutex_
   bool shutting_down_ = false;                 // guarded by mutex_
 
-  // Monotonic counters and the latency ring, guarded by mutex_.
+  // Monotonic counters (including the latency histogram and effort
+  // aggregate embedded in ServiceStats), guarded by mutex_.
   ServiceStats counters_;
-  std::vector<double> latencies_;
-  std::size_t latency_next_ = 0;
 
   ThreadPool pool_;
   std::thread dispatcher_;

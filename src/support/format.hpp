@@ -10,6 +10,11 @@
 
 namespace vermem {
 
+/// Single source of truth for the release version reported by every
+/// front-end (`vermemd --version`, `vermemlint --version`). Keep in sync
+/// with the project() VERSION in the top-level CMakeLists.txt.
+inline constexpr std::string_view kVermemVersion = "1.1.0";
+
 /// Splits on a single character; empty fields are preserved.
 [[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
 

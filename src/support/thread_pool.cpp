@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "support/stopwatch.hpp"
+
 namespace vermem {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -62,7 +66,20 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (obs::enabled() || obs::tracing_enabled()) {
+      obs::Span span("pool.task");
+      Stopwatch timer;
+      task();
+      if (obs::enabled()) {
+        static const obs::Counter tasks = obs::counter("vermem_pool_tasks_total");
+        static const obs::Histogram task_nanos =
+            obs::histogram("vermem_pool_task_nanos");
+        tasks.add();
+        task_nanos.observe(static_cast<std::uint64_t>(timer.nanos()));
+      }
+    } else {
+      task();
+    }
   }
 }
 

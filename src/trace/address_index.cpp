@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace vermem {
 
 AddressIndex::AddressIndex(const Execution& exec) : exec_(&exec) {
+  obs::Span span("trace.index_build");
   // Sweep 1: discover addresses and accumulate the structural stats.
   // Histories are visited process-major, so "new process touching this
   // address" is detectable with one remembered process id per address.
@@ -63,6 +67,15 @@ AddressIndex::AddressIndex(const Execution& exec) : exec_(&exec) {
       if (history[i].is_sync()) continue;
       arena_[cursor[slot_of_.at(history[i].addr)]++] = OpRef{p, i};
     }
+  }
+
+  if (span.active()) {
+    span.attr("ops", offset);
+    span.attr("addresses", addresses_.size());
+  }
+  if (obs::enabled()) {
+    static const obs::Counter builds = obs::counter("vermem_index_builds_total");
+    builds.add();
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/format.hpp"
 
 namespace vermem {
@@ -74,7 +76,9 @@ std::optional<Operation> parse_operation(std::string_view token) {
   return op;
 }
 
-ParseResult parse_execution(std::string_view text) {
+namespace {
+
+ParseResult parse_execution_impl(std::string_view text) {
   ParseResult result;
   std::size_t line_no = 0;
   for (std::string_view raw_line : split(text, '\n')) {
@@ -139,6 +143,30 @@ ParseResult parse_execution(std::string_view text) {
     }
 
     return fail("unrecognized directive: " + std::string(line));
+  }
+  return result;
+}
+
+}  // namespace
+
+ParseResult parse_execution(std::string_view text) {
+  obs::Span span("trace.parse");
+  ParseResult result = parse_execution_impl(text);
+  if (span.active()) {
+    span.attr("bytes", text.size());
+    span.attr("ops", result.execution.num_operations());
+    span.attr("ok", result.ok() ? std::uint64_t{1} : std::uint64_t{0});
+  }
+  if (obs::enabled()) {
+    static const obs::Counter parsed = obs::counter("vermem_traces_parsed_total");
+    static const obs::Counter errors = obs::counter("vermem_parse_errors_total");
+    static const obs::Histogram trace_ops = obs::histogram("vermem_trace_ops");
+    if (result.ok()) {
+      parsed.add();
+      trace_ops.observe(result.execution.num_operations());
+    } else {
+      errors.add();
+    }
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/hash.hpp"
 
 namespace vermem::vmc {
@@ -153,6 +155,7 @@ class ExactSearch {
         static_cast<std::uint32_t>(static_cast<std::uint64_t>(value_) >> 32));
     if (!visited_.insert(std::move(key)).second) {
       --stats_.states_visited;
+      ++stats_.prunes;
       return false;
     }
     return true;
@@ -172,7 +175,28 @@ class ExactSearch {
 }  // namespace
 
 CheckResult check_exact(const VmcInstance& instance, const ExactOptions& options) {
-  return ExactSearch(instance, options).run();
+  obs::Span span("vmc.exact");
+  CheckResult result = ExactSearch(instance, options).run();
+  if (span.active()) {
+    span.attr("states", result.stats.states_visited);
+    span.attr("transitions", result.stats.transitions);
+    span.attr("max_frontier", result.stats.max_frontier);
+    span.attr("prunes", result.stats.prunes);
+    span.attr("verdict", to_string(result.verdict));
+  }
+  if (obs::enabled()) {
+    static const obs::Counter searches =
+        obs::counter("vermem_exact_searches_total");
+    static const obs::Counter states = obs::counter("vermem_exact_states_total");
+    static const obs::Counter transitions =
+        obs::counter("vermem_exact_transitions_total");
+    static const obs::Counter prunes = obs::counter("vermem_exact_prunes_total");
+    searches.add();
+    states.add(result.stats.states_visited);
+    transitions.add(result.stats.transitions);
+    prunes.add(result.stats.prunes);
+  }
+  return result;
 }
 
 }  // namespace vermem::vmc

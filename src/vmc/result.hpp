@@ -27,6 +27,16 @@ struct SearchStats {
   std::uint64_t states_visited = 0;   ///< distinct memoized search states
   std::uint64_t transitions = 0;      ///< operations tried during search
   std::uint64_t max_frontier = 0;     ///< peak stack depth / queue size
+  std::uint64_t prunes = 0;           ///< branches cut by a memo-table hit
+
+  /// Folds another search's effort in (counters add, peaks max) — used
+  /// to aggregate per-address searches into one per-trace effort record.
+  void merge(const SearchStats& other) noexcept {
+    states_visited += other.states_visited;
+    transitions += other.transitions;
+    prunes += other.prunes;
+    if (other.max_frontier > max_frontier) max_frontier = other.max_frontier;
+  }
 };
 
 struct CheckResult {

@@ -1,0 +1,271 @@
+// Observability subsystem: metrics registry (sharded counters and
+// log-bucketed histograms aggregated on scrape), the RAII span tracer
+// with its Chrome trace-event exporter, and the enable/disable gates.
+// The concurrency tests drive real ThreadPool workers and assert EXACT
+// totals — sharded relaxed recording must lose nothing (run under TSan
+// in CI).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
+#include "support/thread_pool.hpp"
+
+namespace vermem::obs {
+namespace {
+
+/// Restores both enable flags; every test flips them.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics_was_ = enabled();
+    tracing_was_ = tracing_enabled();
+    set_enabled(true);
+    set_tracing_enabled(false);
+  }
+  void TearDown() override {
+    set_enabled(metrics_was_);
+    set_tracing_enabled(tracing_was_);
+  }
+
+ private:
+  bool metrics_was_ = true;
+  bool tracing_was_ = false;
+};
+
+std::uint64_t counter_value(const MetricsSnapshot& snapshot,
+                            const std::string& name) {
+  for (const auto& [n, v] : snapshot.counters)
+    if (n == name) return v;
+  return 0;
+}
+
+const HistogramData* histogram_data(const MetricsSnapshot& snapshot,
+                                    const std::string& name) {
+  for (const HistogramSnapshot& h : snapshot.histograms)
+    if (h.name == name) return &h.data;
+  return nullptr;
+}
+
+TEST_F(ObsTest, CounterConcurrentBumpsAreExact) {
+  const Counter c = counter("vermem_test_concurrent_total");
+  Registry::instance().reset();
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kPerTask = 10'000;
+  {
+    ThreadPool pool(8);
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (std::size_t t = 0; t < kTasks; ++t)
+      done.push_back(pool.submit([&c] {
+        for (std::uint64_t i = 0; i < kPerTask; ++i) c.add(1);
+      }));
+    for (auto& f : done) f.get();
+  }
+  EXPECT_EQ(counter_value(snapshot_metrics(), "vermem_test_concurrent_total"),
+            kTasks * kPerTask);
+}
+
+TEST_F(ObsTest, HistogramConcurrentObservationsAreExact) {
+  const Histogram h = histogram("vermem_test_concurrent_nanos");
+  Registry::instance().reset();
+  constexpr std::size_t kTasks = 32;
+  constexpr std::uint64_t kPerTask = 5'000;
+  {
+    ThreadPool pool(8);
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (std::size_t t = 0; t < kTasks; ++t)
+      done.push_back(pool.submit([&h, t] {
+        for (std::uint64_t i = 0; i < kPerTask; ++i) h.observe(t + 1);
+      }));
+    for (auto& f : done) f.get();
+  }
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  const HistogramData* data =
+      histogram_data(snapshot, "vermem_test_concurrent_nanos");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, kTasks * kPerTask);
+  std::uint64_t expected_sum = 0;
+  for (std::size_t t = 0; t < kTasks; ++t) expected_sum += (t + 1) * kPerTask;
+  EXPECT_EQ(data->sum, expected_sum);
+}
+
+TEST_F(ObsTest, ScopedDisableDropsRecordings) {
+  const Counter c = counter("vermem_test_disabled_total");
+  Registry::instance().reset();
+  c.add(3);
+  {
+    scoped_disable off;
+    EXPECT_FALSE(enabled());
+    c.add(100);
+  }
+  EXPECT_TRUE(enabled());
+  c.add(4);
+  EXPECT_EQ(counter_value(snapshot_metrics(), "vermem_test_disabled_total"),
+            7u);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameSlotForSameName) {
+  const Counter a = counter("vermem_test_same_total");
+  const Counter b = counter("vermem_test_same_total");
+  Registry::instance().reset();
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(counter_value(snapshot_metrics(), "vermem_test_same_total"), 3u);
+}
+
+TEST_F(ObsTest, HistogramQuantileWithinBucketBounds) {
+  HistogramData data;
+  for (int i = 0; i < 1000; ++i) data.record(1000);  // bucket [512, 1024)
+  const double p50 = data.quantile(0.50);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  const double p99 = data.quantile(0.99);
+  EXPECT_GE(p99, p50);
+  EXPECT_DOUBLE_EQ(data.mean(), 1000.0);
+}
+
+TEST_F(ObsTest, QuantilesAreMonotoneAcrossBuckets) {
+  HistogramData data;
+  for (std::uint64_t v : {1u, 10u, 100u, 1000u, 10000u})
+    for (int i = 0; i < 100; ++i) data.record(v);
+  double last = 0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double value = data.quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+  // p50 must land near the middle value's bucket (100 -> [64,128)).
+  EXPECT_GE(data.quantile(0.5), 64.0);
+  EXPECT_LE(data.quantile(0.5), 128.0);
+}
+
+TEST_F(ObsTest, PrometheusExpositionShape) {
+  const Counter c = counter("vermem_test_prom_total");
+  const Histogram h = histogram("vermem_test_prom_nanos");
+  Registry::instance().reset();
+  c.add(5);
+  h.observe(3);
+  const std::string text = snapshot_metrics().to_prometheus();
+  EXPECT_NE(text.find("# TYPE vermem_test_prom_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vermem_test_prom_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vermem_test_prom_nanos histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vermem_test_prom_nanos_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vermem_test_prom_nanos_sum 3\n"), std::string::npos);
+  EXPECT_NE(text.find("vermem_test_prom_nanos_count 1\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusLabelsShareOneTypeLine) {
+  const Counter a = counter("vermem_test_labeled_total{kind=\"a\"}");
+  const Counter b = counter("vermem_test_labeled_total{kind=\"b\"}");
+  Registry::instance().reset();
+  a.add(1);
+  b.add(2);
+  const std::string text = snapshot_metrics().to_prometheus();
+  std::size_t first = text.find("# TYPE vermem_test_labeled_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE vermem_test_labeled_total counter", first + 1),
+            std::string::npos)
+      << "labeled series must share a single # TYPE line";
+  EXPECT_NE(text.find("vermem_test_labeled_total{kind=\"a\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vermem_test_labeled_total{kind=\"b\"} 2\n"),
+            std::string::npos);
+}
+
+// ---- span tracer ---------------------------------------------------------
+
+/// First numeric value following `"key":` after position `from`.
+std::uint64_t json_number_after(const std::string& text, const std::string& key,
+                                std::size_t from) {
+  const std::size_t at = text.find("\"" + key + "\":", from);
+  EXPECT_NE(at, std::string::npos) << key;
+  if (at == std::string::npos) return 0;
+  return std::stoull(text.substr(at + key.size() + 3));
+}
+
+TEST_F(ObsTest, SpanNestingParentLinksInChromeExport) {
+  set_tracing_enabled(true);
+  reset_trace();
+  {
+    Span outer("obs.test.outer");
+    outer.attr("level", std::uint64_t{1});
+    {
+      Span inner("obs.test.inner");
+      inner.attr("level", std::uint64_t{2});
+      inner.attr("kind", "child");
+    }
+  }
+  { Span sibling("obs.test.sibling"); }
+  set_tracing_enabled(false);
+  EXPECT_EQ(trace_event_count(), 3u);
+
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string text = out.str();
+
+  const std::size_t outer_at = text.find("\"name\":\"obs.test.outer\"");
+  const std::size_t inner_at = text.find("\"name\":\"obs.test.inner\"");
+  const std::size_t sibling_at = text.find("\"name\":\"obs.test.sibling\"");
+  ASSERT_NE(outer_at, std::string::npos);
+  ASSERT_NE(inner_at, std::string::npos);
+  ASSERT_NE(sibling_at, std::string::npos);
+
+  // Child links to parent; roots link to 0.
+  const std::uint64_t outer_id = json_number_after(text, "id", outer_at);
+  EXPECT_EQ(json_number_after(text, "parent", inner_at), outer_id);
+  EXPECT_EQ(json_number_after(text, "parent", outer_at), 0u);
+  EXPECT_EQ(json_number_after(text, "parent", sibling_at), 0u);
+  // Same-thread export is start-ordered: outer before inner before sibling.
+  EXPECT_LT(outer_at, inner_at);
+  EXPECT_LT(inner_at, sibling_at);
+  // Attributes survive into args.
+  EXPECT_NE(text.find("\"kind\":\"child\""), std::string::npos);
+  EXPECT_EQ(json_number_after(text, "level", inner_at), 2u);
+}
+
+TEST_F(ObsTest, SpansAcrossPoolThreadsCarryDistinctTids) {
+  set_tracing_enabled(true);
+  reset_trace();
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> done;
+    for (int t = 0; t < 16; ++t)
+      done.push_back(pool.submit([] { Span span("obs.test.pooled"); }));
+    for (auto& f : done) f.get();
+  }
+  set_tracing_enabled(false);
+  // 16 explicit spans; pool.task wrapper spans may add more.
+  EXPECT_GE(trace_event_count(), 16u);
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string text = out.str();
+  std::size_t spans = 0;
+  for (std::size_t at = text.find("obs.test.pooled"); at != std::string::npos;
+       at = text.find("obs.test.pooled", at + 1))
+    ++spans;
+  EXPECT_EQ(spans, 16u);
+}
+
+TEST_F(ObsTest, DisabledSpansCollectNothing) {
+  set_tracing_enabled(false);
+  reset_trace();
+  {
+    Span span("obs.test.never");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vermem::obs

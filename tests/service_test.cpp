@@ -396,6 +396,28 @@ TEST(Service, StatsTrackVerdictsAndLatency) {
   EXPECT_EQ(stats.in_flight, 0u);
   EXPECT_GT(stats.p50_micros, 0.0);
   EXPECT_GE(stats.p99_micros, stats.p50_micros);
+  EXPECT_EQ(stats.latency_nanos.count, 2u);
+}
+
+TEST(Service, StatsExportPrometheusText) {
+  VerificationService svc;
+  (void)svc.submit(coherence_request(exec_from(kCoherentTrace))).response.get();
+  (void)svc.submit(coherence_request(exec_from(kFaultyTrace))).response.get();
+  const std::string text = svc.stats().to_prometheus();
+  EXPECT_NE(text.find("# TYPE vermem_service_submitted_total counter\n"
+                      "vermem_service_submitted_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vermem_service_verdicts_total{verdict=\"coherent\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("vermem_service_verdicts_total{verdict=\"incoherent\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE vermem_service_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("vermem_service_stats_latency_nanos_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("vermem_service_stats_latency_nanos_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
 }
 
 /// The TSan centerpiece: submitters, a canceller, and shutdown all race;

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Schema check for vermemd --metrics-out Prometheus text output.
+
+Validates the exposition format the obs registry and ServiceStats emit:
+  - every non-comment line is `name[{labels}] value`
+  - every sample name (label-stripped, histogram suffixes folded) is
+    covered by a preceding # TYPE line
+  - histogram le buckets are cumulative and end with +Inf == _count
+  - all names carry the vermem_ prefix
+
+Usage: check_metrics.py FILE [--require NAME ...]
+Exit 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? ([0-9.eE+-]+|NaN)$')
+TYPE_RE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$')
+
+
+def base_of(name: str, types: dict) -> str:
+    """Folds histogram sample suffixes back onto the declared base name."""
+    for suffix in ('_bucket', '_sum', '_count'):
+        if name.endswith(suffix):
+            base = name[:-len(suffix)]
+            if types.get(base) == 'histogram':
+                return base
+    return name
+
+
+def check(path: str, required: list) -> int:
+    types = {}
+    seen = set()
+    hist_state = {}  # base -> (last cumulative, saw +Inf)
+    with open(path, encoding='utf-8') as handle:
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.rstrip('\n')
+            if not line:
+                continue
+            where = f'{path}:{lineno}'
+            type_match = TYPE_RE.match(line)
+            if type_match:
+                name, _ = type_match.groups()
+                if name in types:
+                    print(f'{where}: duplicate # TYPE for {name}')
+                    return 1
+                types[name] = type_match.group(2)
+                continue
+            if line.startswith('#'):
+                continue
+            sample = SAMPLE_RE.match(line)
+            if not sample:
+                print(f'{where}: malformed sample line: {line!r}')
+                return 1
+            name, labels, value = sample.groups()
+            base = base_of(name, types)
+            if not base.startswith('vermem_'):
+                print(f'{where}: sample {name} lacks the vermem_ prefix')
+                return 1
+            if base not in types:
+                print(f'{where}: sample {name} has no preceding # TYPE line')
+                return 1
+            seen.add(base)
+            if types[base] == 'histogram' and name.endswith('_bucket'):
+                le = re.search(r'le="([^"]+)"', labels or '')
+                if not le:
+                    print(f'{where}: histogram bucket without le label')
+                    return 1
+                cumulative, _ = hist_state.get(base, (0.0, False))
+                count = float(value)
+                if count < cumulative:
+                    print(f'{where}: non-cumulative bucket for {base}')
+                    return 1
+                hist_state[base] = (count, le.group(1) == '+Inf')
+    for base, (_, saw_inf) in hist_state.items():
+        if not saw_inf:
+            print(f'{path}: histogram {base} missing le="+Inf" bucket')
+            return 1
+    missing = [name for name in required if name not in seen]
+    if missing:
+        print(f'{path}: required metrics absent: {", ".join(missing)}')
+        return 1
+    print(f'{path}: OK ({len(seen)} metric families)')
+    return 0
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    path = argv[1]
+    required = []
+    if '--require' in argv:
+        required = argv[argv.index('--require') + 1:]
+    return check(path, required)
+
+
+if __name__ == '__main__':
+    sys.exit(main(sys.argv))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Validity check for vermemd --trace-out Chrome trace-event JSON.
+
+Asserts what a viewer (Perfetto / chrome://tracing) needs to load the
+file and what the span tracer guarantees:
+  - the file is well-formed JSON with a traceEvents array
+  - every event is a complete ("X") event with name, ts, dur, pid, tid
+  - ts is monotonically non-decreasing within each tid (export is
+    start-ordered per thread) and dur is non-negative (all spans closed)
+  - parent links reference a span id that exists (0 = root)
+
+Usage: check_trace.py FILE [--min-events N]
+Exit 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+
+def check(path: str, min_events: int) -> int:
+    with open(path, encoding='utf-8') as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            print(f'{path}: not valid JSON: {err}')
+            return 1
+    events = doc.get('traceEvents')
+    if not isinstance(events, list):
+        print(f'{path}: missing traceEvents array')
+        return 1
+    if len(events) < min_events:
+        print(f'{path}: only {len(events)} events, expected >= {min_events}')
+        return 1
+    ids = {0}
+    last_ts = {}
+    for i, event in enumerate(events):
+        for key in ('name', 'ph', 'ts', 'dur', 'pid', 'tid'):
+            if key not in event:
+                print(f'{path}: event {i} missing {key!r}')
+                return 1
+        if event['ph'] != 'X':
+            print(f'{path}: event {i} has ph={event["ph"]!r}, expected "X"')
+            return 1
+        if event['dur'] < 0:
+            print(f'{path}: event {i} ({event["name"]}) has negative dur '
+                  f'(span not closed?)')
+            return 1
+        tid = event['tid']
+        if event['ts'] < last_ts.get(tid, float('-inf')):
+            print(f'{path}: event {i} ({event["name"]}) breaks ts monotonicity '
+                  f'within tid {tid}')
+            return 1
+        last_ts[tid] = event['ts']
+        args = event.get('args', {})
+        if 'id' in args:
+            ids.add(args['id'])
+    for i, event in enumerate(events):
+        parent = event.get('args', {}).get('parent', 0)
+        if parent not in ids:
+            print(f'{path}: event {i} ({event["name"]}) references unknown '
+                  f'parent span {parent}')
+            return 1
+    print(f'{path}: OK ({len(events)} events, {len(last_ts)} threads)')
+    return 0
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    min_events = 1
+    if '--min-events' in argv:
+        min_events = int(argv[argv.index('--min-events') + 1])
+    return check(argv[1], min_events)
+
+
+if __name__ == '__main__':
+    sys.exit(main(sys.argv))

@@ -6,7 +6,8 @@
 // Usage:
 //   vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]
 //           [--workers=N] [--batch=N] [--cache=N] [--deadline-ms=N]
-//           [--repeat=N] [--analyze] [--stats] [FILE...]
+//           [--repeat=N] [--analyze] [--stats] [--version]
+//           [--trace-out=FILE] [--metrics-out=FILE] [FILE...]
 //
 // Each FILE is one trace in the text_io format; lines starting with
 // "wo " are split out as the trace's write-order log (enabling the
@@ -24,6 +25,15 @@
 // a final service-stats JSON line to stderr, including the fragment
 // routing counters.
 //
+// Observability exporters (docs/OBSERVABILITY.md):
+//   --trace-out=FILE    enable span collection and write a Chrome
+//                       trace-event JSON file on exit (load in Perfetto
+//                       or chrome://tracing)
+//   --metrics-out=FILE  write the process metrics registry on exit:
+//                       Prometheus text exposition (plus the service's
+//                       own ServiceStats counters), or a JSON summary
+//                       when FILE ends in .json
+//
 // Exit codes (see docs/SERVICE.md):
 //   0  every trace verified with a definite coherent/admissible verdict
 //   1  at least one trace is incoherent (a violation was found)
@@ -33,12 +43,16 @@
 //      timeouts" by requiring exit != 3
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis_json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "service/service.hpp"
+#include "support/format.hpp"
 #include "trace/text_io.hpp"
 #include "trace_stream.hpp"
 
@@ -52,7 +66,15 @@ int usage() {
       "usage: vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]\n"
       "               [--workers=N] [--batch=N] [--cache=N]\n"
       "               [--deadline-ms=N] [--repeat=N] [--analyze] [--stats]\n"
+      "               [--trace-out=FILE] [--metrics-out=FILE] [--version]\n"
       "               [FILE...]\n");
+  return 2;
+}
+
+/// Flushes verdict lines already written before a fatal stderr message:
+/// when stdout is a pipe, an abort must not silently discard them.
+int fatal_exit() {
+  std::fflush(stdout);
   return 2;
 }
 
@@ -71,6 +93,13 @@ void print_response(const std::string& tag,
       static_cast<unsigned long long>(response.fingerprint),
       response.num_operations, response.num_addresses, response.queue_micros,
       response.run_micros);
+  std::printf(
+      ",\"effort\":{\"states\":%llu,\"transitions\":%llu,\"prunes\":%llu,"
+      "\"max_frontier\":%llu}",
+      static_cast<unsigned long long>(response.effort.states_visited),
+      static_cast<unsigned long long>(response.effort.transitions),
+      static_cast<unsigned long long>(response.effort.prunes),
+      static_cast<unsigned long long>(response.effort.max_frontier));
   if (response.analyzed)
     std::printf(",\"analysis\":%s",
                 tools::analysis_json(response.analysis).c_str());
@@ -88,6 +117,8 @@ int main(int argc, char** argv) {
   std::size_t repeat = 1;
   bool analyze = false;
   bool print_stats = false;
+  std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -104,16 +135,26 @@ int main(int argc, char** argv) {
       ok = tools::parse_size_arg(arg, 14, deadline_ms);
     else if (arg.rfind("--repeat=", 0) == 0)
       ok = tools::parse_size_arg(arg, 9, repeat);
+    else if (arg.rfind("--trace-out=", 0) == 0)
+      trace_out = arg.substr(12);
+    else if (arg.rfind("--metrics-out=", 0) == 0)
+      metrics_out = arg.substr(14);
     else if (arg == "--analyze")
       analyze = true;
     else if (arg == "--stats")
       print_stats = true;
-    else if (arg.rfind("--", 0) == 0)
+    else if (arg == "--version") {
+      std::printf("vermemd %.*s\n", static_cast<int>(kVermemVersion.size()),
+                  kVermemVersion.data());
+      return 0;
+    } else if (arg.rfind("--", 0) == 0)
       return usage();
     else
       paths.push_back(arg);
     if (!ok) return usage();
   }
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+  if (!metrics_out.empty()) obs::set_enabled(true);
 
   service::CheckMode check_mode = service::CheckMode::kCoherence;
   models::Model model = models::Model::kSc;
@@ -147,7 +188,7 @@ int main(int argc, char** argv) {
     if (!parsed.ok()) {
       std::fprintf(stderr, "%s: parse error at line %zu: %s\n",
                    source.tag.c_str(), parsed.line, parsed.error.c_str());
-      return 2;
+      return fatal_exit();
     }
     service::VerificationRequest request;
     request.execution = std::move(parsed.execution);
@@ -156,7 +197,7 @@ int main(int argc, char** argv) {
       if (!orders.ok()) {
         std::fprintf(stderr, "%s: write-order parse error: %s\n",
                      source.tag.c_str(), orders.error.c_str());
-        return 2;
+        return fatal_exit();
       }
       request.write_orders.emplace(orders.orders.begin(), orders.orders.end());
     }
@@ -224,7 +265,34 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.lint_warnings),
                  fragments.c_str());
   }
+  if (!metrics_out.empty()) {
+    // Snapshot before shutdown so queue/in-flight gauges reflect the
+    // serving state; the registry itself is process-global.
+    const service::ServiceStats stats = svc.stats();
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return fatal_exit();
+    }
+    const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+    const bool as_json = metrics_out.size() >= 5 &&
+                         metrics_out.compare(metrics_out.size() - 5, 5,
+                                             ".json") == 0;
+    if (as_json)
+      out << snapshot.to_json() << "\n";
+    else
+      out << snapshot.to_prometheus() << stats.to_prometheus();
+  }
   svc.shutdown();
+  if (!trace_out.empty()) {
+    // After shutdown: worker and dispatcher spans are all closed by now.
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return fatal_exit();
+    }
+    obs::write_chrome_trace(out);
+  }
   if (any_incoherent) return 1;
   if (any_unknown) return 3;
   return 0;

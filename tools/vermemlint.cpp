@@ -5,7 +5,7 @@
 // a trace-collection pipeline or a CI check on trace corpora.
 //
 // Usage:
-//   vermemlint [--json|--text] [--no-info] [FILE...]
+//   vermemlint [--json|--text] [--no-info] [--version] [FILE...]
 //
 // Input conventions match vermemd: each FILE is one text_io trace with
 // optional "wo " write-order lines; with no FILE, stdin may hold
@@ -28,6 +28,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis_json.hpp"
+#include "support/format.hpp"
 #include "trace/text_io.hpp"
 #include "trace_stream.hpp"
 
@@ -36,8 +37,16 @@ namespace {
 using namespace vermem;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: vermemlint [--json|--text] [--no-info] [FILE...]\n");
+  std::fprintf(
+      stderr,
+      "usage: vermemlint [--json|--text] [--no-info] [--version] [FILE...]\n");
+  return 2;
+}
+
+/// Lint output for earlier traces may already sit in stdio buffers when
+/// a later trace fails to parse; flush so a piped consumer keeps it.
+int fatal_exit() {
+  std::fflush(stdout);
   return 2;
 }
 
@@ -72,7 +81,11 @@ int main(int argc, char** argv) {
       json = false;
     else if (arg == "--no-info")
       show_info = false;
-    else if (arg.rfind("--", 0) == 0)
+    else if (arg == "--version") {
+      std::printf("vermemlint %.*s\n", static_cast<int>(kVermemVersion.size()),
+                  kVermemVersion.data());
+      return 0;
+    } else if (arg.rfind("--", 0) == 0)
       return usage();
     else
       paths.push_back(arg);
@@ -91,7 +104,7 @@ int main(int argc, char** argv) {
     if (!parsed.ok()) {
       std::fprintf(stderr, "%s: parse error at line %zu: %s\n",
                    source.tag.c_str(), parsed.line, parsed.error.c_str());
-      return 2;
+      return fatal_exit();
     }
     vmc::WriteOrderMap orders;
     bool have_orders = false;
@@ -101,7 +114,7 @@ int main(int argc, char** argv) {
       if (!parsed_orders.ok()) {
         std::fprintf(stderr, "%s: write-order parse error: %s\n",
                      source.tag.c_str(), parsed_orders.error.c_str());
-        return 2;
+        return fatal_exit();
       }
       orders.insert(parsed_orders.orders.begin(), parsed_orders.orders.end());
       have_orders = true;
