@@ -1,0 +1,275 @@
+// Certificate layer: the cost of independently re-checking a verdict's
+// evidence versus the cost of deciding it in the first place (the §5.2
+// asymmetry: deciding VMC is NP-complete, checking supplied evidence is
+// polynomial).
+//
+// Three sweeps, one per certificate family whose check is *supposed* to
+// be cheap:
+//
+//   witness   coherent traces with colliding values, decided by the
+//             exact frontier search (exponential); the certificate's
+//             witness schedule is replayed in O(n).
+//   rup       pigeonhole-reduced incoherent instances decided through
+//             the SAT route (solver search); the checker re-encodes the
+//             projection and replays the logged RUP derivation with
+//             unit propagation only.
+//   poly      faulted large traces decided by the routed polynomial
+//             deciders; the typed evidence names the contradicting
+//             operations and the check inspects only those.
+//
+// (search-exhaustion certificates are deliberately absent: checking one
+// re-runs the search, so they are the one kind whose check is NOT o(n)
+// of the decision — docs/CERTIFICATES.md spells this out.)
+//
+// Numbers land in BENCH_certify.json. Hard gate: at the largest sweep
+// point of every family, the check must cost strictly less than the
+// decision it certifies.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/router.hpp"
+#include "bench_util.hpp"
+#include "certify/check.hpp"
+#include "encode/vmc_to_cnf.hpp"
+#include "reductions/sat_to_vmc.hpp"
+#include "sat/gen.hpp"
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "trace/address_index.hpp"
+#include "vmc/exact.hpp"
+#include "workload/random.hpp"
+
+namespace {
+
+using namespace vermem;
+
+/// One sweep input: the raw execution plus the certificate its decision
+/// produced. `decide` re-runs the decision procedure from scratch;
+/// `certify::check` re-validates the certificate against `exec` alone.
+struct CertCase {
+  Execution exec;
+  certify::Certificate cert;
+  void (*decide)(const Execution&);
+};
+
+void decide_exact(const Execution& exec) {
+  const vmc::CheckResult result =
+      vmc::check_exact(vmc::VmcInstance{exec, 0});
+  benchmark::DoNotOptimize(result);
+}
+
+void decide_via_sat(const Execution& exec) {
+  const vmc::CheckResult result = encode::check_via_sat({exec, 0});
+  benchmark::DoNotOptimize(result);
+}
+
+void decide_routed(const Execution& exec) {
+  const analysis::RoutedReport routed =
+      analysis::verify_coherence_routed(AddressIndex(exec));
+  benchmark::DoNotOptimize(routed);
+}
+
+/// Fresh-value coherent trace: even in the read-map-known regime the
+/// exact frontier search goes exponential by n=256 (colliding values
+/// blow past any CI budget well before that), while the certificate is
+/// just the witness schedule, replayed in O(n).
+CertCase make_witness_case(std::size_t n) {
+  workload::SingleAddressParams params;
+  params.num_histories = 8;
+  params.ops_per_history = n / 8;
+  params.num_values = 0;
+  params.write_fraction = 0.4;
+  params.rmw_fraction = 0.0;
+  Xoshiro256ss rng(41 + n);
+  Execution exec = workload::generate_coherent(params, rng).execution;
+  const vmc::CheckResult result = vmc::check_exact(vmc::VmcInstance{exec, 0});
+  if (result.verdict != vmc::Verdict::kCoherent) {
+    std::cerr << "bench_certify: witness sweep trace not coherent\n";
+    std::exit(1);
+  }
+  return {std::move(exec),
+          certify::from_result(certify::Scope::kAddress, 0, result),
+          decide_exact};
+}
+
+/// Pigeonhole-reduced instance: incoherent iff the formula is
+/// unsatisfiable, so the SAT route must search and logs a refutation.
+CertCase make_rup_case(std::size_t holes) {
+  Execution exec =
+      reductions::sat_to_vmc(sat::pigeonhole(holes)).instance.execution;
+  const vmc::CheckResult result = encode::check_via_sat({exec, 0});
+  if (result.verdict != vmc::Verdict::kIncoherent) {
+    std::cerr << "bench_certify: rup sweep instance not incoherent\n";
+    std::exit(1);
+  }
+  return {std::move(exec),
+          certify::from_result(certify::Scope::kAddress, 0, result),
+          decide_via_sat};
+}
+
+/// Large write-once trace with an injected stale read: the routed
+/// polynomial decider scans everything, the evidence names two ops.
+CertCase make_poly_case(std::size_t n) {
+  workload::SingleAddressParams params;
+  params.num_histories = 8;
+  params.ops_per_history = n / 8;
+  params.num_values = 0;  // fresh values: the write-once O(n) regime
+  params.write_fraction = 0.4;
+  params.rmw_fraction = 0.0;
+  Xoshiro256ss rng(43 + n);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const workload::GeneratedTrace trace =
+        workload::generate_coherent(params, rng);
+    auto faulted =
+        workload::inject_fault(trace, workload::Fault::kStaleRead, rng);
+    if (!faulted) continue;
+    const analysis::RoutedReport routed =
+        analysis::verify_coherence_routed(AddressIndex(*faulted));
+    if (routed.report.verdict != vmc::Verdict::kIncoherent) continue;
+    return {std::move(*faulted),
+            certify::from_result(certify::Scope::kAddress,
+                                 routed.report.addresses[0].addr,
+                                 routed.report.addresses[0].result),
+            decide_routed};
+  }
+  std::cerr << "bench_certify: could not build a faulted poly-sweep trace\n";
+  std::exit(1);
+}
+
+double time_decide(const CertCase& test) {
+  Stopwatch warmup;
+  test.decide(test.exec);
+  const double once = warmup.seconds();
+  const int reps =
+      once > 0 ? std::clamp(static_cast<int>(50e-3 / once), 1, 512) : 512;
+  Stopwatch timed;
+  for (int r = 0; r < reps; ++r) test.decide(test.exec);
+  return timed.seconds() / reps;
+}
+
+double time_check(const CertCase& test) {
+  Stopwatch warmup;
+  const certify::CheckOutcome outcome = certify::check(test.exec, test.cert);
+  if (!outcome.ok) {
+    std::cerr << "bench_certify: genuine certificate failed to check: "
+              << outcome.violation << "\n";
+    std::exit(1);
+  }
+  const double once = warmup.seconds();
+  const int reps =
+      once > 0 ? std::clamp(static_cast<int>(50e-3 / once), 1, 4096) : 4096;
+  Stopwatch timed;
+  for (int r = 0; r < reps; ++r)
+    benchmark::DoNotOptimize(certify::check(test.exec, test.cert));
+  return timed.seconds() / reps;
+}
+
+struct SweepPoint {
+  std::size_t total_ops = 0;
+  double decide_sec = 0;
+  double check_sec = 0;
+};
+
+struct FamilySweep {
+  const char* name;
+  std::vector<std::size_t> sizes;
+  CertCase (*make)(std::size_t);
+  std::vector<SweepPoint> points;
+  double decide_slope = 0;
+  double check_slope = 0;
+  double ratio_at_largest = 0;  ///< check / decide; must stay < 1
+};
+
+void run_sweep() {
+  std::cout << "\n== Certificate check cost vs decision cost ==\n";
+  std::vector<FamilySweep> sweeps;
+  // Ceilings keep the decision baseline near a second: the exact search
+  // goes exponential past n=256 even on fresh values, the SAT route
+  // past 4 pigeonhole holes, while the routed poly path stays linear to
+  // n=4096.
+  sweeps.push_back({"witness", {64, 96, 128, 192, 256}, make_witness_case,
+                    {}, 0, 0, 0});
+  sweeps.push_back({"rup", {2, 3, 4}, make_rup_case, {}, 0, 0, 0});
+  sweeps.push_back({"poly", {256, 512, 1024, 2048, 4096}, make_poly_case,
+                    {}, 0, 0, 0});
+
+  for (FamilySweep& sweep : sweeps) {
+    TextTable table({"family", "n", "decide", "check", "decide/check"});
+    std::vector<double> ns, decide_ts, check_ts;
+    char buf[64];
+    for (const std::size_t size : sweep.sizes) {
+      const CertCase test = sweep.make(size);
+      SweepPoint point;
+      point.total_ops = test.exec.num_operations();
+      point.decide_sec = time_decide(test);
+      point.check_sec = time_check(test);
+      sweep.points.push_back(point);
+      ns.push_back(static_cast<double>(point.total_ops));
+      decide_ts.push_back(point.decide_sec + 1e-12);
+      check_ts.push_back(point.check_sec + 1e-12);
+      std::snprintf(buf, sizeof buf, "%.1fx",
+                    point.decide_sec / point.check_sec);
+      table.add_row({sweep.name, std::to_string(point.total_ops),
+                     human_nanos(point.decide_sec * 1e9),
+                     human_nanos(point.check_sec * 1e9), buf});
+    }
+    table.print(std::cout);
+    sweep.decide_slope = bench::loglog_slope(ns, decide_ts);
+    sweep.check_slope = bench::loglog_slope(ns, check_ts);
+    const SweepPoint& largest = sweep.points.back();
+    sweep.ratio_at_largest = largest.check_sec / largest.decide_sec;
+    std::cout << sweep.name << ": decide scaling "
+              << bench::format_slope(sweep.decide_slope) << ", check scaling "
+              << bench::format_slope(sweep.check_slope)
+              << ", check/decide at n=" << largest.total_ops << ": "
+              << sweep.ratio_at_largest << "\n";
+  }
+
+  std::ofstream json("BENCH_certify.json");
+  json << "{\n  \"bench\": \"certify_check\",\n  \"families\": [\n";
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    const FamilySweep& sweep = sweeps[s];
+    json << "    {\"family\": \"" << sweep.name << "\",\n"
+         << "     \"decide_slope\": " << sweep.decide_slope << ",\n"
+         << "     \"check_slope\": " << sweep.check_slope << ",\n"
+         << "     \"check_over_decide_at_largest\": " << sweep.ratio_at_largest
+         << ",\n     \"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+      const SweepPoint& point = sweep.points[i];
+      json << "       {\"total_ops\": " << point.total_ops
+           << ", \"decide_sec\": " << point.decide_sec
+           << ", \"check_sec\": " << point.check_sec << "}"
+           << (i + 1 < sweep.points.size() ? "," : "") << "\n";
+    }
+    json << "     ]}" << (s + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_certify.json\n";
+
+  for (const FamilySweep& sweep : sweeps) {
+    if (sweep.ratio_at_largest >= 1.0) {
+      std::cerr << "bench_certify: " << sweep.name
+                << " certificate check is not cheaper than the decision "
+                   "it certifies\n";
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  run_sweep();
+  return 0;
+}

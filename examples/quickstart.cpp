@@ -56,7 +56,7 @@ int main() {
     } else {
       const auto* violation = report.first_violation();
       std::printf("INCOHERENT at address %u: %s\n", violation->addr,
-                  violation->result.note.c_str());
+                  violation->result.reason().c_str());
     }
   }
   return 0;

@@ -81,7 +81,7 @@ int main() {
       const vmc::VmcInstance broken{*faulted, params.addr};
       const auto flagged = encode::check_via_sat(broken);
       std::printf("after injecting a stale read: %s (%s)\n",
-                  to_string(flagged.verdict), flagged.note.c_str());
+                  to_string(flagged.verdict), flagged.reason().c_str());
     }
   }
   return 0;

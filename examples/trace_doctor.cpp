@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
     verdict = report.verdict;
     if (const auto* violation = report.first_violation())
       detail = "address " + std::to_string(violation->addr) + ": " +
-               violation->result.note;
+               violation->result.reason();
   } else if (model == "coherence" && use_sat) {
     verdict = vmc::Verdict::kCoherent;
     for (const Addr addr : exec.addresses()) {
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
           vmc::VmcInstance::from_execution(exec, addr));
       if (result.verdict != vmc::Verdict::kCoherent) {
         verdict = result.verdict;
-        detail = "address " + std::to_string(addr) + ": " + result.note;
+        detail = "address " + std::to_string(addr) + ": " + result.reason();
         break;
       }
     }
@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
     verdict = report.verdict;
     if (const auto* violation = report.first_violation())
       detail = "address " + std::to_string(violation->addr) + ": " +
-               violation->result.note;
+               violation->result.reason();
   } else {
     models::Model m;
     if (model == "sc")
@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
       return usage();
     const auto result = models::check_model(exec, m);
     verdict = result.verdict;
-    detail = result.note;
+    detail = result.reason();
   }
 
   switch (verdict) {

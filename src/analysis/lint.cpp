@@ -10,8 +10,13 @@ namespace vermem::analysis {
 namespace {
 
 std::string op_at(const ProjectedView& view, OpRef original) {
-  return "P" + std::to_string(original.process) + "#" +
-         std::to_string(original.index) + " " + to_string(view.op(original));
+  std::string out = "P";
+  out += std::to_string(original.process);
+  out += '#';
+  out += std::to_string(original.index);
+  out += ' ';
+  out += to_string(view.op(original));
+  return out;
 }
 
 }  // namespace

@@ -14,16 +14,17 @@ using vmc::VmcInstance;
 CheckResult decide_rmw_chain(const VmcInstance& instance) {
   obs::Span span("poly.rmw_chain");
   if (const auto why = instance.malformed())
-    return CheckResult::unknown("malformed instance: " + *why);
+    return CheckResult::unknown(certify::UnknownReason::kMalformed, *why);
   if (!instance.all_rmw())
-    return CheckResult::unknown("not applicable: non-RMW operation present");
+    return CheckResult::unknown(certify::UnknownReason::kNotApplicable,
+                                "non-RMW operation present");
 
   const std::size_t total = instance.num_operations();
   const Value initial = instance.initial_value();
   const auto fin = instance.final_value();
   if (total == 0) {
     if (fin && *fin != initial)
-      return CheckResult::no("no operations, final value differs from initial");
+      return CheckResult::no(certify::unwritable_final(instance.addr, *fin));
     return CheckResult::yes({});
   }
 
@@ -49,15 +50,16 @@ CheckResult decide_rmw_chain(const VmcInstance& instance) {
     if (it == readers.end() || it->second.empty()) {
       // The prefix so far was forced, so no coherent schedule continues
       // from here: a genuine incoherence proof, not a search failure.
-      return CheckResult::no(
-          "RMW chain stalls after " + std::to_string(step) +
-              " operations: nothing reads value " + std::to_string(current),
-          stats);
+      return CheckResult::no(certify::chain_stall(instance.addr, current, step),
+                             stats);
     }
     if (it->second.size() > 1) {
       return CheckResult::unknown(
-          "chain not forced: " + std::to_string(it->second.size()) +
-              " enabled RMWs read value " + std::to_string(current),
+          certify::Unknown{certify::UnknownReason::kNotApplicable,
+                           "chain not forced: " +
+                               std::to_string(it->second.size()) +
+                               " enabled RMWs read value " +
+                               std::to_string(current)},
           stats);
     }
     const std::uint32_t p = it->second.front();
@@ -70,8 +72,7 @@ CheckResult decide_rmw_chain(const VmcInstance& instance) {
       readers[history[next[p]].value_read].push_back(p);
   }
   if (fin && current != *fin)
-    return CheckResult::no("forced chain ends at " + std::to_string(current) +
-                               ", final value is " + std::to_string(*fin),
+    return CheckResult::no(certify::chain_end_mismatch(instance.addr, *fin),
                            stats);
   return CheckResult::yes(std::move(schedule), stats);
 }

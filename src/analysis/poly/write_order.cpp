@@ -69,8 +69,9 @@ vmc::CheckResult decide_with_write_order(const vmc::VmcInstance& instance,
     const auto projected = view.projected_of(original);
     if (!projected) {
       return vmc::CheckResult::unknown(
+          certify::UnknownReason::kInvalidWriteOrder,
           "write-order references operations outside address " +
-          std::to_string(view.addr()));
+              std::to_string(view.addr()));
     }
     local.push_back(*projected);
   }

@@ -126,9 +126,12 @@ RouteOutcome check_routed(const ProjectedView& view,
     out.fell_back = true;
   }
 
-  // Witness back to original-execution coordinates.
-  for (OpRef& ref : result.witness)
+  // Witness and evidence back to original-execution coordinates.
+  const auto to_original = [&](OpRef& ref) {
     ref = projection.origin[ref.process][ref.index];
+  };
+  for (OpRef& ref : result.witness) to_original(ref);
+  certify::for_each_ref(result.evidence, to_original);
   out.result = std::move(result);
   if (span.active()) span.attr("decider", to_string(out.decider));
   if (obs::enabled()) {
@@ -163,9 +166,9 @@ RoutedReport verify_coherence_routed(const AddressIndex& index,
     if (interrupted(exact_options)) {
       // Skipped addresses carry no routing information; they are not
       // counted in the fragment/decider tallies.
-      reports.push_back({addr, CheckResult::unknown(
-                                   "skipped: deadline expired or request "
-                                   "cancelled")});
+      reports.push_back(
+          {addr, CheckResult::unknown(certify::UnknownReason::kSkipped,
+                                      "deadline expired or request cancelled")});
       out.fragments.push_back(Fragment::kGeneral);
       out.deciders.push_back(Decider::kExact);
       continue;

@@ -1,0 +1,56 @@
+#pragma once
+// First-class verdict certificates.
+//
+// A Certificate bundles a verdict with everything an independent checker
+// needs to re-validate it against the raw trace: a witness schedule for
+// kCoherent, typed Incoherence evidence for kIncoherent, and a typed
+// give-up reason for kUnknown. Certificates come in two scopes —
+// per-address coherence (VMC) and whole-execution sequential consistency
+// (VSC) — matching the two schedule validators in trace/schedule.hpp.
+//
+// Producers build certificates straight from vmc::CheckResult (whose
+// evidence field already holds the typed payload); certify::check() in
+// check.hpp re-validates them without trusting the producer, and the
+// text format in text.hpp round-trips them for the vermemcert CLI.
+
+#include "certify/evidence.hpp"
+#include "trace/schedule.hpp"
+#include "vmc/result.hpp"
+
+namespace vermem::certify {
+
+/// What the certificate claims about: one address's coherence, or the
+/// whole execution's sequential consistency.
+enum class Scope : std::uint8_t { kAddress, kExecution };
+
+[[nodiscard]] constexpr const char* to_string(Scope s) noexcept {
+  switch (s) {
+    case Scope::kAddress: return "address";
+    case Scope::kExecution: return "execution";
+  }
+  return "?";
+}
+
+struct Certificate {
+  Scope scope = Scope::kAddress;
+  Addr addr = 0;  ///< meaningful for Scope::kAddress
+  vmc::Verdict verdict = vmc::Verdict::kUnknown;
+  Schedule witness;   ///< kCoherent: the schedule, in original coordinates
+  Evidence evidence;  ///< kIncoherent / kUnknown payload
+};
+
+/// Packages a decider result as a certificate. The result's witness and
+/// evidence must already be in the coordinates of the execution the
+/// certificate will be checked against.
+[[nodiscard]] inline Certificate from_result(Scope scope, Addr addr,
+                                             const vmc::CheckResult& result) {
+  Certificate cert;
+  cert.scope = scope;
+  cert.addr = addr;
+  cert.verdict = result.verdict;
+  cert.witness = result.witness;
+  cert.evidence = result.evidence;
+  return cert;
+}
+
+}  // namespace vermem::certify

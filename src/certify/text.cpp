@@ -1,0 +1,327 @@
+#include "certify/text.hpp"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vermem::certify {
+
+namespace {
+
+constexpr std::array<IncoherenceKind, 17> kAllKinds = {
+    IncoherenceKind::kUnwrittenRead,        IncoherenceKind::kUnwritableFinal,
+    IncoherenceKind::kReadBeforeWrite,      IncoherenceKind::kStaleInitialRead,
+    IncoherenceKind::kClusterCycle,         IncoherenceKind::kFinalNotLast,
+    IncoherenceKind::kValueImbalance,       IncoherenceKind::kUnreachableValue,
+    IncoherenceKind::kChainStall,           IncoherenceKind::kChainEndMismatch,
+    IncoherenceKind::kOrderProgramConflict, IncoherenceKind::kOrderRmwMismatch,
+    IncoherenceKind::kOrderReadWindow,      IncoherenceKind::kOrderFinalMismatch,
+    IncoherenceKind::kRupRefutation,        IncoherenceKind::kSearchExhaustion,
+    IncoherenceKind::kMergeCycle,
+};
+
+constexpr std::array<UnknownReason, 10> kAllReasons = {
+    UnknownReason::kMalformed,     UnknownReason::kNotApplicable,
+    UnknownReason::kBudget,        UnknownReason::kDeadline,
+    UnknownReason::kCancelled,     UnknownReason::kSkipped,
+    UnknownReason::kInvalidWriteOrder, UnknownReason::kSolverGaveUp,
+    UnknownReason::kCertificationFailed, UnknownReason::kUnsupported,
+};
+
+std::optional<IncoherenceKind> kind_from(std::string_view word) {
+  for (const IncoherenceKind k : kAllKinds)
+    if (word == to_string(k)) return k;
+  return std::nullopt;
+}
+
+std::optional<UnknownReason> reason_from(std::string_view word) {
+  for (const UnknownReason r : kAllReasons)
+    if (word == to_string(r)) return r;
+  return std::nullopt;
+}
+
+std::optional<vmc::Verdict> verdict_from(std::string_view word) {
+  for (const vmc::Verdict v : {vmc::Verdict::kCoherent, vmc::Verdict::kIncoherent,
+                               vmc::Verdict::kUnknown})
+    if (word == vmc::to_string(v)) return v;
+  return std::nullopt;
+}
+
+std::optional<Scope> scope_from(std::string_view word) {
+  for (const Scope s : {Scope::kAddress, Scope::kExecution})
+    if (word == to_string(s)) return s;
+  return std::nullopt;
+}
+
+/// Parses "P<process>#<index>".
+std::optional<OpRef> ref_from(std::string_view word) {
+  if (word.size() < 4 || word[0] != 'P') return std::nullopt;
+  const std::size_t hash = word.find('#');
+  if (hash == std::string_view::npos || hash == 1 || hash + 1 == word.size())
+    return std::nullopt;
+  OpRef ref;
+  std::uint64_t value = 0;
+  for (std::size_t i = 1; i < hash; ++i) {
+    if (word[i] < '0' || word[i] > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(word[i] - '0');
+    if (value > UINT32_MAX) return std::nullopt;
+  }
+  ref.process = static_cast<std::uint32_t>(value);
+  value = 0;
+  for (std::size_t i = hash + 1; i < word.size(); ++i) {
+    if (word[i] < '0' || word[i] > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(word[i] - '0');
+    if (value > UINT32_MAX) return std::nullopt;
+  }
+  ref.index = static_cast<std::uint32_t>(value);
+  return ref;
+}
+
+void append_refs(std::string& out, const char* tag, const std::vector<OpRef>& refs) {
+  if (refs.empty()) return;
+  out += tag;
+  for (const OpRef ref : refs) {
+    out += ' ';
+    out += to_string(ref);
+  }
+  out += '\n';
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line_number = 0;
+
+  /// Next non-blank, non-comment line, stripped of a trailing CR.
+  std::optional<std::string_view> next_line() {
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string_view::npos) eol = text.size();
+      std::string_view line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      ++line_number;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (line.empty() || line[0] == '#') continue;
+      return line;
+    }
+    return std::nullopt;
+  }
+};
+
+/// Splits a line into whitespace-separated words.
+std::vector<std::string> words_of(std::string_view line) {
+  std::vector<std::string> words;
+  std::istringstream in{std::string(line)};
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+std::optional<std::int64_t> int64_from(const std::string& word) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(word, &used);
+    if (used != word.size()) return std::nullopt;
+    return static_cast<std::int64_t>(value);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> uint64_from(const std::string& word) {
+  if (word.empty() || word[0] == '-') return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(word, &used);
+    if (used != word.size()) return std::nullopt;
+    return static_cast<std::uint64_t>(value);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string dump(const Certificate& cert) {
+  std::string out = "cert ";
+  out += to_string(cert.scope);
+  out += ' ';
+  out += std::to_string(cert.addr);
+  out += ' ';
+  out += vmc::to_string(cert.verdict);
+  out += '\n';
+  append_refs(out, "witness", cert.witness);
+  if (const auto* e = std::get_if<Incoherence>(&cert.evidence)) {
+    out += "incoherent ";
+    out += to_string(e->kind);
+    out += '\n';
+    append_refs(out, "ops", e->ops);
+    if (!e->values.empty()) {
+      out += "values";
+      for (const Value v : e->values) {
+        out += ' ';
+        out += std::to_string(v);
+      }
+      out += '\n';
+    }
+    if (!e->edges.empty()) {
+      out += "edges";
+      for (const ProgramOrderEdge& edge : e->edges) {
+        out += ' ';
+        out += to_string(edge.before);
+        out += '>';
+        out += to_string(edge.after);
+      }
+      out += '\n';
+    }
+    append_refs(out, "order", e->write_order);
+    if (e->states != 0 || e->transitions != 0) {
+      out += "effort ";
+      out += std::to_string(e->states);
+      out += ' ';
+      out += std::to_string(e->transitions);
+      out += '\n';
+    }
+    for (const sat::Clause& clause : e->proof) {
+      out += "clause";
+      for (const sat::Lit lit : clause) {
+        out += ' ';
+        out += std::to_string(lit.to_dimacs());
+      }
+      out += '\n';
+    }
+  } else if (const auto* u = std::get_if<Unknown>(&cert.evidence)) {
+    out += "unknown ";
+    out += to_string(u->reason);
+    if (!u->detail.empty()) {
+      out += ' ';
+      out += u->detail;
+    }
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+std::string dump(const std::vector<Certificate>& certs) {
+  std::string out;
+  for (const Certificate& cert : certs) out += dump(cert);
+  return out;
+}
+
+ParseResult parse_certificates(std::string_view text) {
+  ParseResult result;
+  Parser parser{text};
+  auto fail = [&](const std::string& why) {
+    result.ok = false;
+    result.error = "line " + std::to_string(parser.line_number) + ": " + why;
+    return result;
+  };
+
+  while (true) {
+    const auto header = parser.next_line();
+    if (!header) break;
+    const std::vector<std::string> head = words_of(*header);
+    if (head.size() != 4 || head[0] != "cert")
+      return fail("expected `cert <scope> <addr> <verdict>`");
+    const auto scope = scope_from(head[1]);
+    if (!scope) return fail("unknown scope `" + head[1] + "`");
+    const auto addr = uint64_from(head[2]);
+    if (!addr || *addr > UINT32_MAX) return fail("bad address `" + head[2] + "`");
+    const auto verdict = verdict_from(head[3]);
+    if (!verdict) return fail("unknown verdict `" + head[3] + "`");
+
+    Certificate cert;
+    cert.scope = *scope;
+    cert.addr = static_cast<Addr>(*addr);
+    cert.verdict = *verdict;
+    Incoherence evidence;
+    bool have_incoherence = false;
+
+    while (true) {
+      const auto line = parser.next_line();
+      if (!line) return fail("certificate not terminated by `end`");
+      if (*line == "end") break;
+      const std::vector<std::string> body = words_of(*line);
+      const std::string& tag = body[0];
+      if (tag == "witness") {
+        for (std::size_t i = 1; i < body.size(); ++i) {
+          const auto ref = ref_from(body[i]);
+          if (!ref) return fail("bad operation reference `" + body[i] + "`");
+          cert.witness.push_back(*ref);
+        }
+      } else if (tag == "incoherent") {
+        if (body.size() != 2) return fail("expected `incoherent <kind>`");
+        const auto kind = kind_from(body[1]);
+        if (!kind) return fail("unknown incoherence kind `" + body[1] + "`");
+        evidence.kind = *kind;
+        evidence.addr = cert.addr;
+        have_incoherence = true;
+      } else if (tag == "ops" || tag == "order") {
+        std::vector<OpRef>& refs = tag == "ops" ? evidence.ops : evidence.write_order;
+        for (std::size_t i = 1; i < body.size(); ++i) {
+          const auto ref = ref_from(body[i]);
+          if (!ref) return fail("bad operation reference `" + body[i] + "`");
+          refs.push_back(*ref);
+        }
+      } else if (tag == "values") {
+        for (std::size_t i = 1; i < body.size(); ++i) {
+          const auto value = int64_from(body[i]);
+          if (!value) return fail("bad value `" + body[i] + "`");
+          evidence.values.push_back(*value);
+        }
+      } else if (tag == "edges") {
+        for (std::size_t i = 1; i < body.size(); ++i) {
+          const std::size_t sep = body[i].find('>');
+          if (sep == std::string::npos) return fail("bad edge `" + body[i] + "`");
+          const auto before = ref_from(std::string_view(body[i]).substr(0, sep));
+          const auto after = ref_from(std::string_view(body[i]).substr(sep + 1));
+          if (!before || !after) return fail("bad edge `" + body[i] + "`");
+          evidence.edges.push_back({*before, *after});
+        }
+      } else if (tag == "effort") {
+        if (body.size() != 3) return fail("expected `effort <states> <transitions>`");
+        const auto states = uint64_from(body[1]);
+        const auto transitions = uint64_from(body[2]);
+        if (!states || !transitions) return fail("bad effort counters");
+        evidence.states = *states;
+        evidence.transitions = *transitions;
+      } else if (tag == "clause") {
+        sat::Clause clause;
+        for (std::size_t i = 1; i < body.size(); ++i) {
+          const auto lit = int64_from(body[i]);
+          if (!lit || *lit == 0 || *lit > INT32_MAX || *lit < -INT32_MAX)
+            return fail("bad literal `" + body[i] + "`");
+          clause.push_back(sat::Lit::from_dimacs(static_cast<int>(*lit)));
+        }
+        evidence.proof.push_back(std::move(clause));
+      } else if (tag == "unknown") {
+        if (body.size() < 2) return fail("expected `unknown <reason> [detail]`");
+        const auto reason = reason_from(body[1]);
+        if (!reason) return fail("unknown give-up reason `" + body[1] + "`");
+        Unknown u;
+        u.reason = *reason;
+        const std::size_t at = line->find(body[1]);
+        const std::size_t after = at + body[1].size();
+        if (after < line->size()) {
+          std::string_view detail = line->substr(after);
+          while (!detail.empty() && detail.front() == ' ') detail.remove_prefix(1);
+          u.detail = std::string(detail);
+        }
+        cert.evidence = std::move(u);
+      } else {
+        return fail("unknown line tag `" + tag + "`");
+      }
+    }
+    if (have_incoherence) cert.evidence = std::move(evidence);
+    result.certs.push_back(std::move(cert));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace vermem::certify

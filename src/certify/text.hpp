@@ -1,0 +1,53 @@
+#pragma once
+// Line-oriented text format for certificates.
+//
+// A certificate serializes as a `cert` header line, payload lines, and
+// an `end` terminator; a file may hold any number of certificates in
+// sequence. Blank lines and `#` comments are ignored. The format
+// round-trips exactly (dump -> parse -> dump is the identity), which is
+// what lets vermemd hand certificates to the out-of-process vermemcert
+// checker:
+//
+//   cert address 3 incoherent
+//   incoherent read-before-write
+//   ops P0#1 P0#4
+//   values 7
+//   end
+//
+// Payload lines by verdict:
+//   coherent:    `witness P0#0 P1#2 ...` (omitted when empty)
+//   incoherent:  `incoherent <kind>` then any of `ops`, `values`,
+//                `edges P0#0>P0#1 ...`, `order`, `effort <states>
+//                <transitions>`, and one `clause <dimacs lits>` line per
+//                proof clause (a bare `clause` is the empty clause)
+//   unknown:     `unknown <reason> [detail to end of line]`
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "certify/certificate.hpp"
+
+namespace vermem::certify {
+
+/// Serializes one certificate (including the trailing `end` line).
+[[nodiscard]] std::string dump(const Certificate& cert);
+
+/// Serializes a sequence of certificates back to back.
+[[nodiscard]] std::string dump(const std::vector<Certificate>& certs);
+
+/// Result of parsing a certificate stream. On failure `ok` is false and
+/// `error` names the offending line.
+struct ParseResult {
+  bool ok = false;
+  std::vector<Certificate> certs;
+  std::string error;
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ok; }
+};
+
+/// Parses every certificate in `text`. Stops at the first malformed
+/// line.
+[[nodiscard]] ParseResult parse_certificates(std::string_view text);
+
+}  // namespace vermem::certify

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <variant>
 
 namespace vermem::encode {
 
@@ -36,7 +37,7 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
   NaiveEncoding enc;
   if (const auto why = instance.malformed()) {
     enc.trivially_incoherent = true;
-    enc.note = "malformed instance: " + *why;
+    enc.evidence = certify::Unknown{certify::UnknownReason::kMalformed, *why};
     enc.cnf.add_clause({});
     return enc;
   }
@@ -94,7 +95,8 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
     const bool initial_ok = op.value_read == initial;
     if (candidates.empty() && !initial_ok) {
       enc.trivially_incoherent = true;
-      enc.note = "read of a value that is never written";
+      enc.evidence = certify::unwritten_read(instance.addr, enc.ops[node],
+                                             op.value_read);
       enc.cnf.add_clause({});
       return enc;
     }
@@ -141,14 +143,14 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
     if (write_nodes.empty()) {
       if (*fin != initial) {
         enc.trivially_incoherent = true;
-        enc.note = "no writes, final value differs from initial";
+        enc.evidence = certify::unwritable_final(instance.addr, *fin);
         enc.cnf.add_clause({});
       }
       return enc;
     }
     if (last_candidates.empty()) {
       enc.trivially_incoherent = true;
-      enc.note = "final value is never written";
+      enc.evidence = certify::unwritable_final(instance.addr, *fin);
       enc.cnf.add_clause({});
       return enc;
     }
@@ -167,7 +169,11 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
 vmc::CheckResult check_via_sat_naive(const vmc::VmcInstance& instance,
                                      const sat::SolverOptions& solver_options) {
   const NaiveEncoding enc = encode_vmc_naive(instance);
-  if (enc.trivially_incoherent) return vmc::CheckResult::no(enc.note);
+  if (enc.trivially_incoherent) {
+    if (const auto* unknown = std::get_if<certify::Unknown>(&enc.evidence))
+      return vmc::CheckResult::unknown(*unknown);
+    return vmc::CheckResult::no(std::get<certify::Incoherence>(enc.evidence));
+  }
 
   const sat::SolveResult solved = sat::solve(enc.cnf, solver_options);
   vmc::SearchStats stats;
@@ -176,9 +182,15 @@ vmc::CheckResult check_via_sat_naive(const vmc::VmcInstance& instance,
 
   switch (solved.status) {
     case sat::Status::kUnsat:
-      return vmc::CheckResult::no("naive CNF encoding is unsatisfiable", stats);
+      // The naive oracle is not a certificate producer; its refutation is
+      // re-derived from the trace, not from a proof of this formula.
+      return vmc::CheckResult::no(
+          certify::search_exhaustion(instance.addr, solved.stats.decisions,
+                                     solved.stats.propagations),
+          stats);
     case sat::Status::kUnknown:
-      return vmc::CheckResult::unknown("SAT solver gave up", stats);
+      return vmc::CheckResult::unknown(certify::UnknownReason::kSolverGaveUp,
+                                       "SAT solver gave up", stats);
     case sat::Status::kSat:
       break;
   }
@@ -187,6 +199,7 @@ vmc::CheckResult check_via_sat_naive(const vmc::VmcInstance& instance,
       check_coherent_schedule(instance.execution, instance.addr, schedule);
   if (!valid.ok)
     return vmc::CheckResult::unknown(
+        certify::UnknownReason::kCertificationFailed,
         "internal: naive model failed certification: " + valid.violation, stats);
   vmc::CheckResult result = vmc::CheckResult::yes(std::move(schedule), stats);
   return result;

@@ -25,7 +25,7 @@ struct NaiveEncoding {
   std::vector<OpRef> ops;
   std::vector<sat::Var> order_vars;
   bool trivially_incoherent = false;
-  std::string note;
+  certify::Evidence evidence;
 
   [[nodiscard]] std::size_t num_ops() const noexcept { return ops.size(); }
   [[nodiscard]] sat::Var order_var(std::size_t i, std::size_t j) const {

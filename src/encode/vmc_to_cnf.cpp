@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <variant>
 
 namespace vermem::encode {
 
@@ -49,7 +50,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance) {
   VmcEncoding enc;
   if (const auto why = instance.malformed()) {
     enc.trivially_incoherent = true;
-    enc.note = "malformed instance: " + *why;
+    enc.evidence = certify::Unknown{certify::UnknownReason::kMalformed, *why};
     enc.cnf.add_clause({});
     return enc;
   }
@@ -141,8 +142,8 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance) {
       if (item.value == initial) item.candidates.push_back(kInitial);
       if (item.candidates.empty()) {
         enc.trivially_incoherent = true;
-        enc.note = "read of a value that is never written (and is not the "
-                   "initial value)";
+        enc.evidence =
+            certify::unwritten_read(instance.addr, item.ref, item.value);
         enc.cnf.add_clause({});
         return enc;
       }
@@ -231,7 +232,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance) {
     if (w == 0) {
       if (*fin != initial) {
         enc.trivially_incoherent = true;
-        enc.note = "no writes, final value differs from initial";
+        enc.evidence = certify::unwritable_final(instance.addr, *fin);
         enc.cnf.add_clause({});
         return enc;
       }
@@ -242,7 +243,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance) {
           last_candidates.push_back(j);
       if (last_candidates.empty()) {
         enc.trivially_incoherent = true;
-        enc.note = "final value is never written";
+        enc.evidence = certify::unwritable_final(instance.addr, *fin);
         enc.cnf.add_clause({});
         return enc;
       }
@@ -263,18 +264,29 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance) {
 vmc::CheckResult check_via_sat(const vmc::VmcInstance& instance,
                                const sat::SolverOptions& solver_options) {
   const VmcEncoding enc = encode_vmc(instance);
-  if (enc.trivially_incoherent) return vmc::CheckResult::no(enc.note);
+  if (enc.trivially_incoherent) {
+    if (const auto* unknown = std::get_if<certify::Unknown>(&enc.evidence))
+      return vmc::CheckResult::unknown(*unknown);
+    return vmc::CheckResult::no(std::get<certify::Incoherence>(enc.evidence));
+  }
 
-  const sat::SolveResult solved = sat::solve(enc.cnf, solver_options);
+  // Always log a proof: an UNSAT answer without an RUP refutation cannot
+  // be certified, and the encoding is deterministic so a checker can
+  // rebuild the formula the proof refers to.
+  sat::SolverOptions options = solver_options;
+  options.log_proof = true;
+  const sat::SolveResult solved = sat::solve(enc.cnf, options);
   vmc::SearchStats stats;
   stats.states_visited = solved.stats.decisions;
   stats.transitions = solved.stats.propagations;
 
   switch (solved.status) {
     case sat::Status::kUnsat:
-      return vmc::CheckResult::no("CNF encoding is unsatisfiable", stats);
+      return vmc::CheckResult::no(
+          certify::rup_refutation(instance.addr, solved.proof), stats);
     case sat::Status::kUnknown:
-      return vmc::CheckResult::unknown("SAT solver gave up", stats);
+      return vmc::CheckResult::unknown(certify::UnknownReason::kSolverGaveUp,
+                                       "SAT solver gave up", stats);
     case sat::Status::kSat:
       break;
   }
@@ -285,7 +297,9 @@ vmc::CheckResult check_via_sat(const vmc::VmcInstance& instance,
     // The encoding claimed coherence but the certificate pass disagrees:
     // never report an unverified "coherent".
     return vmc::CheckResult::unknown(
-        "internal: SAT model failed certification: " + certified.note, stats);
+        certify::UnknownReason::kCertificationFailed,
+        "internal: SAT model failed certification: " + certified.reason(),
+        stats);
   }
   certified.stats = stats;
   return certified;

@@ -42,10 +42,11 @@ struct VmcEncoding {
   /// order_var[i][j] for i < j: true iff writes[i] precedes writes[j].
   /// Stored flattened; see order_var().
   std::vector<sat::Var> order_vars;
-  /// When false, the instance was refuted during encoding (e.g. a read of
-  /// a value nobody wrote); cnf contains an empty clause.
+  /// When true, the instance was resolved during encoding (refuted, or
+  /// found malformed); cnf contains an empty clause and `evidence` holds
+  /// the typed certificate payload.
   bool trivially_incoherent = false;
-  std::string note;
+  certify::Evidence evidence;
 
   [[nodiscard]] std::size_t num_writes() const noexcept { return writes.size(); }
 

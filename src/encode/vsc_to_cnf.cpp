@@ -84,7 +84,7 @@ VscEncoding encode_vsc(const Execution& exec) {
     const bool initial_ok = op.value_read == initial;
     if (candidates.empty() && !initial_ok) {
       enc.trivially_unsatisfiable = true;
-      enc.note = "a read observes a value never written to its address";
+      enc.evidence = certify::unwritten_read(addr, enc.ops[node], op.value_read);
       enc.cnf.add_clause({});
       return enc;
     }
@@ -127,7 +127,7 @@ VscEncoding encode_vsc(const Execution& exec) {
     if (addr_writes.empty()) {
       if (fin != exec.initial_value(addr)) {
         enc.trivially_unsatisfiable = true;
-        enc.note = "final value of an unwritten address differs from initial";
+        enc.evidence = certify::unwritable_final(addr, fin);
         enc.cnf.add_clause({});
         return enc;
       }
@@ -138,8 +138,7 @@ VscEncoding encode_vsc(const Execution& exec) {
       if (exec.op(enc.ops[w]).value_written == fin) last_candidates.push_back(w);
     if (last_candidates.empty()) {
       enc.trivially_unsatisfiable = true;
-      enc.note = "final value of address " + std::to_string(addr) +
-                 " is never written";
+      enc.evidence = certify::unwritable_final(addr, fin);
       enc.cnf.add_clause({});
       return enc;
     }
@@ -158,18 +157,25 @@ VscEncoding encode_vsc(const Execution& exec) {
 vmc::CheckResult check_sc_via_sat(const Execution& exec,
                                   const sat::SolverOptions& solver_options) {
   const VscEncoding enc = encode_vsc(exec);
-  if (enc.trivially_unsatisfiable) return vmc::CheckResult::no(enc.note);
+  if (enc.trivially_unsatisfiable) return vmc::CheckResult::no(enc.evidence);
 
-  const sat::SolveResult solved = sat::solve(enc.cnf, solver_options);
+  // Force proof logging so an UNSAT answer carries an RUP refutation of
+  // the (deterministically re-buildable) SC formula.
+  sat::SolverOptions options = solver_options;
+  options.log_proof = true;
+  const sat::SolveResult solved = sat::solve(enc.cnf, options);
   vmc::SearchStats stats;
   stats.states_visited = solved.stats.decisions;
   stats.transitions = solved.stats.propagations;
 
   switch (solved.status) {
     case sat::Status::kUnsat:
-      return vmc::CheckResult::no("SC encoding is unsatisfiable", stats);
+      // Execution-scope refutation: the address field is unused.
+      return vmc::CheckResult::no(certify::rup_refutation(0, solved.proof),
+                                  stats);
     case sat::Status::kUnknown:
-      return vmc::CheckResult::unknown("SAT solver gave up", stats);
+      return vmc::CheckResult::unknown(certify::UnknownReason::kSolverGaveUp,
+                                       "SAT solver gave up", stats);
     case sat::Status::kSat:
       break;
   }
@@ -177,6 +183,7 @@ vmc::CheckResult check_sc_via_sat(const Execution& exec,
   const auto valid = check_sc_schedule(exec, schedule);
   if (!valid.ok)
     return vmc::CheckResult::unknown(
+        certify::UnknownReason::kCertificationFailed,
         "internal: SC model failed certification: " + valid.violation, stats);
   vmc::CheckResult result = vmc::CheckResult::yes(std::move(schedule), stats);
   result.stats = stats;

@@ -28,7 +28,7 @@ struct VscEncoding {
   std::vector<OpRef> ops;  ///< all operations, (process, index) order
   std::vector<sat::Var> order_vars;
   bool trivially_unsatisfiable = false;
-  std::string note;
+  certify::Incoherence evidence;
 
   [[nodiscard]] std::size_t num_ops() const noexcept { return ops.size(); }
   [[nodiscard]] sat::Var order_var(std::size_t i, std::size_t j) const {

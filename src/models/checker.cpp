@@ -59,8 +59,16 @@ class BufferedSearch {
 
     while (!stack.empty()) {
       Frame& frame = stack.back();
-      if (budget_exhausted())
-        return vmc::CheckResult::unknown("search budget exhausted", stats_);
+      if (budget_exhausted()) {
+        if (options_.deadline.expired())
+          return vmc::CheckResult::unknown(certify::UnknownReason::kDeadline,
+                                           "search deadline expired", stats_);
+        if (options_.cancel && options_.cancel->cancelled())
+          return vmc::CheckResult::unknown(certify::UnknownReason::kCancelled,
+                                           "search cancelled", stats_);
+        return vmc::CheckResult::unknown(certify::UnknownReason::kBudget,
+                                         "search budget exhausted", stats_);
+      }
 
       positions_ = frame.positions;
       buffers_ = frame.buffers;
@@ -98,8 +106,9 @@ class BufferedSearch {
       stats_.max_frontier =
           std::max<std::uint64_t>(stats_.max_frontier, stack.size());
     }
-    return vmc::CheckResult::no("no buffered-machine run reproduces the trace",
-                                stats_);
+    return vmc::CheckResult::no(
+        certify::search_exhaustion(0, stats_.states_visited, stats_.transitions),
+        stats_);
   }
 
  private:
@@ -253,17 +262,25 @@ vmc::CheckResult check_model(const Execution& exec, Model m,
           return vmc::CheckResult::yes({});
         case vmc::Verdict::kIncoherent: {
           const auto* violation = report.first_violation();
-          return vmc::CheckResult::no(
-              "address " + std::to_string(violation ? violation->addr : 0) +
-              " has no coherent schedule");
+          certify::Incoherence evidence;
+          if (violation) {
+            if (const auto* inc = violation->result.incoherence())
+              evidence = *inc;
+            evidence.addr = violation->addr;
+          }
+          return vmc::CheckResult::no(std::move(evidence));
         }
         case vmc::Verdict::kUnknown:
-          return vmc::CheckResult::unknown("coherence undecided within budget");
+          return vmc::CheckResult::unknown(
+              certify::UnknownReason::kBudget,
+              "coherence undecided within budget");
       }
-      return vmc::CheckResult::unknown("unreachable");
+      return vmc::CheckResult::unknown(certify::UnknownReason::kUnsupported,
+                                       "unreachable");
     }
   }
-  return vmc::CheckResult::unknown("unknown model");
+  return vmc::CheckResult::unknown(certify::UnknownReason::kUnsupported,
+                                   "unknown model");
 }
 
 }  // namespace vermem::models

@@ -21,8 +21,9 @@ vmc::CheckResult check_lrc_wrapped(const Execution& exec, Addr lock,
                                    const vmc::ExactOptions& options) {
   if (!is_fully_wrapped(exec, lock))
     return vmc::CheckResult::unknown(
-        "not applicable: execution is not fully Acq/Rel-wrapped on lock " +
-        std::to_string(lock));
+        certify::UnknownReason::kNotApplicable,
+        "execution is not fully Acq/Rel-wrapped on lock " +
+            std::to_string(lock));
 
   // One data op per critical section + a single lock means the critical
   // sections of each location must serialize coherently; sections of
@@ -35,15 +36,23 @@ vmc::CheckResult check_lrc_wrapped(const Execution& exec, Addr lock,
     case vmc::Verdict::kCoherent:
       return vmc::CheckResult::yes({});
     case vmc::Verdict::kIncoherent: {
+      // The evidence refers to the stripped execution's coordinates; it
+      // is informational here (LRC results are model-scoped, never
+      // certified against the original trace).
       const auto* violation = report.first_violation();
-      return vmc::CheckResult::no(
-          "no LRC-admissible section order for address " +
-          std::to_string(violation ? violation->addr : 0));
+      certify::Incoherence evidence;
+      if (violation) {
+        if (const auto* inc = violation->result.incoherence()) evidence = *inc;
+        evidence.addr = violation->addr;
+      }
+      return vmc::CheckResult::no(std::move(evidence));
     }
     case vmc::Verdict::kUnknown:
-      return vmc::CheckResult::unknown("per-address check exceeded budget");
+      return vmc::CheckResult::unknown(certify::UnknownReason::kBudget,
+                                       "per-address check exceeded budget");
   }
-  return vmc::CheckResult::unknown("unreachable");
+  return vmc::CheckResult::unknown(certify::UnknownReason::kUnsupported,
+                                   "unreachable");
 }
 
 }  // namespace vermem::models

@@ -5,8 +5,9 @@
 // order, ending with the empty clause. Each logged clause is RUP with
 // respect to the input formula plus the previously logged clauses:
 // asserting its negation and unit-propagating must yield a conflict.
-// check_rup_proof verifies exactly that with an independent, dead-simple
-// propagator — so an "incoherent" verdict produced through the SAT route
+// check_rup_proof verifies exactly that with an independent watched-
+// literal propagator (no search, no heuristics, nothing shared with the
+// solver) — so an "incoherent" verdict produced through the SAT route
 // can be certified without trusting the solver, mirroring how witness
 // schedules certify "coherent" verdicts.
 

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "certify/certificate.hpp"
 #include "models/model.hpp"
 #include "trace/execution.hpp"
 #include "vmc/checker.hpp"
@@ -71,6 +72,19 @@ struct VerificationRequest {
   /// bypass the result cache: a cached verdict carries no analysis, and
   /// the analysis itself is a cheap O(n) pass.
   bool analyze = false;
+  /// Attach a checkable certify::Certificate for every verdict this
+  /// request produces (one per address for coherence-bearing modes, plus
+  /// one execution-scope SC certificate for kVscc), so an independent
+  /// checker (certify::check / vermemcert) can re-validate the response
+  /// without trusting the service. Certified requests bypass the result
+  /// cache: a cached verdict carries no certificates.
+  bool certify = false;
+  /// Strip witness schedules from the per-address coherence report in
+  /// the response. Witnesses are O(n) per address and most callers only
+  /// want verdicts; set to false to keep them, or set `certify` — the
+  /// certificates always retain their witnesses (a coherent certificate
+  /// is uncheckable without one).
+  bool drop_witnesses = true;
   /// Opaque caller label (e.g. a file name); echoed in the response.
   std::string tag;
 };
@@ -101,6 +115,11 @@ struct VerificationResponse {
   /// Static analysis report; populated iff request.analyze was set.
   bool analyzed = false;
   analysis::AnalysisReport analysis;
+  /// Checkable certificates; populated iff request.certify was set.
+  /// Empty for cache hits, cancelled/expired requests, and
+  /// consistency-mode requests (model admissibility has no certificate
+  /// form yet).
+  std::vector<certify::Certificate> certificates;
 };
 
 }  // namespace vermem::service

@@ -46,13 +46,13 @@ vmc::SearchStats aggregate_effort(const vmc::CoherenceReport& report) {
 std::string reason_for(const vmc::CoherenceReport& report) {
   if (const auto* violation = report.first_violation())
     return "address " + std::to_string(violation->addr) + ": " +
-           (violation->result.note.empty() ? "no coherent schedule exists"
-                                           : violation->result.note);
+           (violation->result.reason().empty() ? "no coherent schedule exists"
+                                           : violation->result.reason());
   if (report.verdict == vmc::Verdict::kUnknown) {
     for (const auto& address : report.addresses)
       if (address.result.verdict == vmc::Verdict::kUnknown)
         return "address " + std::to_string(address.addr) + ": " +
-               address.result.note;
+               address.result.reason();
   }
   return {};
 }
@@ -151,11 +151,12 @@ VerificationService::Ticket VerificationService::submit(
   if (slot->request.deadline)
     slot->deadline = Deadline(*slot->request.deadline);
   // The fingerprint exists to key the cache; an uncacheable request
-  // (bypass, analyze, or cache disabled) skips the O(n) hashing pass and
-  // reports fingerprint 0. Analyze requests are uncacheable because a
-  // cached verdict carries no analysis report.
+  // (bypass, analyze, certify, or cache disabled) skips the O(n) hashing
+  // pass and reports fingerprint 0. Analyze and certify requests are
+  // uncacheable because a cached verdict carries no analysis report and
+  // no certificates.
   slot->cacheable = !slot->request.bypass_cache && !slot->request.analyze &&
-                    options_.cache_capacity != 0;
+                    !slot->request.certify && options_.cache_capacity != 0;
   if (slot->cacheable) {
     slot->fingerprint =
         slot->request.write_orders
@@ -309,6 +310,10 @@ VerificationResponse VerificationService::execute(Slot& slot) {
     return response;
   }
 
+  // The whole-execution SC result, kept for the execution-scope
+  // certificate when a certified kVscc request runs.
+  std::optional<vmc::CheckResult> sc_result;
+
   vmc::ExactOptions exact;
   exact.max_states = slot.request.budget.max_states;
   exact.max_transitions = slot.request.budget.max_transitions;
@@ -349,10 +354,11 @@ VerificationResponse VerificationService::execute(Slot& slot) {
         vscc.write_orders = &*slot.request.write_orders;
       vsc::VsccReport report = vsc::check_vscc(*slot.index, vscc);
       response.verdict = report.sc.verdict;
-      response.reason = report.sc.note;
+      response.reason = report.sc.reason();
       response.effort = aggregate_effort(report.coherence);
       response.effort.merge(report.sc.stats);
       response.coherence = std::move(report.coherence);
+      if (slot.request.certify) sc_result = std::move(report.sc);
       break;
     }
     case CheckMode::kConsistency: {
@@ -363,11 +369,29 @@ VerificationResponse VerificationService::execute(Slot& slot) {
       const vmc::CheckResult result = models::check_model(
           slot.request.execution, slot.request.model, model_options);
       response.verdict = result.verdict;
-      response.reason = result.note;
+      response.reason = result.reason();
       response.effort = result.stats;
       break;
     }
   }
+
+  if (slot.request.certify && slot.request.mode != CheckMode::kConsistency) {
+    response.certificates.reserve(response.coherence.addresses.size() +
+                                  (sc_result ? 1 : 0));
+    for (const auto& address : response.coherence.addresses)
+      response.certificates.push_back(certify::from_result(
+          certify::Scope::kAddress, address.addr, address.result));
+    // The whole-execution SC verdict (kVscc) gets its own certificate,
+    // after the per-address ones.
+    if (sc_result)
+      response.certificates.push_back(
+          certify::from_result(certify::Scope::kExecution, 0, *sc_result));
+  }
+  // Witnesses were needed above (certificates embed them); the report's
+  // copies go only to callers who asked to keep them.
+  if (slot.request.drop_witnesses)
+    for (auto& address : response.coherence.addresses)
+      address.result.witness.clear();
 
   if (slot.request.analyze) {
     // Static pass over the same AddressIndex the checkers used; cheap

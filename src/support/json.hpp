@@ -1,0 +1,154 @@
+#pragma once
+// Minimal JSON string helpers shared by the CLI layer (vermemd,
+// vermemlint, vermemcert). This is deliberately not a JSON library: the
+// tools emit their objects by hand and only ever need to (un)escape
+// string values and pull one named string (or array-of-strings) field
+// back out of a single-line object.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vermem {
+
+/// Escapes `text` for use inside a JSON string literal.
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Reverses json_escape. `\uXXXX` escapes are decoded for the ASCII
+/// range only (all json_escape ever produces); anything else is passed
+/// through verbatim. Returns nullopt on a malformed escape.
+inline std::optional<std::string> json_unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= text.size()) return std::nullopt;
+    switch (text[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= text.size()) return std::nullopt;
+        unsigned value = 0;
+        for (std::size_t k = 1; k <= 4; ++k) {
+          const char h = text[i + k];
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+          else return std::nullopt;
+        }
+        if (value > 0x7F) return std::nullopt;  // ASCII-only by design
+        out += static_cast<char>(value);
+        i += 4;
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+namespace json_detail {
+
+/// Position just past `"name":` in `object`, or npos.
+inline std::size_t field_start(std::string_view object, std::string_view name) {
+  std::string key = "\"";
+  key += name;
+  key += "\":";
+  const std::size_t at = object.find(key);
+  return at == std::string_view::npos ? at : at + key.size();
+}
+
+/// Reads the raw (still-escaped) JSON string starting at the `"` at
+/// `pos`; advances `pos` past the closing quote.
+inline std::optional<std::string_view> raw_string_at(std::string_view object,
+                                                     std::size_t& pos) {
+  if (pos >= object.size() || object[pos] != '"') return std::nullopt;
+  const std::size_t begin = ++pos;
+  while (pos < object.size()) {
+    if (object[pos] == '\\') {
+      pos += 2;
+      continue;
+    }
+    if (object[pos] == '"') {
+      const std::string_view raw = object.substr(begin, pos - begin);
+      ++pos;
+      return raw;
+    }
+    ++pos;
+  }
+  return std::nullopt;
+}
+
+}  // namespace json_detail
+
+/// Extracts and unescapes the string field `"name":"..."` from a
+/// flat single-line JSON object. Name matching is textual, so it must
+/// not also appear inside another string value's content.
+inline std::optional<std::string> json_string_field(std::string_view object,
+                                                    std::string_view name) {
+  std::size_t pos = json_detail::field_start(object, name);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const auto raw = json_detail::raw_string_at(object, pos);
+  if (!raw) return std::nullopt;
+  return json_unescape(*raw);
+}
+
+/// Extracts and unescapes every element of the string-array field
+/// `"name":["...", ...]`. Returns nullopt when the field is missing or
+/// malformed; an empty array yields an empty vector.
+inline std::optional<std::vector<std::string>> json_string_array_field(
+    std::string_view object, std::string_view name) {
+  std::size_t pos = json_detail::field_start(object, name);
+  if (pos == std::string_view::npos) return std::nullopt;
+  if (pos >= object.size() || object[pos] != '[') return std::nullopt;
+  ++pos;
+  std::vector<std::string> out;
+  while (pos < object.size()) {
+    while (pos < object.size() &&
+           (object[pos] == ' ' || object[pos] == ','))
+      ++pos;
+    if (pos < object.size() && object[pos] == ']') return out;
+    const auto raw = json_detail::raw_string_at(object, pos);
+    if (!raw) return std::nullopt;
+    auto decoded = json_unescape(*raw);
+    if (!decoded) return std::nullopt;
+    out.push_back(std::move(*decoded));
+  }
+  return std::nullopt;
+}
+
+}  // namespace vermem

@@ -31,12 +31,13 @@ StateKey pack(const std::vector<std::uint32_t>& positions, Value value) {
 CheckResult check_bounded_k(const VmcInstance& instance,
                             const BoundedKOptions& options) {
   if (const auto why = instance.malformed())
-    return CheckResult::unknown("malformed instance: " + *why);
+    return CheckResult::unknown(certify::UnknownReason::kMalformed, *why);
   const std::size_t k = instance.num_histories();
   if (options.max_histories != 0 && k > options.max_histories)
-    return CheckResult::unknown("not applicable: more than " +
-                                std::to_string(options.max_histories) +
-                                " histories");
+    return CheckResult::unknown(certify::UnknownReason::kNotApplicable,
+                                "more than " +
+                                    std::to_string(options.max_histories) +
+                                    " histories");
 
   const Execution& exec = instance.execution;
   const std::size_t total_ops = instance.num_operations();
@@ -81,9 +82,11 @@ CheckResult check_bounded_k(const VmcInstance& instance,
     std::vector<StateKey> next_level;
     for (const StateKey& key : level) {
       if (options.max_states != 0 && stats.states_visited >= options.max_states)
-        return CheckResult::unknown("state budget exhausted", stats);
+        return CheckResult::unknown(certify::UnknownReason::kBudget,
+                                    "state budget exhausted", stats);
       if ((stats.transitions & 0xff) == 0 && options.deadline.expired())
-        return CheckResult::unknown("deadline exceeded", stats);
+        return CheckResult::unknown(certify::UnknownReason::kDeadline,
+                                    "deadline exceeded", stats);
 
       unpack(key, positions, value);
       for (std::uint32_t p = 0; p < k; ++p) {
@@ -108,9 +111,10 @@ CheckResult check_bounded_k(const VmcInstance& instance,
     stats.max_frontier =
         std::max<std::uint64_t>(stats.max_frontier, next_level.size());
     if (next_level.empty())
-      return CheckResult::no("frontier died after " + std::to_string(step) +
-                                 " scheduled operations",
-                             stats);
+      return CheckResult::no(
+          certify::search_exhaustion(instance.addr, stats.states_visited,
+                                     stats.transitions),
+          stats);
     level = std::move(next_level);
   }
 
@@ -121,8 +125,10 @@ CheckResult check_bounded_k(const VmcInstance& instance,
     unpack(key, positions, value);
     if (!fin || value == *fin) return CheckResult::yes(build_witness(key), stats);
   }
-  return CheckResult::no("all complete schedules end at the wrong final value",
-                         stats);
+  return CheckResult::no(
+      certify::search_exhaustion(instance.addr, stats.states_visited,
+                                 stats.transitions),
+      stats);
 }
 
 }  // namespace vermem::vmc

@@ -11,7 +11,7 @@ namespace vermem::vmc {
 CheckResult check_auto(const VmcInstance& instance,
                        const ExactOptions& exact_options) {
   if (const auto why = instance.malformed())
-    return CheckResult::unknown("malformed instance: " + *why);
+    return CheckResult::unknown(certify::UnknownReason::kMalformed, *why);
 
   // Cheap structural probes pick the cascade branch.
   const bool rmw_only = instance.all_rmw();
@@ -54,15 +54,18 @@ bool interrupted(const ExactOptions& options) {
 }
 
 /// Projects one address through the index, runs the cascade, and
-/// translates the witness back to original coordinates.
+/// translates the witness and evidence back to original coordinates.
 AddressReport check_address(const AddressIndex& index, std::size_t i,
                             const ExactOptions& exact_options) {
   const ProjectedView view = index.view_at(i);
   const auto projection = view.materialize();
   VmcInstance instance{projection.execution, view.addr()};
   CheckResult result = check_auto(instance, exact_options);
-  for (OpRef& ref : result.witness)
+  const auto to_original = [&](OpRef& ref) {
     ref = projection.origin[ref.process][ref.index];
+  };
+  for (OpRef& ref : result.witness) to_original(ref);
+  certify::for_each_ref(result.evidence, to_original);
   return {view.addr(), std::move(result)};
 }
 
@@ -74,9 +77,10 @@ CoherenceReport verify_coherence(const AddressIndex& index,
   reports.reserve(index.num_addresses());
   for (std::size_t i = 0; i < index.num_addresses(); ++i) {
     if (interrupted(exact_options)) {
-      reports.push_back({index.entry(i).addr,
-                         CheckResult::unknown(
-                             "skipped: deadline expired or request cancelled")});
+      reports.push_back(
+          {index.entry(i).addr,
+           CheckResult::unknown(certify::UnknownReason::kSkipped,
+                                "deadline expired or request cancelled")});
       continue;
     }
     reports.push_back(check_address(index, i, exact_options));
@@ -125,11 +129,13 @@ CoherenceReport verify_coherence_parallel(const AddressIndex& index,
   });
 
   const char* skip_note = found_incoherent.load(std::memory_order_relaxed)
-                              ? "skipped: another address already proved incoherent"
-                              : "skipped: deadline expired or request cancelled";
+                              ? "another address already proved incoherent"
+                              : "deadline expired or request cancelled";
   for (std::size_t slot = 0; slot < count; ++slot) {
     if (done[slot].load(std::memory_order_acquire)) continue;
-    reports[slot] = {index.entry(slot).addr, CheckResult::unknown(skip_note)};
+    reports[slot] = {index.entry(slot).addr,
+                     CheckResult::unknown(certify::UnknownReason::kSkipped,
+                                          skip_note)};
   }
   return aggregate(std::move(reports));
 }
@@ -150,8 +156,9 @@ CoherenceReport verify_coherence_with_write_order(
     const Addr addr = view.addr();
 
     if (interrupted(fallback_options)) {
-      reports.push_back({addr, CheckResult::unknown(
-                                   "skipped: deadline expired or request cancelled")});
+      reports.push_back(
+          {addr, CheckResult::unknown(certify::UnknownReason::kSkipped,
+                                      "deadline expired or request cancelled")});
       continue;
     }
 
@@ -177,8 +184,9 @@ CoherenceReport verify_coherence_with_write_order(
     if (!mapped) {
       reports.push_back(
           {addr, CheckResult::unknown(
+                     certify::UnknownReason::kInvalidWriteOrder,
                      "write-order references operations outside address " +
-                     std::to_string(addr))});
+                         std::to_string(addr))});
       continue;
     }
 
@@ -187,10 +195,13 @@ CoherenceReport verify_coherence_with_write_order(
     CheckResult result = instance.all_rmw()
                              ? check_rmw_with_write_order(instance, local)
                              : check_with_write_order(instance, local);
-    // Translate the witness back into original coordinates so callers can
-    // validate it against the full execution.
-    for (OpRef& ref : result.witness)
+    // Translate the witness and evidence back into original coordinates
+    // so callers can validate them against the full execution.
+    const auto to_original = [&](OpRef& ref) {
       ref = projection.origin[ref.process][ref.index];
+    };
+    for (OpRef& ref : result.witness) to_original(ref);
+    certify::for_each_ref(result.evidence, to_original);
     reports.push_back({addr, std::move(result)});
   }
   return aggregate(std::move(reports));

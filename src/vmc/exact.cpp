@@ -30,13 +30,20 @@ class ExactSearch {
 
   CheckResult run() {
     if (const auto why = instance_.malformed())
-      return CheckResult::unknown("malformed instance: " + *why);
+      return CheckResult::unknown(certify::UnknownReason::kMalformed, *why);
 
     value_ = instance_.initial_value();
     if (options_.eager_reads) close_reads();
-    if (complete())
+    if (complete()) {
+      // Complete without scheduling a write: the instance has no writes
+      // (only pure reads of the initial value were consumed), so a final
+      // value other than the initial one is unwritable.
       return final_ok() ? CheckResult::yes(schedule_, stats_)
-                        : CheckResult::no("final value mismatch", stats_);
+                        : CheckResult::no(
+                              certify::unwritable_final(
+                                  instance_.addr, *instance_.final_value()),
+                              stats_);
+    }
     remember_current();
 
     // Each frame owns the search state reached after `base_len` scheduled
@@ -52,8 +59,16 @@ class ExactSearch {
 
     while (!stack.empty()) {
       Frame& frame = stack.back();
-      if (budget_exhausted())
-        return CheckResult::unknown("search budget exhausted", stats_);
+      if (budget_exhausted()) {
+        if (options_.deadline.expired())
+          return CheckResult::unknown(certify::UnknownReason::kDeadline,
+                                      "search deadline expired", stats_);
+        if (options_.cancel && options_.cancel->cancelled())
+          return CheckResult::unknown(certify::UnknownReason::kCancelled,
+                                      "search cancelled", stats_);
+        return CheckResult::unknown(certify::UnknownReason::kBudget,
+                                    "search budget exhausted", stats_);
+      }
 
       // Restore the frame's state (cheap: vectors copied once per visit
       // below; here we re-point the working state at the frame's copy).
@@ -91,7 +106,10 @@ class ExactSearch {
       stats_.max_frontier =
           std::max<std::uint64_t>(stats_.max_frontier, stack.size());
     }
-    return CheckResult::no("no coherent schedule exists", stats_);
+    return CheckResult::no(
+        certify::search_exhaustion(instance_.addr, stats_.states_visited,
+                                   stats_.transitions),
+        stats_);
   }
 
  private:

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <variant>
 
+#include "certify/evidence.hpp"
 #include "trace/schedule.hpp"
 
 namespace vermem::vmc {
@@ -39,24 +42,45 @@ struct SearchStats {
   }
 };
 
+/// A verdict plus its evidence. kCoherent carries a witness schedule;
+/// kIncoherent carries a typed certify::Incoherence refutation;
+/// kUnknown carries a typed certify::Unknown reason. There is no
+/// free-text note: `reason()` renders the evidence on demand.
 struct CheckResult {
   Verdict verdict = Verdict::kUnknown;
-  Schedule witness;   ///< valid schedule when verdict == kCoherent
-  std::string note;   ///< human-readable reason for kIncoherent/kUnknown
+  Schedule witness;             ///< valid schedule when verdict == kCoherent
+  certify::Evidence evidence;   ///< refutation / give-up reason otherwise
   SearchStats stats;
 
   [[nodiscard]] bool coherent() const noexcept {
     return verdict == Verdict::kCoherent;
   }
 
+  /// Human-readable rendering of the evidence (empty for kCoherent).
+  [[nodiscard]] std::string reason() const { return certify::to_string(evidence); }
+
+  /// The structured refutation, or nullptr when not kIncoherent.
+  [[nodiscard]] const certify::Incoherence* incoherence() const noexcept {
+    return std::get_if<certify::Incoherence>(&evidence);
+  }
+
+  /// The structured give-up reason, or nullptr when not kUnknown.
+  [[nodiscard]] const certify::Unknown* unknown_reason() const noexcept {
+    return std::get_if<certify::Unknown>(&evidence);
+  }
+
   static CheckResult yes(Schedule schedule, SearchStats stats = {}) {
     return {Verdict::kCoherent, std::move(schedule), {}, stats};
   }
-  static CheckResult no(std::string why, SearchStats stats = {}) {
+  static CheckResult no(certify::Incoherence why, SearchStats stats = {}) {
     return {Verdict::kIncoherent, {}, std::move(why), stats};
   }
-  static CheckResult unknown(std::string why, SearchStats stats = {}) {
+  static CheckResult unknown(certify::Unknown why, SearchStats stats = {}) {
     return {Verdict::kUnknown, {}, std::move(why), stats};
+  }
+  static CheckResult unknown(certify::UnknownReason reason, std::string detail = {},
+                             SearchStats stats = {}) {
+    return unknown(certify::Unknown{reason, std::move(detail)}, stats);
   }
 };
 

@@ -1,21 +1,27 @@
 #include "vmc/special.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace vermem::vmc {
 
 namespace {
 
-CheckResult not_applicable(const std::string& why) {
-  return CheckResult::unknown("not applicable: " + why);
+CheckResult not_applicable(std::string why) {
+  return CheckResult::unknown(certify::UnknownReason::kNotApplicable, std::move(why));
+}
+
+CheckResult malformed(std::string why) {
+  return CheckResult::unknown(certify::UnknownReason::kMalformed, std::move(why));
 }
 
 }  // namespace
 
 CheckResult check_one_op_per_process(const VmcInstance& instance) {
-  if (const auto why = instance.malformed()) return not_applicable(*why);
+  if (const auto why = instance.malformed()) return malformed(*why);
   if (instance.max_ops_per_process() > 1)
     return not_applicable("more than one operation per process");
 
@@ -38,17 +44,14 @@ CheckResult check_one_op_per_process(const VmcInstance& instance) {
   // Feasibility: every read value must be the initial value or written.
   for (const auto& [value, refs] : reads) {
     if (value != initial && !writes.contains(value))
-      return CheckResult::no("value " + std::to_string(value) +
-                             " is read but never written (and is not the "
-                             "initial value)");
+      return CheckResult::no(certify::unwritten_read(instance.addr, refs[0], value));
   }
   // Final value: some write must be last (or no writes at all).
   const auto fin = instance.final_value();
   if (fin && !writes.empty() && !writes.contains(*fin))
-    return CheckResult::no("final value " + std::to_string(*fin) +
-                           " is never written");
+    return CheckResult::no(certify::unwritable_final(instance.addr, *fin));
   if (fin && writes.empty() && *fin != initial)
-    return CheckResult::no("no writes, but final value differs from initial");
+    return CheckResult::no(certify::unwritable_final(instance.addr, *fin));
 
   // Construct a witness: initial-value reads first, then each write group
   // followed by its reads, with the final value's group last.
@@ -74,17 +77,20 @@ CheckResult check_one_op_per_process(const VmcInstance& instance) {
 }
 
 CheckResult check_rmw_one_op_per_process(const VmcInstance& instance) {
-  if (const auto why = instance.malformed()) return not_applicable(*why);
+  if (const auto why = instance.malformed()) return malformed(*why);
   if (instance.max_ops_per_process() > 1)
     return not_applicable("more than one operation per process");
   if (!instance.all_rmw()) return not_applicable("non-RMW operation present");
 
   // Eulerian trail from the initial value in the (value_read ->
   // value_written) multigraph, via Hierholzer's algorithm. Dense value ids
-  // first.
+  // first, with a reverse map so evidence can name the offending value.
   std::unordered_map<Value, std::size_t> id_of;
+  std::vector<Value> value_of;
   auto id = [&](Value v) {
-    return id_of.try_emplace(v, id_of.size()).first->second;
+    const auto [it, fresh] = id_of.try_emplace(v, id_of.size());
+    if (fresh) value_of.push_back(v);
+    return it->second;
   };
   struct Edge {
     std::size_t to;
@@ -117,9 +123,21 @@ CheckResult check_rmw_one_op_per_process(const VmcInstance& instance) {
   if (num_edges == 0) {
     const auto fin = instance.final_value();
     if (fin && *fin != initial)
-      return CheckResult::no("no operations, final value differs from initial");
+      return CheckResult::no(certify::unwritable_final(instance.addr, *fin));
     return CheckResult::yes({});
   }
+
+  // An imbalance witness: a value consumed by strictly more RMWs than
+  // operations create it (plus the initial allowance). In degree terms
+  // (self-loops cancel on both sides): degree[v] > [v == initial]. One
+  // exists in every reachable degree-condition failure below.
+  auto imbalance = [&]() -> CheckResult {
+    for (std::size_t v = 0; v < degree.size(); ++v) {
+      if (degree[v] > (v == start ? 1 : 0))
+        return CheckResult::no(certify::value_imbalance(instance.addr, value_of[v]));
+    }
+    return not_applicable("RMW value graph imbalance without a witness value");
+  };
 
   // Degree conditions for a trail starting at `start`.
   const auto fin = instance.final_value();
@@ -127,32 +145,41 @@ CheckResult check_rmw_one_op_per_process(const VmcInstance& instance) {
   for (std::size_t v = 0; v < out.size(); ++v) {
     if (degree[v] == 1) {
       ++surplus;
-      if (v != start) return CheckResult::no("RMW chain cannot start at the initial value");
+      if (v != start) return imbalance();
     } else if (degree[v] == -1) {
       deficit_vertex = v;
     } else if (degree[v] != 0) {
-      return CheckResult::no("RMW read/write value multiset is unbalanced");
+      return imbalance();
     }
   }
   std::size_t end_vertex;
   if (surplus == 1) {
     // Open trail: must run start -> the unique deficit vertex.
     if (deficit_vertex == out.size())
-      return CheckResult::no("RMW value graph is unbalanced");
+      return not_applicable("RMW value graph is unbalanced");  // unreachable
     end_vertex = deficit_vertex;
   } else {
     // All balanced: closed trail; it must start (and end) at `start`,
     // which requires `start` to have edges.
     if (deficit_vertex != out.size())
-      return CheckResult::no("RMW value graph is unbalanced");
-    if (out[start].empty())
-      return CheckResult::no("no RMW reads the initial value");
+      return not_applicable("RMW value graph is unbalanced");  // unreachable
+    if (out[start].empty()) {
+      // Nothing reads the initial value, so nothing reachable from it:
+      // any read value is unreachable evidence.
+      for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
+        const auto& history = instance.execution.history(p);
+        if (history.empty()) continue;
+        return CheckResult::no(
+            certify::unreachable_value(instance.addr, history[0].value_read));
+      }
+      return not_applicable("no operations");  // unreachable: num_edges > 0
+    }
     end_vertex = start;
   }
   if (fin && id_of.contains(*fin) && id_of[*fin] != end_vertex)
-    return CheckResult::no("RMW chain cannot end at the recorded final value");
+    return CheckResult::no(certify::chain_end_mismatch(instance.addr, *fin));
   if (fin && !id_of.contains(*fin) && !(num_edges == 0 && *fin == initial))
-    return CheckResult::no("final value never touched by any RMW");
+    return CheckResult::no(certify::unwritable_final(instance.addr, *fin));
 
   // Hierholzer: build the trail; if edges remain unused the graph is
   // disconnected and no single chain exists.
@@ -170,14 +197,21 @@ CheckResult check_rmw_one_op_per_process(const VmcInstance& instance) {
       path.pop_back();
     }
   }
-  if (trail.size() != num_edges)
-    return CheckResult::no("RMW value graph is disconnected: no single chain");
+  if (trail.size() != num_edges) {
+    // Some edge's source vertex was never reached from `start`; its
+    // value is read by an RMW yet unreachable in the value graph.
+    for (std::size_t v = 0; v < out.size(); ++v) {
+      if (next_edge[v] < out[v].size())
+        return CheckResult::no(certify::unreachable_value(instance.addr, value_of[v]));
+    }
+    return not_applicable("disconnected RMW chain without a witness");  // unreachable
+  }
   std::reverse(trail.begin(), trail.end());
   return CheckResult::yes(std::move(trail));
 }
 
 CheckResult check_read_map(const VmcInstance& instance) {
-  if (const auto why = instance.malformed()) return not_applicable(*why);
+  if (const auto why = instance.malformed()) return malformed(*why);
 
   const Value initial = instance.initial_value();
   // Cluster 0 is the initial value's; each uniquely-written value gets its
@@ -211,11 +245,19 @@ CheckResult check_read_map(const VmcInstance& instance) {
     return it->second;
   };
 
-  // Build the precedence graph from program order; collect each cluster's
-  // reads for witness construction.
-  std::vector<std::vector<std::size_t>> successors(num_clusters);
+  // Build the precedence graph from program order, keeping the pair of
+  // operations that induced each edge as evidence provenance; collect
+  // each cluster's reads for witness construction.
+  struct SuccEdge {
+    std::size_t to;
+    OpRef from_ref;
+    OpRef to_ref;
+  };
+  std::vector<std::vector<SuccEdge>> successors(num_clusters);
   std::vector<std::size_t> in_degree(num_clusters, 0);
   std::vector<std::vector<OpRef>> cluster_reads(num_clusters);
+  // First program-order edge forcing the initial cluster after another.
+  std::optional<certify::ProgramOrderEdge> stale_edge;
   for (std::uint32_t p = 0; p < instance.num_histories(); ++p) {
     const auto& history = instance.execution.history(p);
     std::optional<std::size_t> prev;
@@ -223,21 +265,23 @@ CheckResult check_read_map(const VmcInstance& instance) {
       const Operation& op = history[i];
       const auto cluster = cluster_of_op(op);
       if (!cluster)
-        return CheckResult::no("value " + std::to_string(op.value_read) +
-                               " is read but never written");
+        return CheckResult::no(
+            certify::unwritten_read(instance.addr, OpRef{p, i}, op.value_read));
       if (op.kind == OpKind::kRead) {
         // A read program-order-before its own cluster's write can never be
         // scheduled between that write and the next: detect via the write
         // appearing later in the same history.
         const OpRef w = write_of_cluster[*cluster];
         if (*cluster != 0 && w.process == p && w.index > i)
-          return CheckResult::no("read precedes the unique write of its value "
-                                 "in the same history");
+          return CheckResult::no(certify::read_before_write(
+              instance.addr, OpRef{p, i}, w, op.value_read));
         cluster_reads[*cluster].push_back(OpRef{p, i});
       }
       if (prev && *prev != *cluster) {
-        successors[*prev].push_back(*cluster);
+        successors[*prev].push_back({*cluster, OpRef{p, i - 1}, OpRef{p, i}});
         ++in_degree[*cluster];
+        if (*cluster == 0 && !stale_edge)
+          stale_edge = certify::ProgramOrderEdge{OpRef{p, i - 1}, OpRef{p, i}};
       }
       prev = cluster;
     }
@@ -246,7 +290,8 @@ CheckResult check_read_map(const VmcInstance& instance) {
   // The initial cluster must be schedulable first: reads of d_I must
   // precede every write (no write restores d_I — excluded above).
   if (in_degree[0] != 0)
-    return CheckResult::no("a read of the initial value is forced after a write");
+    return CheckResult::no(certify::stale_initial_read(
+        instance.addr, stale_edge->before, stale_edge->after));
 
   // The final cluster (when constrained) must be schedulable last, i.e.
   // have no outgoing precedence edges.
@@ -256,9 +301,14 @@ CheckResult check_read_map(const VmcInstance& instance) {
     if (const auto it = cluster_of_value.find(*fin); it != cluster_of_value.end())
       fin_cluster = it->second;
     else if (*fin != initial || num_clusters > 1)
-      return CheckResult::no("final value is never written");
-    if (!successors[fin_cluster].empty() || (fin_cluster == 0 && num_clusters > 1))
-      return CheckResult::no("the final value's write cannot be last");
+      return CheckResult::no(certify::unwritable_final(instance.addr, *fin));
+    if (!successors[fin_cluster].empty()) {
+      const SuccEdge& edge = successors[fin_cluster][0];
+      return CheckResult::no(certify::final_not_last(
+          instance.addr, edge.from_ref, edge.to_ref, *fin));
+    }
+    if (fin_cluster == 0 && num_clusters > 1)  // defensively; unreachable
+      return CheckResult::no(certify::unwritable_final(instance.addr, *fin));
   }
 
   // Kahn topological sort over all clusters.
@@ -269,11 +319,44 @@ CheckResult check_read_map(const VmcInstance& instance) {
     const std::size_t c = ready.back();
     ready.pop_back();
     topo.push_back(c);
-    for (const std::size_t s : successors[c])
-      if (--in_degree[s] == 0) ready.push_back(s);
+    for (const SuccEdge& s : successors[c])
+      if (--in_degree[s.to] == 0) ready.push_back(s.to);
   }
-  if (topo.size() != num_clusters)
-    return CheckResult::no("cyclic ordering constraints among writes");
+  if (topo.size() != num_clusters) {
+    // Extract one cycle among the residual clusters (in_degree still
+    // positive): walk predecessor edges until a cluster repeats.
+    std::vector<char> residual(num_clusters, 1);
+    for (const std::size_t c : topo) residual[c] = 0;
+    struct PredEdge {
+      std::size_t from = 0;
+      OpRef from_ref;
+      OpRef to_ref;
+    };
+    std::vector<std::optional<PredEdge>> pred(num_clusters);
+    std::size_t first_residual = num_clusters;
+    for (std::size_t u = 0; u < num_clusters; ++u) {
+      if (!residual[u]) continue;
+      if (first_residual == num_clusters) first_residual = u;
+      for (const SuccEdge& s : successors[u])
+        if (residual[s.to] && !pred[s.to])
+          pred[s.to] = PredEdge{u, s.from_ref, s.to_ref};
+    }
+    std::vector<char> on_path(num_clusters, 0);
+    std::size_t cur = first_residual;
+    while (!on_path[cur]) {
+      on_path[cur] = 1;
+      cur = pred[cur]->from;  // every residual cluster has a residual predecessor
+    }
+    std::vector<certify::ProgramOrderEdge> cycle;
+    std::size_t node = cur;
+    do {
+      const PredEdge& pe = *pred[node];
+      cycle.push_back({pe.from_ref, pe.to_ref});
+      node = pe.from;
+    } while (node != cur);
+    std::reverse(cycle.begin(), cycle.end());
+    return CheckResult::no(certify::cluster_cycle(instance.addr, std::move(cycle)));
+  }
 
   // Cluster 0 has no predecessors and the final cluster no successors, so
   // moving them to the ends keeps the order topological.
@@ -294,7 +377,7 @@ CheckResult check_read_map(const VmcInstance& instance) {
 }
 
 CheckResult check_rmw_read_map(const VmcInstance& instance) {
-  if (const auto why = instance.malformed()) return not_applicable(*why);
+  if (const auto why = instance.malformed()) return malformed(*why);
   if (!instance.all_rmw()) return not_applicable("non-RMW operation present");
 
   const Value initial = instance.initial_value();
@@ -320,9 +403,10 @@ CheckResult check_rmw_read_map(const VmcInstance& instance) {
       readers_of[history[i].value_read].push_back(OpRef{p, i});
   }
   for (const auto& [value, refs] : readers_of) {
+    // Two consumers of a write-once value: one more consumption than the
+    // value's supply allows.
     if (refs.size() > 1)
-      return CheckResult::no("two RMWs read value " + std::to_string(value) +
-                             ", which is written at most once");
+      return CheckResult::no(certify::value_imbalance(instance.addr, value));
   }
 
   Schedule schedule;
@@ -330,21 +414,22 @@ CheckResult check_rmw_read_map(const VmcInstance& instance) {
   Value current = initial;
   for (std::size_t step = 0; step < total; ++step) {
     const auto it = readers_of.find(current);
+    // No reader of `current` at all, or its unique reader is buried
+    // behind unexecuted program-order predecessors: either way no
+    // schedulable operation reads the current value, so the forced
+    // chain stalls here.
     if (it == readers_of.end())
-      return CheckResult::no("chain stalls: no RMW reads value " +
-                             std::to_string(current));
+      return CheckResult::no(certify::chain_stall(instance.addr, current, step));
     const OpRef ref = it->second[0];
     if (ref.index != next[ref.process])
-      return CheckResult::no("forced chain violates program order at P" +
-                             std::to_string(ref.process));
+      return CheckResult::no(certify::chain_stall(instance.addr, current, step));
     ++next[ref.process];
     schedule.push_back(ref);
     current = instance.execution.op(ref).value_written;
   }
   const auto fin = instance.final_value();
   if (fin && current != *fin)
-    return CheckResult::no("forced chain ends at " + std::to_string(current) +
-                           ", final value is " + std::to_string(*fin));
+    return CheckResult::no(certify::chain_end_mismatch(instance.addr, *fin));
   return CheckResult::yes(std::move(schedule));
 }
 

@@ -29,8 +29,9 @@ OrderIndex index_write_order(const VmcInstance& instance,
     for (const auto& op : history) num_writers += op.writes_memory();
   }
   if (write_order.size() != num_writers) {
-    out.problem = CheckResult::unknown(
-        "write-order does not cover the instance's writes");
+    out.problem =
+        CheckResult::unknown(certify::UnknownReason::kInvalidWriteOrder,
+                             "write-order does not cover the instance's writes");
     return out;
   }
   std::vector<std::uint32_t> last_index(instance.num_histories(), 0);
@@ -41,15 +42,16 @@ OrderIndex index_write_order(const VmcInstance& instance,
         ref.index >= instance.execution.history(ref.process).size() ||
         !instance.execution.op(ref).writes_memory() ||
         out.of[ref.process][ref.index] != kNoIndex) {
-      out.problem =
-          CheckResult::unknown("write-order entry " + std::to_string(j) +
-                               " is not a distinct writing operation");
+      out.problem = CheckResult::unknown(
+          certify::UnknownReason::kInvalidWriteOrder,
+          "write-order entry " + std::to_string(j) +
+              " is not a distinct writing operation");
       return out;
     }
     if (started[ref.process] && ref.index <= last_index[ref.process]) {
-      out.problem = CheckResult::no(
-          "write-order contradicts program order within P" +
-          std::to_string(ref.process));
+      out.problem = CheckResult::no(certify::order_conflict(
+          instance.addr, OpRef{ref.process, last_index[ref.process]}, ref,
+          write_order));
       return out;
     }
     started[ref.process] = true;
@@ -72,7 +74,7 @@ WriteOrder extract_write_order(const VmcInstance& instance,
 CheckResult check_with_write_order(const VmcInstance& instance,
                                    const WriteOrder& write_order) {
   if (const auto why = instance.malformed())
-    return CheckResult::unknown("malformed instance: " + *why);
+    return CheckResult::unknown(certify::UnknownReason::kMalformed, *why);
   const OrderIndex indexed = index_write_order(instance, write_order);
   if (indexed.problem) return *indexed.problem;
 
@@ -90,10 +92,8 @@ CheckResult check_with_write_order(const VmcInstance& instance,
     if (op.kind != OpKind::kRmw) continue;
     const Value seen = j == 0 ? initial : value_after(j - 1);
     if (op.value_read != seen)
-      return CheckResult::no("RMW at write-order position " + std::to_string(j) +
-                             " reads " + std::to_string(op.value_read) +
-                             " but the preceding write stored " +
-                             std::to_string(seen));
+      return CheckResult::no(
+          certify::order_rmw_mismatch(instance.addr, write_order[j], write_order));
   }
 
   // Greedy anchoring of pure reads. anchor = write-order index the read
@@ -119,9 +119,8 @@ CheckResult check_with_write_order(const VmcInstance& instance,
         const std::size_t j = indexed.of[p][i];
         // Reads anchored so far must fit before this write: anchor < j.
         if (anchor != kNoIndex && anchor >= j)
-          return CheckResult::no(
-              "a read of P" + std::to_string(p) +
-              " cannot be satisfied before the process's next write");
+          return CheckResult::no(certify::order_read_window(
+              instance.addr, OpRef{p, i}, write_order));
         anchor = j;
         continue;
       }
@@ -141,9 +140,8 @@ CheckResult check_with_write_order(const VmcInstance& instance,
         }
       }
       if (!found)
-        return CheckResult::no(
-            to_string(op) + " of P" + std::to_string(p) +
-            " finds no write of its value in its feasible window");
+        return CheckResult::no(certify::order_read_window(
+            instance.addr, OpRef{p, i}, write_order));
       anchor = j;
       reads_at[j == kNoIndex ? 0 : j + 1].push_back(OpRef{p, i});
     }
@@ -155,9 +153,8 @@ CheckResult check_with_write_order(const VmcInstance& instance,
                            ? initial
                            : value_after(write_order.size() - 1);
     if (last != *fin)
-      return CheckResult::no("final value mismatch: last write stores " +
-                             std::to_string(last) + ", expected " +
-                             std::to_string(*fin));
+      return CheckResult::no(
+          certify::order_final_mismatch(instance.addr, last, *fin, write_order));
   }
 
   // Assemble the witness schedule.
@@ -173,9 +170,10 @@ CheckResult check_with_write_order(const VmcInstance& instance,
 CheckResult check_rmw_with_write_order(const VmcInstance& instance,
                                        const WriteOrder& write_order) {
   if (const auto why = instance.malformed())
-    return CheckResult::unknown("malformed instance: " + *why);
+    return CheckResult::unknown(certify::UnknownReason::kMalformed, *why);
   if (!instance.all_rmw())
-    return CheckResult::unknown("not applicable: non-RMW operation present");
+    return CheckResult::unknown(certify::UnknownReason::kNotApplicable,
+                                "non-RMW operation present");
   const OrderIndex indexed = index_write_order(instance, write_order);
   if (indexed.problem) return *indexed.problem;
 
@@ -183,14 +181,14 @@ CheckResult check_rmw_with_write_order(const VmcInstance& instance,
   for (std::size_t j = 0; j < write_order.size(); ++j) {
     const Operation& op = instance.execution.op(write_order[j]);
     if (op.value_read != current)
-      return CheckResult::no("RMW at position " + std::to_string(j) + " reads " +
-                             std::to_string(op.value_read) + ", expected " +
-                             std::to_string(current));
+      return CheckResult::no(
+          certify::order_rmw_mismatch(instance.addr, write_order[j], write_order));
     current = op.value_written;
   }
   if (const auto fin = instance.final_value()) {
     if (current != *fin)
-      return CheckResult::no("final value mismatch after RMW chain");
+      return CheckResult::no(
+          certify::order_final_mismatch(instance.addr, current, *fin, write_order));
   }
   return CheckResult::yes(Schedule(write_order.begin(), write_order.end()));
 }

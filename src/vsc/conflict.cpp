@@ -31,9 +31,10 @@ vmc::CheckResult check_sc_conflict(const Execution& exec,
   for (const auto& [addr, schedule] : schedules) {
     const auto valid = check_coherent_schedule(exec, addr, schedule);
     if (!valid.ok)
-      return vmc::CheckResult::unknown("supplied schedule for address " +
-                                       std::to_string(addr) +
-                                       " is not coherent: " + valid.violation);
+      return vmc::CheckResult::unknown(
+          certify::UnknownReason::kNotApplicable,
+          "supplied schedule for address " + std::to_string(addr) +
+              " is not coherent: " + valid.violation);
     for (std::size_t s = 0; s + 1 < schedule.size(); ++s)
       add_edge(flat(schedule[s]), flat(schedule[s + 1]));
   }
@@ -48,8 +49,9 @@ vmc::CheckResult check_sc_conflict(const Execution& exec,
       for (std::uint32_t i = 0; i < exec.history(p).size(); ++i)
         if (!exec.history(p)[i].is_sync() && !covered[flat({p, i})])
           return vmc::CheckResult::unknown(
+              certify::UnknownReason::kNotApplicable,
               "operation P" + std::to_string(p) + "[" + std::to_string(i) +
-              "] is not covered by any supplied schedule");
+                  "] is not covered by any supplied schedule");
   }
 
   // Kahn topological sort.
@@ -70,9 +72,7 @@ vmc::CheckResult check_sc_conflict(const Execution& exec,
     for (const std::size_t s : successors[v])
       if (--in_degree[s] == 0) ready.push_back(s);
   }
-  if (witness.size() != n)
-    return vmc::CheckResult::no(
-        "program order and the supplied per-address schedules form a cycle");
+  if (witness.size() != n) return vmc::CheckResult::no(certify::merge_cycle());
 
   // Certify: by construction each per-address projection of the witness
   // equals the supplied schedule, so reads observe the same writes; the
@@ -80,7 +80,8 @@ vmc::CheckResult check_sc_conflict(const Execution& exec,
   const auto valid = check_sc_schedule(exec, witness);
   if (!valid.ok)
     return vmc::CheckResult::unknown(
-        "internal: merged schedule failed certification: " + valid.violation);
+        certify::UnknownReason::kCertificationFailed,
+        "merged schedule failed certification: " + valid.violation);
   return vmc::CheckResult::yes(std::move(witness));
 }
 

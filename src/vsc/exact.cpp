@@ -32,9 +32,13 @@ class ScSearch {
 
   CheckResult run() {
     if (options_.eager_reads) close_free_ops();
-    if (complete())
+    if (complete()) {
+      // Complete without a single write scheduled: only pure reads and
+      // sync ops were consumed, so a mismatching final value is simply
+      // unwritable on its address.
       return final_ok() ? CheckResult::yes(schedule_, stats_)
-                        : CheckResult::no("final value mismatch", stats_);
+                        : CheckResult::no(final_mismatch_evidence(), stats_);
+    }
     remember_current();
 
     struct Frame {
@@ -48,8 +52,16 @@ class ScSearch {
 
     while (!stack.empty()) {
       Frame& frame = stack.back();
-      if (budget_exhausted())
-        return CheckResult::unknown("search budget exhausted", stats_);
+      if (budget_exhausted()) {
+        if (options_.deadline.expired())
+          return CheckResult::unknown(certify::UnknownReason::kDeadline,
+                                      "search deadline expired", stats_);
+        if (options_.cancel && options_.cancel->cancelled())
+          return CheckResult::unknown(certify::UnknownReason::kCancelled,
+                                      "search cancelled", stats_);
+        return CheckResult::unknown(certify::UnknownReason::kBudget,
+                                    "search budget exhausted", stats_);
+      }
 
       positions_ = frame.positions;
       values_ = frame.values;
@@ -82,10 +94,22 @@ class ScSearch {
       stats_.max_frontier =
           std::max<std::uint64_t>(stats_.max_frontier, stack.size());
     }
-    return CheckResult::no("no sequentially consistent schedule exists", stats_);
+    return CheckResult::no(
+        certify::search_exhaustion(0, stats_.states_visited, stats_.transitions),
+        stats_);
   }
 
  private:
+  /// Evidence for the no-writes final mismatch: the first address whose
+  /// recorded final value differs from its (never-written) initial value.
+  [[nodiscard]] certify::Incoherence final_mismatch_evidence() const {
+    for (const auto& [addr, fin] : exec_.final_values())
+      if (values_[addr_id_.at(addr)] != fin)
+        return certify::unwritable_final(addr, fin);
+    return certify::search_exhaustion(0, stats_.states_visited,
+                                      stats_.transitions);  // unreachable
+  }
+
   [[nodiscard]] bool enabled(const Operation& op) const {
     if (op.is_sync()) return true;
     if (!op.reads_memory()) return true;

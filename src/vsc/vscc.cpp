@@ -19,16 +19,22 @@ VsccReport check_vscc(const AddressIndex& index, const VsccOptions& options) {
           : vmc::verify_coherence(index, options.coherence);
 
   if (report.coherence.verdict == vmc::Verdict::kIncoherent) {
-    // Not coherent => certainly not sequentially consistent.
+    // Not coherent => certainly not sequentially consistent. The
+    // address-level refutation is valid at execution scope, so the SC
+    // verdict reuses it verbatim.
     const auto* violation = report.coherence.first_violation();
-    report.sc = vmc::CheckResult::no(
-        "execution is not even coherent (address " +
-        std::to_string(violation ? violation->addr : 0) + ")");
+    certify::Incoherence evidence;
+    if (violation) {
+      if (const auto* inc = violation->result.incoherence()) evidence = *inc;
+      evidence.addr = violation->addr;
+    }
+    report.sc = vmc::CheckResult::no(std::move(evidence));
     report.conflict = report.sc;
     return report;
   }
   if (report.coherence.verdict == vmc::Verdict::kUnknown) {
     report.sc = vmc::CheckResult::unknown(
+        certify::UnknownReason::kBudget,
         "coherence of some address could not be decided within budget");
     report.conflict = report.sc;
     return report;

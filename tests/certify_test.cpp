@@ -1,9 +1,14 @@
 // Tests for the certification layer: RUP proof logging/checking, the
-// naive whole-order encoding as an independent oracle, and the bounded-k
-// BFS checker against the DFS exact search.
+// naive whole-order encoding as an independent oracle, the bounded-k
+// BFS checker against the DFS exact search, and the first-class
+// certificate layer (typed evidence, the independent certify::check()
+// re-validator, and the text round-trip behind vermemcert).
 
 #include <gtest/gtest.h>
 
+#include "analysis/router.hpp"
+#include "certify/check.hpp"
+#include "certify/text.hpp"
 #include "encode/naive.hpp"
 #include "encode/vmc_to_cnf.hpp"
 #include "encode/vsc_to_cnf.hpp"
@@ -11,10 +16,14 @@
 #include "sat/gen.hpp"
 #include "sat/proof.hpp"
 #include "sat/solver.hpp"
+#include "trace/address_index.hpp"
 #include "trace/schedule.hpp"
 #include "vmc/bounded.hpp"
+#include "vmc/checker.hpp"
 #include "vmc/exact.hpp"
+#include "vmc/write_order.hpp"
 #include "vsc/exact.hpp"
+#include "vsc/vscc.hpp"
 #include "workload/random.hpp"
 
 #include "reductions/sat_to_vscc.hpp"
@@ -134,7 +143,7 @@ TEST(NaiveEncoding, AgreesWithProductionEncoderAndExact) {
       const auto naive = encode::check_via_sat_naive(instance);
       const auto production = encode::check_via_sat(instance);
       const auto exact = vmc::check_exact(instance);
-      ASSERT_NE(naive.verdict, vmc::Verdict::kUnknown) << naive.note;
+      ASSERT_NE(naive.verdict, vmc::Verdict::kUnknown) << naive.reason();
       EXPECT_EQ(naive.verdict, exact.verdict);
       EXPECT_EQ(production.verdict, exact.verdict);
       if (naive.verdict == vmc::Verdict::kCoherent) {
@@ -243,7 +252,7 @@ TEST(ScViaSat, AgreesWithExactScOnGeneratedTraces) {
     params.num_addresses = 1 + rng.below(3);
     const auto trace = workload::generate_sc(params, rng);
     const auto via_sat = encode::check_sc_via_sat(trace.execution);
-    ASSERT_NE(via_sat.verdict, vmc::Verdict::kUnknown) << via_sat.note;
+    ASSERT_NE(via_sat.verdict, vmc::Verdict::kUnknown) << via_sat.reason();
     EXPECT_EQ(via_sat.verdict, vmc::Verdict::kCoherent);
     const auto valid = check_sc_schedule(trace.execution, via_sat.witness);
     EXPECT_TRUE(valid.ok) << valid.violation;
@@ -278,7 +287,7 @@ TEST(ScViaSat, AgreesWithExactOnVsccReductions) {
     const bool satisfiable = sat::solve_brute(cnf).has_value();
     const auto red = reductions_vscc(cnf);
     const auto via_sat = encode::check_sc_via_sat(red);
-    ASSERT_NE(via_sat.verdict, vmc::Verdict::kUnknown) << via_sat.note;
+    ASSERT_NE(via_sat.verdict, vmc::Verdict::kUnknown) << via_sat.reason();
     EXPECT_EQ(via_sat.verdict == vmc::Verdict::kCoherent, satisfiable);
   }
 }
@@ -299,6 +308,556 @@ TEST(ScViaSat, SyncOpsOrderOnly) {
                         .process(Acq(9), R(0, 1), Rel(9))
                         .build();
   EXPECT_EQ(encode::check_sc_via_sat(exec).verdict, vmc::Verdict::kCoherent);
+}
+
+// ---- Certificate layer ----------------------------------------------------
+
+certify::Certificate address_cert(Addr addr, const vmc::CheckResult& result) {
+  return certify::from_result(certify::Scope::kAddress, addr, result);
+}
+
+certify::Certificate execution_cert(const vmc::CheckResult& result) {
+  return certify::from_result(certify::Scope::kExecution, 0, result);
+}
+
+void expect_checks(const Execution& exec, const certify::Certificate& cert,
+                   const std::string& what) {
+  const certify::CheckOutcome outcome = certify::check(exec, cert);
+  EXPECT_TRUE(outcome.ok) << what << " [" << certify::to_string(cert.evidence)
+                          << "]: " << outcome.violation;
+}
+
+TEST(Certificates, HandcraftedPolyKindsCheck) {
+  // One deterministic trace per polynomial evidence kind; each decides
+  // kIncoherent through check_auto and its certificate re-validates.
+  struct Case {
+    const char* name;
+    Execution exec;
+    std::optional<certify::IncoherenceKind> kind;  ///< asserted when stable
+  };
+  std::vector<Case> cases;
+  cases.push_back({"unwritten read",
+                   ExecutionBuilder().process(R(0, 9)).build(),
+                   certify::IncoherenceKind::kUnwrittenRead});
+  cases.push_back({"unwritable final",
+                   ExecutionBuilder().process(W(0, 1)).final_value(0, 7).build(),
+                   certify::IncoherenceKind::kUnwritableFinal});
+  cases.push_back({"read before write",
+                   ExecutionBuilder().process(R(0, 5), W(0, 5)).build(),
+                   certify::IncoherenceKind::kReadBeforeWrite});
+  cases.push_back({"stale initial read",
+                   ExecutionBuilder().process(W(0, 1), R(0, 0)).build(),
+                   certify::IncoherenceKind::kStaleInitialRead});
+  cases.push_back({"cluster cycle",
+                   ExecutionBuilder()
+                       .process(R(0, 1), R(0, 2))
+                       .process(R(0, 2), R(0, 1))
+                       .process(W(0, 1))
+                       .process(W(0, 2))
+                       .build(),
+                   certify::IncoherenceKind::kClusterCycle});
+  cases.push_back({"final not last",
+                   ExecutionBuilder()
+                       .process(W(0, 1), W(0, 2))
+                       .final_value(0, 1)
+                       .build(),
+                   certify::IncoherenceKind::kFinalNotLast});
+  // All-RMW shapes; the cascade picks the decider, so only the verdict
+  // and the certificate's checkability are pinned down.
+  cases.push_back({"value imbalance",
+                   ExecutionBuilder().process(RW(0, 0, 1)).process(RW(0, 0, 2)).build(),
+                   std::nullopt});
+  cases.push_back({"chain stall",
+                   ExecutionBuilder().process(RW(0, 0, 1), RW(0, 2, 3)).build(),
+                   std::nullopt});
+  cases.push_back({"chain end mismatch",
+                   ExecutionBuilder().process(RW(0, 0, 1)).final_value(0, 0).build(),
+                   std::nullopt});
+  cases.push_back({"unreachable value",
+                   ExecutionBuilder().process(RW(0, 0, 1)).process(RW(0, 5, 6)).build(),
+                   std::nullopt});
+  for (const Case& test : cases) {
+    const vmc::CheckResult result = vmc::check_auto({test.exec, 0});
+    ASSERT_EQ(result.verdict, vmc::Verdict::kIncoherent) << test.name;
+    ASSERT_NE(result.incoherence(), nullptr) << test.name;
+    if (test.kind) {
+      EXPECT_EQ(result.incoherence()->kind, *test.kind) << test.name;
+    }
+    expect_checks(test.exec, address_cert(0, result), test.name);
+  }
+}
+
+TEST(Certificates, WriteOrderKindsCheck) {
+  struct Case {
+    const char* name;
+    Execution exec;
+    vmc::WriteOrder order;
+    certify::IncoherenceKind kind;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"program-order conflict",
+                   ExecutionBuilder().process(W(0, 1), W(0, 2)).build(),
+                   {OpRef{0, 1}, OpRef{0, 0}},
+                   certify::IncoherenceKind::kOrderProgramConflict});
+  cases.push_back({"rmw mismatch",
+                   ExecutionBuilder().process(W(0, 1)).process(RW(0, 0, 5)).build(),
+                   {OpRef{0, 0}, OpRef{1, 0}},
+                   certify::IncoherenceKind::kOrderRmwMismatch});
+  cases.push_back({"read window failure",
+                   ExecutionBuilder().process(W(0, 1), W(0, 2), R(0, 1)).build(),
+                   {OpRef{0, 0}, OpRef{0, 1}},
+                   certify::IncoherenceKind::kOrderReadWindow});
+  {
+    auto exec = ExecutionBuilder().process(W(0, 1), W(0, 2)).final_value(0, 1).build();
+    cases.push_back({"final mismatch", std::move(exec),
+                     {OpRef{0, 0}, OpRef{0, 1}},
+                     certify::IncoherenceKind::kOrderFinalMismatch});
+  }
+  for (const Case& test : cases) {
+    const vmc::CheckResult result =
+        vmc::check_with_write_order({test.exec, 0}, test.order);
+    ASSERT_EQ(result.verdict, vmc::Verdict::kIncoherent) << test.name;
+    ASSERT_NE(result.incoherence(), nullptr) << test.name;
+    EXPECT_EQ(result.incoherence()->kind, test.kind) << test.name;
+    expect_checks(test.exec, address_cert(0, result), test.name);
+  }
+}
+
+TEST(Certificates, SatRouteCertificatesCheck) {
+  // A non-trivially-refutable incoherent instance: the SAT route must
+  // produce a RUP refutation the checker can replay against its own
+  // re-encoding.
+  const auto cycle = ExecutionBuilder()
+                         .process(R(0, 1), R(0, 2))
+                         .process(R(0, 2), R(0, 1))
+                         .process(W(0, 1))
+                         .process(W(0, 2))
+                         .build();
+  const vmc::CheckResult via_sat = encode::check_via_sat({cycle, 0});
+  ASSERT_EQ(via_sat.verdict, vmc::Verdict::kIncoherent);
+  ASSERT_NE(via_sat.incoherence(), nullptr);
+  EXPECT_EQ(via_sat.incoherence()->kind, certify::IncoherenceKind::kRupRefutation);
+  EXPECT_FALSE(via_sat.incoherence()->proof.empty());
+  expect_checks(cycle, address_cert(0, via_sat), "vmc rup");
+
+  // Trivially refuted instances route through typed trivial evidence.
+  const auto trivial = ExecutionBuilder().process(R(0, 9)).build();
+  const vmc::CheckResult refuted = encode::check_via_sat({trivial, 0});
+  ASSERT_EQ(refuted.verdict, vmc::Verdict::kIncoherent);
+  expect_checks(trivial, address_cert(0, refuted), "vmc trivial via sat");
+
+  // Execution scope: a classic non-SC litmus shape via the SC encoder.
+  const auto sb = ExecutionBuilder()
+                      .process(W(0, 1), R(1, 0))
+                      .process(W(1, 1), R(0, 0))
+                      .build();
+  const vmc::CheckResult sc = encode::check_sc_via_sat(sb);
+  ASSERT_EQ(sc.verdict, vmc::Verdict::kIncoherent);
+  ASSERT_NE(sc.incoherence(), nullptr);
+  EXPECT_EQ(sc.incoherence()->kind, certify::IncoherenceKind::kRupRefutation);
+  expect_checks(sb, execution_cert(sc), "sc rup");
+}
+
+TEST(Certificates, ExactSearchCertificatesCheck) {
+  const auto cycle = ExecutionBuilder()
+                         .process(R(0, 1), R(0, 2))
+                         .process(R(0, 2), R(0, 1))
+                         .process(W(0, 1))
+                         .process(W(0, 2))
+                         .build();
+  const vmc::CheckResult exact = vmc::check_exact({cycle, 0});
+  ASSERT_EQ(exact.verdict, vmc::Verdict::kIncoherent);
+  ASSERT_NE(exact.incoherence(), nullptr);
+  EXPECT_EQ(exact.incoherence()->kind,
+            certify::IncoherenceKind::kSearchExhaustion);
+  expect_checks(cycle, address_cert(0, exact), "vmc exhaustion");
+
+  const auto sb = ExecutionBuilder()
+                      .process(W(0, 1), R(1, 0))
+                      .process(W(1, 1), R(0, 0))
+                      .build();
+  const vmc::CheckResult sc = vsc::check_sc_exact(sb);
+  ASSERT_EQ(sc.verdict, vmc::Verdict::kIncoherent);
+  expect_checks(sb, execution_cert(sc), "sc exhaustion");
+
+  // A kCoherent exact result certifies through its witness schedule.
+  const auto fine = ExecutionBuilder().process(W(0, 1)).process(R(0, 1)).build();
+  const vmc::CheckResult coherent = vmc::check_exact({fine, 0});
+  ASSERT_EQ(coherent.verdict, vmc::Verdict::kCoherent);
+  expect_checks(fine, address_cert(0, coherent), "coherent witness");
+
+  // An unknown verdict (budget) certifies vacuously but must carry a
+  // typed reason.
+  vmc::ExactOptions tiny;
+  tiny.max_states = 1;
+  const vmc::CheckResult unknown = vmc::check_exact({cycle, 0}, tiny);
+  ASSERT_EQ(unknown.verdict, vmc::Verdict::kUnknown);
+  ASSERT_NE(unknown.unknown_reason(), nullptr);
+  expect_checks(cycle, address_cert(0, unknown), "unknown budget");
+}
+
+TEST(Certificates, RoutedRandomTracesAllCertify) {
+  Xoshiro256ss rng(29);
+  std::size_t incoherent_seen = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    workload::SingleAddressParams params;
+    params.num_histories = 2 + rng.below(3);
+    params.ops_per_history = 2 + rng.below(5);
+    params.num_values = 2 + rng.below(3);
+    params.rmw_fraction = rng.uniform01() * 0.5;
+    const auto trace = workload::generate_coherent(params, rng);
+
+    std::vector<Execution> cases{trace.execution};
+    for (const Fault f : {Fault::kStaleRead, Fault::kLostWrite,
+                          Fault::kFabricatedRead, Fault::kReorderedOps}) {
+      if (auto faulted = workload::inject_fault(trace, f, rng))
+        cases.push_back(std::move(*faulted));
+    }
+    for (const Execution& exec : cases) {
+      const analysis::RoutedReport routed =
+          analysis::verify_coherence_routed(AddressIndex(exec));
+      for (const auto& address : routed.report.addresses) {
+        if (address.result.verdict == vmc::Verdict::kIncoherent)
+          ++incoherent_seen;
+        // Every verdict carries checkable typed evidence (or a witness).
+        if (address.result.verdict != vmc::Verdict::kCoherent) {
+          EXPECT_FALSE(std::holds_alternative<std::monostate>(
+              address.result.evidence));
+        }
+        expect_checks(exec, address_cert(address.addr, address.result),
+                      "routed address");
+      }
+    }
+  }
+  EXPECT_GT(incoherent_seen, 0u);
+}
+
+TEST(Certificates, VsccPipelineCertifies) {
+  Xoshiro256ss rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    workload::MultiAddressParams params;
+    params.num_processes = 2 + rng.below(2);
+    params.ops_per_process = 2 + rng.below(4);
+    params.num_addresses = 1 + rng.below(3);
+    const auto trace = workload::generate_sc(params, rng);
+    const vsc::VsccReport report = vsc::check_vscc(trace.execution);
+    for (const auto& address : report.coherence.addresses)
+      expect_checks(trace.execution, address_cert(address.addr, address.result),
+                    "vscc address");
+    expect_checks(trace.execution, execution_cert(report.sc), "vscc sc");
+  }
+
+  // A non-SC execution: the pipeline's execution-scope refutation checks.
+  const auto sb = ExecutionBuilder()
+                      .process(W(0, 1), R(1, 0))
+                      .process(W(1, 1), R(0, 0))
+                      .build();
+  const vsc::VsccReport bad = vsc::check_vscc(sb);
+  ASSERT_EQ(bad.sc.verdict, vmc::Verdict::kIncoherent);
+  expect_checks(sb, execution_cert(bad.sc), "vscc sc refutation");
+}
+
+TEST(Certificates, MutatedCertificatesAreRejected) {
+  // Gather genuine certificates from the deterministic incoherent shapes
+  // plus a coherent one, then corrupt each in a kind-appropriate way and
+  // require the checker to reject every mutant.
+  struct Bundle {
+    Execution exec;
+    certify::Certificate cert;
+  };
+  std::vector<Bundle> bundles;
+  const auto collect = [&](Execution exec) {
+    const vmc::CheckResult result = vmc::check_auto({exec, 0});
+    ASSERT_EQ(result.verdict, vmc::Verdict::kIncoherent);
+    bundles.push_back({exec, address_cert(0, result)});
+  };
+  collect(ExecutionBuilder().process(R(0, 9)).build());
+  collect(ExecutionBuilder().process(R(0, 5), W(0, 5)).build());
+  collect(ExecutionBuilder().process(W(0, 1), R(0, 0)).build());
+  collect(ExecutionBuilder()
+              .process(R(0, 1), R(0, 2))
+              .process(R(0, 2), R(0, 1))
+              .process(W(0, 1))
+              .process(W(0, 2))
+              .build());
+  collect(ExecutionBuilder().process(W(0, 1), W(0, 2)).final_value(0, 1).build());
+
+  for (Bundle& bundle : bundles) {
+    auto* evidence = std::get_if<certify::Incoherence>(&bundle.cert.evidence);
+    ASSERT_NE(evidence, nullptr);
+    const std::string name = to_string(evidence->kind);
+    // Dangling operation reference.
+    if (!evidence->ops.empty()) {
+      certify::Certificate mutant = bundle.cert;
+      std::get<certify::Incoherence>(mutant.evidence).ops[0].index = 1000000;
+      EXPECT_FALSE(certify::check(bundle.exec, mutant).ok)
+          << name << ": dangling ref accepted";
+    }
+    // Edited value claim.
+    if (!evidence->values.empty()) {
+      certify::Certificate mutant = bundle.cert;
+      std::get<certify::Incoherence>(mutant.evidence).values[0] += 1000000;
+      EXPECT_FALSE(certify::check(bundle.exec, mutant).ok)
+          << name << ": edited value accepted";
+    }
+    // Swapped edge direction breaks program order.
+    if (!evidence->edges.empty()) {
+      certify::Certificate mutant = bundle.cert;
+      auto& edge = std::get<certify::Incoherence>(mutant.evidence).edges[0];
+      std::swap(edge.before, edge.after);
+      EXPECT_FALSE(certify::check(bundle.exec, mutant).ok)
+          << name << ": reversed edge accepted";
+    }
+    // Incoherent verdict with the evidence stripped.
+    {
+      certify::Certificate mutant = bundle.cert;
+      mutant.evidence = std::monostate{};
+      EXPECT_FALSE(certify::check(bundle.exec, mutant).ok)
+          << name << ": missing evidence accepted";
+    }
+  }
+
+  // RUP proof mutations: truncating the derivation or editing a clause.
+  const auto cycle = ExecutionBuilder()
+                         .process(R(0, 1), R(0, 2))
+                         .process(R(0, 2), R(0, 1))
+                         .process(W(0, 1))
+                         .process(W(0, 2))
+                         .build();
+  const vmc::CheckResult via_sat = encode::check_via_sat({cycle, 0});
+  ASSERT_EQ(via_sat.verdict, vmc::Verdict::kIncoherent);
+  certify::Certificate rup = address_cert(0, via_sat);
+  {
+    certify::Certificate mutant = rup;
+    std::get<certify::Incoherence>(mutant.evidence).proof.pop_back();
+    EXPECT_FALSE(certify::check(cycle, mutant).ok) << "truncated proof accepted";
+  }
+  {
+    certify::Certificate mutant = rup;
+    std::get<certify::Incoherence>(mutant.evidence).proof.front() = {
+        sat::pos(0)};
+    EXPECT_FALSE(certify::check(cycle, mutant).ok) << "edited proof accepted";
+  }
+
+  // Witness mutations: truncation and claiming coherence of an
+  // incoherent trace.
+  const auto fine = ExecutionBuilder().process(W(0, 1)).process(R(0, 1)).build();
+  const vmc::CheckResult coherent = vmc::check_exact({fine, 0});
+  ASSERT_EQ(coherent.verdict, vmc::Verdict::kCoherent);
+  {
+    certify::Certificate mutant = address_cert(0, coherent);
+    mutant.witness.pop_back();
+    EXPECT_FALSE(certify::check(fine, mutant).ok) << "truncated witness accepted";
+  }
+  {
+    certify::Certificate lie = address_cert(0, coherent);
+    lie.witness = {OpRef{0, 0}};  // drop the read from the schedule
+    EXPECT_FALSE(certify::check(fine, lie).ok) << "partial witness accepted";
+  }
+  // Write-order truncation.
+  const auto two_writes = ExecutionBuilder().process(W(0, 1), W(0, 2)).build();
+  const vmc::CheckResult order_result =
+      vmc::check_with_write_order({two_writes, 0}, {OpRef{0, 1}, OpRef{0, 0}});
+  ASSERT_EQ(order_result.verdict, vmc::Verdict::kIncoherent);
+  {
+    certify::Certificate mutant = address_cert(0, order_result);
+    std::get<certify::Incoherence>(mutant.evidence).write_order.pop_back();
+    EXPECT_FALSE(certify::check(two_writes, mutant).ok)
+        << "truncated write order accepted";
+  }
+}
+
+TEST(Certificates, RandomMutantsNeverUpgradeVerdicts) {
+  // Adversarial sweep: randomized op/value edits on genuine incoherent
+  // certificates must never make the checker accept evidence that the
+  // (unchanged) trace does not support, unless the mutation happens to
+  // produce another genuinely valid certificate of the same claim — the
+  // claim itself (this trace is incoherent) stays true, so acceptance is
+  // sound either way. Here we only require no crash and a boolean
+  // verdict; soundness spot checks are above.
+  Xoshiro256ss rng(37);
+  const auto cycle = ExecutionBuilder()
+                         .process(R(0, 1), R(0, 2))
+                         .process(R(0, 2), R(0, 1))
+                         .process(W(0, 1))
+                         .process(W(0, 2))
+                         .build();
+  const vmc::CheckResult result = vmc::check_auto({cycle, 0});
+  ASSERT_EQ(result.verdict, vmc::Verdict::kIncoherent);
+  const certify::Certificate genuine = address_cert(0, result);
+  for (int trial = 0; trial < 200; ++trial) {
+    certify::Certificate mutant = genuine;
+    auto& evidence = std::get<certify::Incoherence>(mutant.evidence);
+    switch (rng.below(4)) {
+      case 0:
+        if (!evidence.edges.empty()) {
+          auto& edge = evidence.edges[rng.below(evidence.edges.size())];
+          edge.after.index = static_cast<std::uint32_t>(rng.below(8));
+        }
+        break;
+      case 1:
+        if (!evidence.edges.empty()) {
+          auto& edge = evidence.edges[rng.below(evidence.edges.size())];
+          edge.before.process = static_cast<std::uint32_t>(rng.below(8));
+        }
+        break;
+      case 2:
+        evidence.addr = static_cast<Addr>(rng.below(2));
+        mutant.addr = evidence.addr;
+        break;
+      case 3:
+        if (!evidence.edges.empty()) evidence.edges.pop_back();
+        break;
+    }
+    const certify::CheckOutcome outcome = certify::check(cycle, mutant);
+    if (outcome.ok) {
+      // Acceptance is only sound if the certificate still checks against
+      // the real trace semantics; re-run the strictest possible probe:
+      // the evidence must still denote a genuine contradiction, which for
+      // this trace means the verdict claim matches the exact decider.
+      EXPECT_EQ(vmc::check_exact({cycle, 0}).verdict,
+                vmc::Verdict::kIncoherent);
+    }
+  }
+}
+
+// ---- Text round-trip -------------------------------------------------------
+
+TEST(CertificateText, RoundTripsEveryPayloadShape) {
+  std::vector<certify::Certificate> certs;
+  {
+    certify::Certificate coherent;
+    coherent.scope = certify::Scope::kAddress;
+    coherent.addr = 3;
+    coherent.verdict = vmc::Verdict::kCoherent;
+    coherent.witness = {OpRef{0, 0}, OpRef{1, 2}, OpRef{0, 1}};
+    certs.push_back(coherent);
+  }
+  {
+    certify::Certificate incoherent;
+    incoherent.scope = certify::Scope::kAddress;
+    incoherent.addr = 7;
+    incoherent.verdict = vmc::Verdict::kIncoherent;
+    certify::Incoherence evidence =
+        certify::read_before_write(7, OpRef{0, 1}, OpRef{0, 4}, -12);
+    incoherent.evidence = evidence;
+    certs.push_back(incoherent);
+  }
+  {
+    certify::Certificate cycle;
+    cycle.scope = certify::Scope::kAddress;
+    cycle.addr = 0;
+    cycle.verdict = vmc::Verdict::kIncoherent;
+    cycle.evidence = certify::cluster_cycle(
+        0, {{OpRef{0, 0}, OpRef{0, 1}}, {OpRef{1, 0}, OpRef{1, 1}}});
+    certs.push_back(cycle);
+  }
+  {
+    certify::Certificate order;
+    order.scope = certify::Scope::kAddress;
+    order.addr = 2;
+    order.verdict = vmc::Verdict::kIncoherent;
+    order.evidence = certify::order_final_mismatch(
+        2, 5, 6, {OpRef{0, 0}, OpRef{1, 3}});
+    certs.push_back(order);
+  }
+  {
+    certify::Certificate rup;
+    rup.scope = certify::Scope::kExecution;
+    rup.verdict = vmc::Verdict::kIncoherent;
+    sat::Proof proof;
+    proof.push_back({sat::pos(0), sat::neg(3)});
+    proof.push_back({sat::neg(1)});
+    proof.push_back({});  // the empty clause
+    rup.evidence = certify::rup_refutation(0, std::move(proof));
+    certs.push_back(rup);
+  }
+  {
+    certify::Certificate exhaustion;
+    exhaustion.scope = certify::Scope::kAddress;
+    exhaustion.addr = 1;
+    exhaustion.verdict = vmc::Verdict::kIncoherent;
+    exhaustion.evidence = certify::search_exhaustion(1, 42, 99);
+    certs.push_back(exhaustion);
+  }
+  {
+    certify::Certificate unknown;
+    unknown.scope = certify::Scope::kExecution;
+    unknown.verdict = vmc::Verdict::kUnknown;
+    unknown.evidence =
+        certify::Unknown{certify::UnknownReason::kBudget,
+                         "state budget exhausted after 10 states"};
+    certs.push_back(unknown);
+  }
+
+  const std::string text = certify::dump(certs);
+  const certify::ParseResult parsed = certify::parse_certificates(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.certs.size(), certs.size());
+  // dump(parse(dump(x))) == dump(x): the format is canonical.
+  EXPECT_EQ(certify::dump(parsed.certs), text);
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    EXPECT_EQ(parsed.certs[i].scope, certs[i].scope) << i;
+    EXPECT_EQ(parsed.certs[i].addr, certs[i].addr) << i;
+    EXPECT_EQ(parsed.certs[i].verdict, certs[i].verdict) << i;
+    EXPECT_EQ(parsed.certs[i].witness, certs[i].witness) << i;
+  }
+  const auto* rbw = std::get_if<certify::Incoherence>(&parsed.certs[1].evidence);
+  ASSERT_NE(rbw, nullptr);
+  EXPECT_EQ(rbw->kind, certify::IncoherenceKind::kReadBeforeWrite);
+  EXPECT_EQ(rbw->values, (std::vector<Value>{-12}));
+  EXPECT_EQ(rbw->ops, (std::vector<OpRef>{OpRef{0, 1}, OpRef{0, 4}}));
+  const auto* proof = std::get_if<certify::Incoherence>(&parsed.certs[4].evidence);
+  ASSERT_NE(proof, nullptr);
+  ASSERT_EQ(proof->proof.size(), 3u);
+  EXPECT_EQ(proof->proof[0], (sat::Clause{sat::pos(0), sat::neg(3)}));
+  EXPECT_TRUE(proof->proof[2].empty());
+  const auto* unk = std::get_if<certify::Unknown>(&parsed.certs[6].evidence);
+  ASSERT_NE(unk, nullptr);
+  EXPECT_EQ(unk->reason, certify::UnknownReason::kBudget);
+  EXPECT_EQ(unk->detail, "state budget exhausted after 10 states");
+}
+
+TEST(CertificateText, CheckedAfterRoundTrip) {
+  // End-to-end: a genuine certificate survives serialization and still
+  // checks against the raw trace (the vermemcert pipeline in-process).
+  const auto cycle = ExecutionBuilder()
+                         .process(R(0, 1), R(0, 2))
+                         .process(R(0, 2), R(0, 1))
+                         .process(W(0, 1))
+                         .process(W(0, 2))
+                         .build();
+  const vmc::CheckResult result = encode::check_via_sat({cycle, 0});
+  ASSERT_EQ(result.verdict, vmc::Verdict::kIncoherent);
+  const std::string text = certify::dump(address_cert(0, result));
+  const certify::ParseResult parsed = certify::parse_certificates(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.certs.size(), 1u);
+  expect_checks(cycle, parsed.certs[0], "round-tripped rup");
+}
+
+TEST(CertificateText, RejectsMalformedInput) {
+  EXPECT_FALSE(certify::parse_certificates("cert bogus 0 coherent\nend\n").ok);
+  EXPECT_FALSE(certify::parse_certificates("cert address 0 maybe\nend\n").ok);
+  EXPECT_FALSE(certify::parse_certificates("cert address 0 coherent\n").ok);
+  EXPECT_FALSE(
+      certify::parse_certificates("cert address 0 coherent\nwitness Px#1\nend\n")
+          .ok);
+  EXPECT_FALSE(certify::parse_certificates(
+                   "cert address 0 incoherent\nincoherent no-such-kind\nend\n")
+                   .ok);
+  EXPECT_FALSE(certify::parse_certificates(
+                   "cert execution 0 unknown\nunknown why-not\nend\n")
+                   .ok);
+  EXPECT_FALSE(certify::parse_certificates(
+                   "cert address 0 incoherent\nincoherent rup-refutation\n"
+                   "clause 1 0 2\nend\n")
+                   .ok);
+  // Comments and blank lines are fine.
+  const certify::ParseResult ok = certify::parse_certificates(
+      "# a comment\n\ncert address 0 coherent\nend\n");
+  EXPECT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.certs.size(), 1u);
 }
 
 }  // namespace

@@ -76,7 +76,7 @@ TEST_P(DifferentialSweep, AllCheckersAgreeOnSeededBattery) {
       for (const auto& [checker, result] : verdicts) {
         EXPECT_EQ(result.verdict, expected)
             << checker << " diverges on " << label << " (seed " << GetParam()
-            << " trial " << trial << "): " << result.note;
+            << " trial " << trial << "): " << result.reason();
         if (result.verdict == Verdict::kCoherent) {
           const auto valid = check_coherent_schedule(exec, 0, result.witness);
           EXPECT_TRUE(valid.ok) << checker << ": " << valid.violation;
@@ -88,7 +88,7 @@ TEST_P(DifferentialSweep, AllCheckersAgreeOnSeededBattery) {
       if (label == "clean") {
         const auto with_order =
             vmc::check_with_write_order(instance, trace.write_order);
-        EXPECT_EQ(with_order.verdict, Verdict::kCoherent) << with_order.note;
+        EXPECT_EQ(with_order.verdict, Verdict::kCoherent) << with_order.reason();
       }
 
       // The online checker on the generating stream must agree with the
@@ -179,8 +179,8 @@ TEST_P(ScDifferentialSweep, ScDecidersAgree) {
       const auto exact = vsc::check_sc_exact(exec);
       const auto via_sat = encode::check_sc_via_sat(exec);
       ASSERT_NE(exact.verdict, vmc::Verdict::kUnknown);
-      ASSERT_NE(via_sat.verdict, vmc::Verdict::kUnknown) << via_sat.note;
-      EXPECT_EQ(via_sat.verdict, exact.verdict) << via_sat.note;
+      ASSERT_NE(via_sat.verdict, vmc::Verdict::kUnknown) << via_sat.reason();
+      EXPECT_EQ(via_sat.verdict, exact.verdict) << via_sat.reason();
       if (via_sat.verdict == vmc::Verdict::kCoherent) {
         const auto valid = check_sc_schedule(exec, via_sat.witness);
         EXPECT_TRUE(valid.ok) << valid.violation;
@@ -188,7 +188,7 @@ TEST_P(ScDifferentialSweep, ScDecidersAgree) {
       // VSCC must agree with exact SC whenever coherence is decidable.
       const auto pipeline = vsc::check_vscc(exec);
       if (pipeline.sc.verdict != vmc::Verdict::kUnknown) {
-        EXPECT_EQ(pipeline.sc.verdict, exact.verdict) << pipeline.sc.note;
+        EXPECT_EQ(pipeline.sc.verdict, exact.verdict) << pipeline.sc.reason();
       }
     }
   }

@@ -41,7 +41,7 @@ TEST(Directory, CleanRunsAreCoherent) {
         result.execution, result.write_orders);
     EXPECT_TRUE(report.coherent())
         << "seed " << seed << ": "
-        << (report.first_violation() ? report.first_violation()->result.note
+        << (report.first_violation() ? report.first_violation()->result.reason()
                                      : "undecided");
   }
 }
@@ -54,7 +54,7 @@ TEST(Directory, CleanRunsAreSequentiallyConsistent) {
     options.write_orders = &result.write_orders;
     const auto report = vsc::check_vscc(result.execution, options);
     EXPECT_EQ(report.sc.verdict, Verdict::kCoherent)
-        << "seed " << seed << ": " << report.sc.note;
+        << "seed " << seed << ": " << report.sc.reason();
   }
 }
 

@@ -96,9 +96,9 @@ TEST(Encode, AgreesWithExactOnRandomTraces) {
       const auto instance = make(exec);
       const auto via_sat = check_via_sat(instance);
       const auto exact = vmc::check_exact(instance);
-      ASSERT_NE(via_sat.verdict, Verdict::kUnknown) << via_sat.note;
+      ASSERT_NE(via_sat.verdict, Verdict::kUnknown) << via_sat.reason();
       EXPECT_EQ(via_sat.verdict, exact.verdict)
-          << "trial " << trial << ": " << via_sat.note;
+          << "trial " << trial << ": " << via_sat.reason();
       if (via_sat.verdict == Verdict::kCoherent) {
         const auto valid = check_coherent_schedule(exec, 0, via_sat.witness);
         EXPECT_TRUE(valid.ok) << valid.violation;
@@ -116,7 +116,7 @@ TEST(Encode, AgreesWithExactOnReductionInstances) {
     const bool satisfiable = sat::solve_brute(cnf).has_value();
     const auto red = reductions::sat_to_vmc(cnf);
     const auto via_sat = check_via_sat(red.instance);
-    ASSERT_NE(via_sat.verdict, Verdict::kUnknown) << via_sat.note;
+    ASSERT_NE(via_sat.verdict, Verdict::kUnknown) << via_sat.reason();
     EXPECT_EQ(via_sat.verdict == Verdict::kCoherent, satisfiable);
   }
 }

@@ -208,7 +208,7 @@ TEST(Online, AgreesWithBatchCheckerOnFaultyStreams) {
     // Online: replay the faulted execution in the generating order.
     const auto checker = replay(*faulted, trace.witness, /*check_finals=*/true);
     EXPECT_EQ(checker.ok(), batch.verdict == Verdict::kCoherent)
-        << "trial " << trial << ": " << batch.note;
+        << "trial " << trial << ": " << batch.reason();
     rejected += !checker.ok();
   }
   EXPECT_GT(rejected, 0);

@@ -129,7 +129,7 @@ TEST(Restricted3Ops, RoundTripOnRandomFormulas) {
 
     const RestrictedVmc red = three_sat_to_vmc_3ops(cnf);
     const auto result = encode::check_via_sat(red.instance);
-    ASSERT_NE(result.verdict, vmc::Verdict::kUnknown) << result.note;
+    ASSERT_NE(result.verdict, vmc::Verdict::kUnknown) << result.reason();
     EXPECT_EQ(result.verdict == vmc::Verdict::kCoherent, satisfiable)
         << "trial " << trial << "\n"
         << sat::to_dimacs(cnf);
@@ -212,7 +212,7 @@ TEST(SatToVscc, CoherentByConstruction) {
     EXPECT_TRUE(report.coherent())
         << (report.first_violation()
                 ? std::to_string(report.first_violation()->addr) + ": " +
-                      report.first_violation()->result.note
+                      report.first_violation()->result.reason()
                 : "unknown");
   }
 }

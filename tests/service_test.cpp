@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "certify/check.hpp"
 #include "reductions/sat_to_vmc.hpp"
 #include "sat/gen.hpp"
 #include "service/service.hpp"
@@ -235,6 +236,45 @@ TEST(Service, BypassCacheSkipsLookupAndFingerprint) {
   const VerificationResponse b = svc.submit(std::move(again)).response.get();
   EXPECT_FALSE(b.cache_hit);
   EXPECT_EQ(a.fingerprint, 0u);  // uncacheable requests skip hashing
+  EXPECT_EQ(svc.stats().cache_entries, 0u);
+}
+
+TEST(Service, CertifyAttachesCheckableCertificates) {
+  service::ServiceOptions options;
+  options.workers = 1;
+  VerificationService svc(options);
+
+  // Coherence mode: one certificate per address, each re-validated by the
+  // independent checker against the raw trace. With the default
+  // drop_witnesses the report's schedules are stripped, but the
+  // certificates keep theirs.
+  VerificationRequest request = coherence_request(exec_from(kFaultyTrace));
+  request.certify = true;
+  const VerificationResponse bad = svc.submit(std::move(request)).response.get();
+  const Execution faulty = exec_from(kFaultyTrace);
+  EXPECT_EQ(bad.verdict, vmc::Verdict::kIncoherent);
+  ASSERT_FALSE(bad.certificates.empty());
+  for (const auto& cert : bad.certificates) {
+    const certify::CheckOutcome outcome = certify::check(faulty, cert);
+    EXPECT_TRUE(outcome.ok) << outcome.violation;
+  }
+  for (const auto& address : bad.coherence.addresses)
+    EXPECT_TRUE(address.result.witness.empty());
+
+  // Vscc mode appends an execution-scope SC certificate.
+  VerificationRequest vscc = coherence_request(exec_from(kCoherentTrace));
+  vscc.mode = CheckMode::kVscc;
+  vscc.certify = true;
+  const VerificationResponse sc = svc.submit(std::move(vscc)).response.get();
+  const Execution coherent = exec_from(kCoherentTrace);
+  ASSERT_FALSE(sc.certificates.empty());
+  EXPECT_EQ(sc.certificates.back().scope, certify::Scope::kExecution);
+  for (const auto& cert : sc.certificates) {
+    const certify::CheckOutcome outcome = certify::check(coherent, cert);
+    EXPECT_TRUE(outcome.ok) << outcome.violation;
+  }
+
+  // Certified requests bypass the cache entirely.
   EXPECT_EQ(svc.stats().cache_entries, 0u);
 }
 

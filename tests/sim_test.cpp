@@ -39,7 +39,7 @@ TEST(Machine, CleanRunsAreCoherent) {
         result.execution, result.write_orders);
     EXPECT_TRUE(report.coherent())
         << "seed " << seed << ": "
-        << (report.first_violation() ? report.first_violation()->result.note
+        << (report.first_violation() ? report.first_violation()->result.reason()
                                      : "undecided");
   }
 }
@@ -52,7 +52,7 @@ TEST(Machine, CleanRunsAreSequentiallyConsistent) {
   vsc::VsccOptions options;
   options.write_orders = &result.write_orders;
   const auto report = vsc::check_vscc(result.execution, options);
-  EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.note;
+  EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.reason();
 }
 
 TEST(Machine, DeterministicForSameSeed) {

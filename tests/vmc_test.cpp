@@ -25,7 +25,7 @@ VmcInstance make(const Execution& exec, Addr addr = 0) {
 }
 
 void expect_valid_witness(const VmcInstance& instance, const CheckResult& result) {
-  ASSERT_EQ(result.verdict, Verdict::kCoherent) << result.note;
+  ASSERT_EQ(result.verdict, Verdict::kCoherent) << result.reason();
   const auto check =
       check_coherent_schedule(instance.execution, instance.addr, result.witness);
   EXPECT_TRUE(check.ok) << check.violation;
@@ -425,7 +425,7 @@ TEST(ReadMap, MatchesExactOnUniqueWriteInstances) {
       const auto fast = check_read_map(inst);
       if (fast.verdict == Verdict::kUnknown) continue;  // mutation broke precondition
       const auto slow = check_exact(inst);
-      EXPECT_EQ(fast.verdict, slow.verdict) << fast.note;
+      EXPECT_EQ(fast.verdict, slow.verdict) << fast.reason();
       if (fast.verdict == Verdict::kCoherent) expect_valid_witness(inst, fast);
     }
   }

@@ -130,7 +130,7 @@ TEST(Conflict, MergesConsistentSchedules) {
     schedules[trace.execution.op(ref).addr].push_back(ref);
 
   const auto result = check_sc_conflict(trace.execution, schedules);
-  ASSERT_EQ(result.verdict, Verdict::kCoherent) << result.note;
+  ASSERT_EQ(result.verdict, Verdict::kCoherent) << result.reason();
   const auto valid = check_sc_schedule(trace.execution, result.witness);
   EXPECT_TRUE(valid.ok) << valid.violation;
 }
@@ -175,7 +175,7 @@ TEST(Vscc, ScTraceVerifiesWithoutFallback) {
   const auto trace = workload::generate_sc(params, rng);
   const auto report = check_vscc(trace.execution);
   EXPECT_TRUE(report.coherence.coherent());
-  EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.note;
+  EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.reason();
 }
 
 TEST(Vscc, IncoherentExecutionShortCircuits) {
@@ -208,7 +208,7 @@ TEST(Vscc, WriteOrderPathAgrees) {
   options.write_orders = &trace.write_orders;
   const auto report = check_vscc(trace.execution, options);
   EXPECT_TRUE(report.coherence.coherent());
-  EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.note;
+  EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.reason();
 }
 
 TEST(Vscc, FallbackRescuesWrongScheduleSets) {
@@ -226,7 +226,7 @@ TEST(Vscc, FallbackRescuesWrongScheduleSets) {
     params.num_values = 2;
     const auto trace = workload::generate_sc(params, rng);
     const auto report = check_vscc(trace.execution);
-    EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.note;
+    EXPECT_EQ(report.sc.verdict, Verdict::kCoherent) << report.sc.reason();
     if (report.used_exact_fallback) ++merges_failed;
   }
   // Not asserted — the count is workload-dependent — but record it so a

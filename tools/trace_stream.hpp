@@ -13,7 +13,13 @@
 #include <string_view>
 #include <vector>
 
+#include "support/json.hpp"
+
 namespace vermem::tools {
+
+// JSON string helpers now live in support/json.hpp, shared with
+// vermemcert; re-exported here for the emitters in this layer.
+using vermem::json_escape;
 
 /// One trace's text, split into execution directives and write-order
 /// ("wo ...") lines, plus a display tag (file name or stdin[i]).
@@ -83,28 +89,6 @@ inline bool load_trace_sources(const std::vector<std::string>& paths,
     sources.push_back(std::move(source));
   }
   return true;
-}
-
-inline std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 inline bool parse_size_arg(const std::string& arg, std::size_t prefix_len,

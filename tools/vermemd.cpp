@@ -6,7 +6,7 @@
 // Usage:
 //   vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]
 //           [--workers=N] [--batch=N] [--cache=N] [--deadline-ms=N]
-//           [--repeat=N] [--analyze] [--stats] [--version]
+//           [--repeat=N] [--analyze] [--certify] [--stats] [--version]
 //           [--trace-out=FILE] [--metrics-out=FILE] [FILE...]
 //
 // Each FILE is one trace in the text_io format; lines starting with
@@ -21,7 +21,11 @@
 // set N times, demonstrating the result cache. --analyze additionally
 // runs the static trace analyzer on every request and embeds one
 // "analysis" JSON object per trace (fragment classification per address
-// plus lint diagnostics with rule IDs and severities). --stats appends
+// plus lint diagnostics with rule IDs and severities). --certify embeds
+// a "certs" array per trace: each element is one certificate in the
+// certify text format (docs/CERTIFICATES.md), ready to be re-validated
+// out of process by piping this output into vermemcert together with
+// the trace files. --stats appends
 // a final service-stats JSON line to stderr, including the fragment
 // routing counters.
 //
@@ -49,6 +53,7 @@
 #include <vector>
 
 #include "analysis_json.hpp"
+#include "certify/text.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "service/service.hpp"
@@ -65,9 +70,9 @@ int usage() {
       stderr,
       "usage: vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]\n"
       "               [--workers=N] [--batch=N] [--cache=N]\n"
-      "               [--deadline-ms=N] [--repeat=N] [--analyze] [--stats]\n"
-      "               [--trace-out=FILE] [--metrics-out=FILE] [--version]\n"
-      "               [FILE...]\n");
+      "               [--deadline-ms=N] [--repeat=N] [--analyze]\n"
+      "               [--certify] [--stats] [--trace-out=FILE]\n"
+      "               [--metrics-out=FILE] [--version] [FILE...]\n");
   return 2;
 }
 
@@ -103,6 +108,15 @@ void print_response(const std::string& tag,
   if (response.analyzed)
     std::printf(",\"analysis\":%s",
                 tools::analysis_json(response.analysis).c_str());
+  if (!response.certificates.empty()) {
+    std::printf(",\"certs\":[");
+    for (std::size_t i = 0; i < response.certificates.size(); ++i) {
+      std::printf("%s\"%s\"", i == 0 ? "" : ",",
+                  tools::json_escape(certify::dump(response.certificates[i]))
+                      .c_str());
+    }
+    std::printf("]");
+  }
   std::printf("}\n");
 }
 
@@ -116,6 +130,7 @@ int main(int argc, char** argv) {
   std::size_t deadline_ms = 0;
   std::size_t repeat = 1;
   bool analyze = false;
+  bool certify = false;
   bool print_stats = false;
   std::string trace_out;
   std::string metrics_out;
@@ -141,6 +156,8 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(14);
     else if (arg == "--analyze")
       analyze = true;
+    else if (arg == "--certify")
+      certify = true;
     else if (arg == "--stats")
       print_stats = true;
     else if (arg == "--version") {
@@ -206,6 +223,7 @@ int main(int argc, char** argv) {
     if (deadline_ms != 0)
       request.deadline = std::chrono::milliseconds(deadline_ms);
     request.analyze = analyze;
+    request.certify = certify;
     request.tag = source.tag;
     requests.push_back(std::move(request));
   }
