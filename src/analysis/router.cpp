@@ -17,25 +17,6 @@ namespace {
 using vmc::CheckResult;
 using vmc::Verdict;
 
-/// Same aggregation contract as vmc::verify_coherence: first incoherent
-/// address decides the verdict; otherwise any undecided address makes it
-/// kUnknown.
-vmc::CoherenceReport aggregate(std::vector<vmc::AddressReport> reports) {
-  vmc::CoherenceReport out;
-  out.addresses = std::move(reports);
-  for (std::size_t i = 0; i < out.addresses.size(); ++i) {
-    const auto& report = out.addresses[i];
-    if (report.result.verdict == Verdict::kIncoherent) {
-      out.verdict = Verdict::kIncoherent;
-      out.first_violation_index = i;
-      return out;
-    }
-    if (report.result.verdict == Verdict::kUnknown)
-      out.verdict = Verdict::kUnknown;
-  }
-  return out;
-}
-
 bool interrupted(const vmc::ExactOptions& options) {
   return options.deadline.expired() ||
          (options.cancel && options.cancel->cancelled());
@@ -190,7 +171,9 @@ RoutedReport verify_coherence_routed(const AddressIndex& index,
     out.deciders.push_back(outcome.decider);
     reports.push_back({addr, std::move(outcome.result)});
   }
-  out.report = aggregate(std::move(reports));
+  // Shared with vmc::verify_coherence so the routed path reports the
+  // same effort totals and peak provenance as the plain cascade.
+  out.report = vmc::aggregate_reports(std::move(reports));
   if (span.active()) {
     span.attr("poly_routed", out.poly_routed);
     span.attr("verdict", vmc::to_string(out.report.verdict));

@@ -34,13 +34,6 @@ double micros_between(Stopwatch::Clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
-/// Sums per-address solver effort into the response's per-trace record.
-vmc::SearchStats aggregate_effort(const vmc::CoherenceReport& report) {
-  vmc::SearchStats out;
-  for (const auto& address : report.addresses) out.merge(address.result.stats);
-  return out;
-}
-
 /// Reason string for an aggregate coherence report: the first violation
 /// for kIncoherent, the first undecided address's note for kUnknown.
 std::string reason_for(const vmc::CoherenceReport& report) {
@@ -108,6 +101,12 @@ std::string ServiceStats::to_prometheus() const {
   counter("vermem_service_effort_transitions_total", effort.transitions);
   counter("vermem_service_effort_prunes_total", effort.prunes);
   gauge("vermem_service_effort_max_frontier", effort.max_frontier);
+  counter("vermem_service_effort_arena_reserved_bytes_total",
+          effort.arena_reserved);
+  counter("vermem_service_effort_arena_allocations_total",
+          effort.arena_allocations);
+  gauge("vermem_service_effort_arena_high_water_bytes",
+        effort.arena_high_water);
   // Same cumulative-le exposition obs::MetricsSnapshot uses, over the
   // service-local latency distribution.
   obs::MetricsSnapshot latency;
@@ -332,7 +331,9 @@ VerificationResponse VerificationService::execute(Slot& slot) {
           exact);
       response.verdict = routed.report.verdict;
       response.reason = reason_for(routed.report);
-      response.effort = aggregate_effort(routed.report);
+      // Effort (including arena counters and peak provenance) was merged
+      // once at aggregation time; reuse it rather than re-summing here.
+      response.effort = routed.report.effort;
       response.coherence = std::move(routed.report);
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -355,7 +356,7 @@ VerificationResponse VerificationService::execute(Slot& slot) {
       vsc::VsccReport report = vsc::check_vscc(*slot.index, vscc);
       response.verdict = report.sc.verdict;
       response.reason = report.sc.reason();
-      response.effort = aggregate_effort(report.coherence);
+      response.effort = report.coherence.effort;
       response.effort.merge(report.sc.stats);
       response.coherence = std::move(report.coherence);
       if (slot.request.certify) sc_result = std::move(report.sc);

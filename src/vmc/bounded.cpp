@@ -1,33 +1,19 @@
 #include "vmc/bounded.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
-#include "support/hash.hpp"
+#include "support/arena.hpp"
+#include "support/flat_set.hpp"
 
 namespace vermem::vmc {
 
-namespace {
-
-/// Frontier state: per-history positions plus the current value, packed
-/// into 32-bit words for hashing.
-using StateKey = std::vector<std::uint32_t>;
-
-struct StateKeyHash {
-  std::size_t operator()(const StateKey& key) const noexcept {
-    return static_cast<std::size_t>(hash_span<std::uint32_t>(key));
-  }
-};
-
-StateKey pack(const std::vector<std::uint32_t>& positions, Value value) {
-  StateKey key(positions);
-  key.push_back(static_cast<std::uint32_t>(static_cast<std::uint64_t>(value)));
-  key.push_back(static_cast<std::uint32_t>(static_cast<std::uint64_t>(value) >> 32));
-  return key;
-}
-
-}  // namespace
-
+// Breadth-first frontier over the same packed state keys the exact DFS
+// uses: one position word per history plus the current value split into
+// two words. Dedup and key storage are shared with the exact path via
+// support/flat_set.hpp — the FlatKeySet's dense insertion ids double as
+// the parent links for witness reconstruction, so the per-state cost is
+// one arena-resident key plus one ParentLink, with no per-state heap
+// allocation.
 CheckResult check_bounded_k(const VmcInstance& instance,
                             const BoundedKOptions& options) {
   if (const auto why = instance.malformed())
@@ -43,52 +29,71 @@ CheckResult check_bounded_k(const VmcInstance& instance,
   const std::size_t total_ops = instance.num_operations();
   SearchStats stats;
 
-  // Parent links for witness reconstruction: state -> (parent state, the
-  // OpRef scheduled to get here).
-  struct Parent {
-    StateKey from;
+  Arena arena;
+  FlatKeySet visited(arena, k + 2);
+  const auto with_arena = [&](CheckResult result) {
+    result.stats.arena_reserved = arena.stats().reserved;
+    result.stats.arena_high_water = arena.stats().high_water;
+    result.stats.arena_allocations = arena.stats().allocations;
+    return result;
+  };
+
+  /// Parent links for witness reconstruction, indexed by the visited
+  /// set's dense key ids: id -> (parent id, the OpRef scheduled to get
+  /// here). The start state's parent is kNone.
+  struct ParentLink {
+    std::uint32_t parent;
     OpRef via;
   };
-  std::unordered_map<StateKey, Parent, StateKeyHash> parents;
+  ArenaVec<ParentLink> parents(arena);
 
-  std::vector<std::uint32_t> start_positions(k, 0);
-  const Value initial = instance.initial_value();
-  const StateKey start = pack(start_positions, initial);
-  parents.emplace(start, Parent{{}, {}});
-  ++stats.states_visited;
-
-  std::vector<StateKey> level{start};
-  auto unpack = [&](const StateKey& key, std::vector<std::uint32_t>& positions,
-                    Value& value) {
-    positions.assign(key.begin(), key.begin() + static_cast<std::ptrdiff_t>(k));
-    value = static_cast<Value>(static_cast<std::uint64_t>(key[k]) |
-                               (static_cast<std::uint64_t>(key[k + 1]) << 32));
+  std::vector<std::uint32_t> key_buf(k + 2, 0);
+  const auto pack_value = [&](Value value) {
+    key_buf[k] = static_cast<std::uint32_t>(static_cast<std::uint64_t>(value));
+    key_buf[k + 1] =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(value) >> 32);
   };
 
-  auto build_witness = [&](StateKey key) {
+  const Value initial = instance.initial_value();
+  pack_value(initial);  // key_buf positions are already all zero
+  const std::uint32_t start_id = visited.insert(key_buf.data()).id;
+  parents.push_back({FlatKeySet::kNone, {}});
+  ++stats.states_visited;
+
+  std::vector<std::uint32_t> level{start_id};
+  std::vector<std::uint32_t> positions(k, 0);
+  Value value = 0;
+  const auto unpack = [&](std::uint32_t id) {
+    const std::uint32_t* words = visited.key(id);
+    positions.assign(words, words + k);
+    value = static_cast<Value>(
+        static_cast<std::uint64_t>(words[k]) |
+        (static_cast<std::uint64_t>(words[k + 1]) << 32));
+  };
+
+  const auto build_witness = [&](std::uint32_t id) {
     Schedule schedule;
-    while (!(key == start)) {
-      const Parent& parent = parents.at(key);
-      schedule.push_back(parent.via);
-      key = parent.from;
+    while (parents[id].parent != FlatKeySet::kNone) {
+      schedule.push_back(parents[id].via);
+      id = parents[id].parent;
     }
     std::reverse(schedule.begin(), schedule.end());
     return schedule;
   };
 
-  std::vector<std::uint32_t> positions;
-  Value value = 0;
+  std::vector<std::uint32_t> next_level;
   for (std::size_t step = 0; step < total_ops; ++step) {
-    std::vector<StateKey> next_level;
-    for (const StateKey& key : level) {
+    next_level.clear();
+    for (const std::uint32_t id : level) {
       if (options.max_states != 0 && stats.states_visited >= options.max_states)
-        return CheckResult::unknown(certify::UnknownReason::kBudget,
-                                    "state budget exhausted", stats);
+        return with_arena(CheckResult::unknown(
+            certify::UnknownReason::kBudget, "state budget exhausted", stats));
       if ((stats.transitions & 0xff) == 0 && options.deadline.expired())
-        return CheckResult::unknown(certify::UnknownReason::kDeadline,
-                                    "deadline exceeded", stats);
+        return with_arena(CheckResult::unknown(
+            certify::UnknownReason::kDeadline, "deadline exceeded", stats));
 
-      unpack(key, positions, value);
+      unpack(id);
+      std::copy(positions.begin(), positions.end(), key_buf.begin());
       for (std::uint32_t p = 0; p < k; ++p) {
         const auto& history = exec.history(p);
         if (positions[p] >= history.size()) continue;
@@ -96,39 +101,39 @@ CheckResult check_bounded_k(const VmcInstance& instance,
         if (op.reads_memory() && op.value_read != value) continue;
         ++stats.transitions;
 
-        ++positions[p];
-        const Value next_value = op.writes_memory() ? op.value_written : value;
-        StateKey next = pack(positions, next_value);
-        --positions[p];
+        key_buf[p] = positions[p] + 1;
+        pack_value(op.writes_memory() ? op.value_written : value);
+        const auto inserted = visited.insert(key_buf.data());
+        key_buf[p] = positions[p];
 
-        const auto [it, fresh] = parents.emplace(
-            next, Parent{key, OpRef{p, positions[p]}});
-        if (!fresh) continue;
+        if (!inserted.fresh) continue;
+        parents.push_back({id, OpRef{p, positions[p]}});
         ++stats.states_visited;
-        next_level.push_back(std::move(next));
+        next_level.push_back(inserted.id);
       }
     }
     stats.max_frontier =
         std::max<std::uint64_t>(stats.max_frontier, next_level.size());
     if (next_level.empty())
-      return CheckResult::no(
+      return with_arena(CheckResult::no(
           certify::search_exhaustion(instance.addr, stats.states_visited,
                                      stats.transitions),
-          stats);
-    level = std::move(next_level);
+          stats));
+    level.swap(next_level);
   }
 
   // All operations scheduled: any final state with an acceptable value
   // wins.
   const auto fin = instance.final_value();
-  for (const StateKey& key : level) {
-    unpack(key, positions, value);
-    if (!fin || value == *fin) return CheckResult::yes(build_witness(key), stats);
+  for (const std::uint32_t id : level) {
+    unpack(id);
+    if (!fin || value == *fin)
+      return with_arena(CheckResult::yes(build_witness(id), stats));
   }
-  return CheckResult::no(
+  return with_arena(CheckResult::no(
       certify::search_exhaustion(instance.addr, stats.states_visited,
                                  stats.transitions),
-      stats);
+      stats));
 }
 
 }  // namespace vermem::vmc

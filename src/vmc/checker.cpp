@@ -28,23 +28,40 @@ CheckResult check_auto(const VmcInstance& instance,
   return check_exact(instance, exact_options);
 }
 
-namespace {
-
-CoherenceReport aggregate(std::vector<AddressReport> reports) {
+CoherenceReport aggregate_reports(std::vector<AddressReport> reports) {
   CoherenceReport out;
   out.addresses = std::move(reports);
   for (std::size_t i = 0; i < out.addresses.size(); ++i) {
     const auto& report = out.addresses[i];
-    if (report.result.verdict == Verdict::kIncoherent) {
+    if (report.result.verdict == Verdict::kIncoherent &&
+        out.first_violation_index == CoherenceReport::kNoViolation) {
       out.verdict = Verdict::kIncoherent;
       out.first_violation_index = i;
-      return out;
-    }
-    if (report.result.verdict == Verdict::kUnknown)
+    } else if (report.result.verdict == Verdict::kUnknown &&
+               out.verdict != Verdict::kIncoherent) {
       out.verdict = Verdict::kUnknown;
+    }
+
+    // Effort aggregation with peak provenance: merge sums the counters
+    // and maxes the peaks; remember which address owned each new peak so
+    // per-shard provenance survives (the parallel dispatcher used to
+    // drop it entirely).
+    const SearchStats& stats = report.result.stats;
+    if (stats.max_frontier > out.effort.max_frontier)
+      out.peak_frontier_index = i;
+    if (stats.states_visited > 0 &&
+        (out.peak_visited_index == CoherenceReport::kNoViolation ||
+         stats.states_visited >
+             out.addresses[out.peak_visited_index].result.stats.states_visited))
+      out.peak_visited_index = i;
+    if (stats.arena_high_water > out.effort.arena_high_water)
+      out.peak_arena_index = i;
+    out.effort.merge(stats);
   }
   return out;
 }
+
+namespace {
 
 /// True once the caller's wall-clock or cancellation budget is spent, at
 /// which point remaining addresses are skipped rather than checked.
@@ -85,7 +102,7 @@ CoherenceReport verify_coherence(const AddressIndex& index,
     }
     reports.push_back(check_address(index, i, exact_options));
   }
-  return aggregate(std::move(reports));
+  return aggregate_reports(std::move(reports));
 }
 
 CoherenceReport verify_coherence(const Execution& exec,
@@ -137,7 +154,7 @@ CoherenceReport verify_coherence_parallel(const AddressIndex& index,
                      CheckResult::unknown(certify::UnknownReason::kSkipped,
                                           skip_note)};
   }
-  return aggregate(std::move(reports));
+  return aggregate_reports(std::move(reports));
 }
 
 CoherenceReport verify_coherence_parallel(const Execution& exec,
@@ -204,7 +221,7 @@ CoherenceReport verify_coherence_with_write_order(
     certify::for_each_ref(result.evidence, to_original);
     reports.push_back({addr, std::move(result)});
   }
-  return aggregate(std::move(reports));
+  return aggregate_reports(std::move(reports));
 }
 
 CoherenceReport verify_coherence_with_write_order(

@@ -44,6 +44,17 @@ struct CoherenceReport {
   /// verified). Reports are address-sorted, so this is deterministic even
   /// when a parallel sweep early-cancelled.
   std::size_t first_violation_index = kNoViolation;
+  /// Whole-trace solver effort: per-address SearchStats merged (counters
+  /// summed, peaks maxed) at aggregation time, for both the sequential
+  /// and the parallel dispatcher — per-shard stats are never dropped.
+  SearchStats effort;
+  /// Peak provenance: which address report owned each maxed peak in
+  /// `effort` (kNoViolation when no address did any search work). Lets
+  /// operators find the one hot address behind a fat aggregate instead
+  /// of guessing.
+  std::size_t peak_frontier_index = kNoViolation;   ///< max max_frontier
+  std::size_t peak_visited_index = kNoViolation;    ///< most states_visited
+  std::size_t peak_arena_index = kNoViolation;      ///< max arena_high_water
 
   [[nodiscard]] bool coherent() const noexcept {
     return verdict == Verdict::kCoherent;
@@ -56,6 +67,14 @@ struct CoherenceReport {
                : &addresses[first_violation_index];
   }
 };
+
+/// Folds per-address reports into a CoherenceReport: first incoherent
+/// address decides the verdict (otherwise any undecided address makes it
+/// kUnknown), per-address SearchStats merge into `effort`, and the peak
+/// provenance indices record which address owned each maxed peak. Shared
+/// by the plain cascade, the parallel dispatcher, and the analysis
+/// router so every path aggregates identically.
+[[nodiscard]] CoherenceReport aggregate_reports(std::vector<AddressReport> reports);
 
 /// Verifies coherence of a whole execution, one address at a time, using
 /// the check_auto cascade. Builds a one-pass AddressIndex internally; use

@@ -1,34 +1,46 @@
 #include "vmc/exact.hpp"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
-#include "support/hash.hpp"
+#include "support/arena.hpp"
+#include "support/flat_set.hpp"
 
 namespace vermem::vmc {
 
 namespace {
 
-/// Packed search state: one position per history, then the current value
-/// split into two 32-bit halves.
-using StateKey = std::vector<std::uint32_t>;
-
-struct StateKeyHash {
-  std::size_t operator()(const StateKey& key) const noexcept {
-    return static_cast<std::size_t>(hash_span<std::uint32_t>(key));
-  }
-};
-
+// The search state is packed into a fixed-stride key: one position word
+// per history, then the current value split into two 32-bit halves. Keys
+// live inline in the arena, deduped by the open-addressing FlatKeySet —
+// no per-state heap allocation, no node-based hash table. The DFS frame
+// stack is SoA: all position rows in one contiguous array, scalar
+// bookkeeping (value, base schedule length, next branching choice) in
+// parallel vectors, so restoring a frame and enumerating successors walk
+// dense memory. See docs/ALGORITHMS.md §12 and exact_legacy.cpp for the
+// pre-rework shape this replaces (kept as the differential oracle).
 class ExactSearch {
  public:
   ExactSearch(const VmcInstance& instance, const ExactOptions& options)
       : instance_(instance),
         options_(options),
         k_(instance.num_histories()),
-        positions_(k_, 0) {}
+        positions_(k_, 0),
+        visited_(arena_, k_ + 2),
+        key_buf_(k_ + 2, 0) {}
 
   CheckResult run() {
+    CheckResult result = search();
+    const ArenaStats& arena = arena_.stats();
+    result.stats.arena_reserved = arena.reserved;
+    result.stats.arena_high_water = arena.high_water;
+    result.stats.arena_allocations = arena.allocations;
+    return result;
+  }
+
+ private:
+  CheckResult search() {
     if (const auto why = instance_.malformed())
       return CheckResult::unknown(certify::UnknownReason::kMalformed, *why);
 
@@ -45,20 +57,9 @@ class ExactSearch {
                               stats_);
     }
     remember_current();
+    push_frame();
 
-    // Each frame owns the search state reached after `base_len` scheduled
-    // operations; `next_choice` is the next history to try branching on.
-    struct Frame {
-      std::vector<std::uint32_t> positions;
-      Value value;
-      std::size_t base_len;  ///< schedule length when this frame was entered
-      std::uint32_t next_choice;
-    };
-    std::vector<Frame> stack;
-    stack.push_back({positions_, value_, schedule_.size(), 0});
-
-    while (!stack.empty()) {
-      Frame& frame = stack.back();
+    while (!frame_value_.empty()) {
       if (budget_exhausted()) {
         if (options_.deadline.expired())
           return CheckResult::unknown(certify::UnknownReason::kDeadline,
@@ -70,15 +71,16 @@ class ExactSearch {
                                     "search budget exhausted", stats_);
       }
 
-      // Restore the frame's state (cheap: vectors copied once per visit
-      // below; here we re-point the working state at the frame's copy).
-      positions_ = frame.positions;
-      value_ = frame.value;
-      schedule_.resize(frame.base_len);
+      // Restore the top frame's state: one contiguous row copy.
+      const std::size_t top = frame_value_.size() - 1;
+      const std::uint32_t* row = frame_positions_.data() + top * k_;
+      std::copy(row, row + k_, positions_.begin());
+      value_ = frame_value_[top];
+      schedule_.resize(frame_base_len_[top]);
 
       // Find the next enabled candidate. With eager reads, pure reads are
       // consumed by the closure, so only writing operations branch.
-      std::uint32_t p = frame.next_choice;
+      std::uint32_t p = frame_next_choice_[top];
       for (; p < k_; ++p) {
         const auto& history = instance_.execution.history(p);
         if (positions_[p] >= history.size()) continue;
@@ -88,10 +90,10 @@ class ExactSearch {
         break;
       }
       if (p == k_) {
-        stack.pop_back();
+        pop_frame();
         continue;
       }
-      frame.next_choice = p + 1;
+      frame_next_choice_[top] = p + 1;
       ++stats_.transitions;
 
       apply(p);
@@ -102,9 +104,9 @@ class ExactSearch {
         continue;  // frame state restored at loop head
       }
       if (!remember_current()) continue;  // state already explored
-      stack.push_back({positions_, value_, schedule_.size(), 0});
+      push_frame();
       stats_.max_frontier =
-          std::max<std::uint64_t>(stats_.max_frontier, stack.size());
+          std::max<std::uint64_t>(stats_.max_frontier, frame_value_.size());
     }
     return CheckResult::no(
         certify::search_exhaustion(instance_.addr, stats_.states_visited,
@@ -112,7 +114,21 @@ class ExactSearch {
         stats_);
   }
 
- private:
+  void push_frame() {
+    frame_positions_.insert(frame_positions_.end(), positions_.begin(),
+                            positions_.end());
+    frame_value_.push_back(value_);
+    frame_base_len_.push_back(schedule_.size());
+    frame_next_choice_.push_back(0);
+  }
+
+  void pop_frame() {
+    frame_positions_.resize(frame_positions_.size() - k_);
+    frame_value_.pop_back();
+    frame_base_len_.pop_back();
+    frame_next_choice_.pop_back();
+  }
+
   [[nodiscard]] bool complete() const {
     for (std::size_t p = 0; p < k_; ++p)
       if (positions_[p] < instance_.execution.history(p).size()) return false;
@@ -167,11 +183,12 @@ class ExactSearch {
   bool remember_current() {
     ++stats_.states_visited;
     if (!options_.memoize) return true;
-    StateKey key(positions_);
-    key.push_back(static_cast<std::uint32_t>(static_cast<std::uint64_t>(value_)));
-    key.push_back(
-        static_cast<std::uint32_t>(static_cast<std::uint64_t>(value_) >> 32));
-    if (!visited_.insert(std::move(key)).second) {
+    std::copy(positions_.begin(), positions_.end(), key_buf_.begin());
+    key_buf_[k_] =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(value_));
+    key_buf_[k_ + 1] =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(value_) >> 32);
+    if (!visited_.insert(key_buf_.data()).fresh) {
       --stats_.states_visited;
       ++stats_.prunes;
       return false;
@@ -186,7 +203,16 @@ class ExactSearch {
   std::vector<std::uint32_t> positions_;
   Value value_ = 0;
   Schedule schedule_;
-  std::unordered_set<StateKey, StateKeyHash> visited_;
+
+  // SoA frame stack: row i of frame_positions_ belongs to frame i.
+  std::vector<std::uint32_t> frame_positions_;
+  std::vector<Value> frame_value_;
+  std::vector<std::size_t> frame_base_len_;
+  std::vector<std::uint32_t> frame_next_choice_;
+
+  Arena arena_;  ///< owns all visited-key storage for this call
+  FlatKeySet visited_;
+  std::vector<std::uint32_t> key_buf_;  ///< reused packing scratch
   SearchStats stats_;
 };
 
@@ -200,6 +226,8 @@ CheckResult check_exact(const VmcInstance& instance, const ExactOptions& options
     span.attr("transitions", result.stats.transitions);
     span.attr("max_frontier", result.stats.max_frontier);
     span.attr("prunes", result.stats.prunes);
+    span.attr("arena_reserved", result.stats.arena_reserved);
+    span.attr("arena_high_water", result.stats.arena_high_water);
     span.attr("verdict", to_string(result.verdict));
   }
   if (obs::enabled()) {
@@ -209,10 +237,16 @@ CheckResult check_exact(const VmcInstance& instance, const ExactOptions& options
     static const obs::Counter transitions =
         obs::counter("vermem_exact_transitions_total");
     static const obs::Counter prunes = obs::counter("vermem_exact_prunes_total");
+    static const obs::Counter arena_reserved =
+        obs::counter("vermem_exact_arena_reserved_bytes_total");
+    static const obs::Counter arena_allocations =
+        obs::counter("vermem_exact_arena_allocations_total");
     searches.add();
     states.add(result.stats.states_visited);
     transitions.add(result.stats.transitions);
     prunes.add(result.stats.prunes);
+    arena_reserved.add(result.stats.arena_reserved);
+    arena_allocations.add(result.stats.arena_allocations);
   }
   return result;
 }

@@ -1,0 +1,27 @@
+#pragma once
+// Frozen pre-arena reference implementation of the exact VMC search.
+//
+// This is the hot path as it existed before the arena/packed-key rework:
+// per-frame heap-allocated position vectors and an
+// std::unordered_set<std::vector<uint32_t>> visited table. It is kept —
+// unchanged, un-instrumented — for two purposes only:
+//   - the differential tests assert that the reworked search returns
+//     identical verdicts AND identical SearchStats (states_visited,
+//     transitions, prunes, max_frontier) on randomized and
+//     fault-injected traces, pinning search-order equivalence;
+//   - bench_exact_hotpath measures the speedup and the trajectory
+//     harness (tools/check_bench_trajectory.py) keeps it honest
+//     across future PRs.
+//
+// Do not optimize this file; its value is being the fixed point.
+
+#include "vmc/exact.hpp"
+
+namespace vermem::vmc {
+
+/// Same contract, search order, and stats semantics as check_exact, minus
+/// the arena accounting (arena_* stats are always zero here).
+[[nodiscard]] CheckResult check_exact_legacy(const VmcInstance& instance,
+                                             const ExactOptions& options = {});
+
+}  // namespace vermem::vmc

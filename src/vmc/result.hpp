@@ -31,14 +31,25 @@ struct SearchStats {
   std::uint64_t transitions = 0;      ///< operations tried during search
   std::uint64_t max_frontier = 0;     ///< peak stack depth / queue size
   std::uint64_t prunes = 0;           ///< branches cut by a memo-table hit
+  /// Arena accounting for the search's key/node storage (all zero when a
+  /// polynomial route decided the instance without a frontier search).
+  std::uint64_t arena_reserved = 0;     ///< bytes reserved from the system
+  std::uint64_t arena_high_water = 0;   ///< peak bytes in use by one search
+  std::uint64_t arena_allocations = 0;  ///< bump allocations served
 
   /// Folds another search's effort in (counters add, peaks max) — used
   /// to aggregate per-address searches into one per-trace effort record.
+  /// Which address owned the maxed peaks is recorded at aggregation time
+  /// (CoherenceReport::peak_*_index); a bare merge keeps only the values.
   void merge(const SearchStats& other) noexcept {
     states_visited += other.states_visited;
     transitions += other.transitions;
     prunes += other.prunes;
     if (other.max_frontier > max_frontier) max_frontier = other.max_frontier;
+    arena_reserved += other.arena_reserved;
+    arena_allocations += other.arena_allocations;
+    if (other.arena_high_water > arena_high_water)
+      arena_high_water = other.arena_high_water;
   }
 };
 

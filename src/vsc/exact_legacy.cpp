@@ -1,61 +1,54 @@
-#include "vsc/exact.hpp"
+#include "vsc/exact_legacy.hpp"
 
-#include <algorithm>
-#include <optional>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
-#include "support/arena.hpp"
-#include "support/flat_set.hpp"
+#include "support/hash.hpp"
 
 namespace vermem::vsc {
 
 namespace {
 
-// Same arena/packed-key/SoA layout as the VMC search (vmc/exact.cpp),
-// with the state widened to one current value per address: the key is
-// k position words followed by two words per address value, the frame
-// stack keeps one contiguous positions row and one contiguous values row
-// per frame. exact_legacy.cpp preserves the pre-rework shape as the
-// differential oracle.
-class ScSearch {
+using StateKey = std::vector<std::uint32_t>;
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& key) const noexcept {
+    return static_cast<std::size_t>(hash_span<std::uint32_t>(key));
+  }
+};
+
+class LegacyScSearch {
  public:
-  ScSearch(const AddressIndex& index, const ScOptions& options)
+  LegacyScSearch(const AddressIndex& index, const ScOptions& options)
       : exec_(index.execution()), options_(options),
         k_(exec_.num_processes()) {
-    // Dense address ids, straight off the one-pass index.
     for (const Addr addr : index.addresses()) {
       addr_id_[addr] = values_.size();
       values_.push_back(exec_.initial_value(addr));
     }
     positions_.assign(k_, 0);
-    a_ = values_.size();
-    key_buf_.assign(k_ + 2 * a_, 0);
-    visited_.emplace(arena_, k_ + 2 * a_);
   }
 
   CheckResult run() {
-    CheckResult result = search();
-    const ArenaStats& arena = arena_.stats();
-    result.stats.arena_reserved = arena.reserved;
-    result.stats.arena_high_water = arena.high_water;
-    result.stats.arena_allocations = arena.allocations;
-    return result;
-  }
-
- private:
-  CheckResult search() {
     if (options_.eager_reads) close_free_ops();
     if (complete()) {
-      // Complete without a single write scheduled: only pure reads and
-      // sync ops were consumed, so a mismatching final value is simply
-      // unwritable on its address.
       return final_ok() ? CheckResult::yes(schedule_, stats_)
                         : CheckResult::no(final_mismatch_evidence(), stats_);
     }
     remember_current();
-    push_frame();
 
-    while (!frame_base_len_.empty()) {
+    struct Frame {
+      std::vector<std::uint32_t> positions;
+      std::vector<Value> values;
+      std::size_t base_len;
+      std::uint32_t next_choice;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({positions_, values_, schedule_.size(), 0});
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
       if (budget_exhausted()) {
         if (options_.deadline.expired())
           return CheckResult::unknown(certify::UnknownReason::kDeadline,
@@ -67,14 +60,11 @@ class ScSearch {
                                     "search budget exhausted", stats_);
       }
 
-      const std::size_t top = frame_base_len_.size() - 1;
-      const std::uint32_t* prow = frame_positions_.data() + top * k_;
-      std::copy(prow, prow + k_, positions_.begin());
-      const Value* vrow = frame_values_.data() + top * a_;
-      std::copy(vrow, vrow + a_, values_.begin());
-      schedule_.resize(frame_base_len_[top]);
+      positions_ = frame.positions;
+      values_ = frame.values;
+      schedule_.resize(frame.base_len);
 
-      std::uint32_t p = frame_next_choice_[top];
+      std::uint32_t p = frame.next_choice;
       for (; p < k_; ++p) {
         if (positions_[p] >= exec_.history(p).size()) continue;
         const Operation& op = exec_.history(p)[positions_[p]];
@@ -83,10 +73,10 @@ class ScSearch {
         break;
       }
       if (p == k_) {
-        pop_frame();
+        stack.pop_back();
         continue;
       }
-      frame_next_choice_[top] = p + 1;
+      frame.next_choice = p + 1;
       ++stats_.transitions;
 
       apply(p);
@@ -97,32 +87,16 @@ class ScSearch {
         continue;
       }
       if (!remember_current()) continue;
-      push_frame();
-      stats_.max_frontier = std::max<std::uint64_t>(stats_.max_frontier,
-                                                    frame_base_len_.size());
+      stack.push_back({positions_, values_, schedule_.size(), 0});
+      stats_.max_frontier =
+          std::max<std::uint64_t>(stats_.max_frontier, stack.size());
     }
     return CheckResult::no(
         certify::search_exhaustion(0, stats_.states_visited, stats_.transitions),
         stats_);
   }
 
-  void push_frame() {
-    frame_positions_.insert(frame_positions_.end(), positions_.begin(),
-                            positions_.end());
-    frame_values_.insert(frame_values_.end(), values_.begin(), values_.end());
-    frame_base_len_.push_back(schedule_.size());
-    frame_next_choice_.push_back(0);
-  }
-
-  void pop_frame() {
-    frame_positions_.resize(frame_positions_.size() - k_);
-    frame_values_.resize(frame_values_.size() - a_);
-    frame_base_len_.pop_back();
-    frame_next_choice_.pop_back();
-  }
-
-  /// Evidence for the no-writes final mismatch: the first address whose
-  /// recorded final value differs from its (never-written) initial value.
+ private:
   [[nodiscard]] certify::Incoherence final_mismatch_evidence() const {
     for (const auto& [addr, fin] : exec_.final_values())
       if (values_[addr_id_.at(addr)] != fin)
@@ -167,9 +141,6 @@ class ScSearch {
     if (op.writes_memory()) values_[addr_id_.at(op.addr)] = op.value_written;
   }
 
-  /// Eagerly schedules enabled pure reads and sync ops: neither changes
-  /// any location's value, so the reordering argument from the VMC search
-  /// applies per address.
   void close_free_ops() {
     bool progressed = true;
     while (progressed) {
@@ -190,13 +161,14 @@ class ScSearch {
   bool remember_current() {
     ++stats_.states_visited;
     if (!options_.memoize) return true;
-    std::copy(positions_.begin(), positions_.end(), key_buf_.begin());
-    std::uint32_t* out = key_buf_.data() + k_;
+    StateKey key(positions_);
+    key.reserve(key.size() + 2 * values_.size());
     for (const Value v : values_) {
-      *out++ = static_cast<std::uint32_t>(static_cast<std::uint64_t>(v));
-      *out++ = static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) >> 32);
+      key.push_back(static_cast<std::uint32_t>(static_cast<std::uint64_t>(v)));
+      key.push_back(
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) >> 32));
     }
-    if (!visited_->insert(key_buf_.data()).fresh) {
+    if (!visited_.insert(std::move(key)).second) {
       --stats_.states_visited;
       return false;
     }
@@ -206,33 +178,25 @@ class ScSearch {
   const Execution& exec_;
   const ScOptions& options_;
   std::size_t k_;
-  std::size_t a_ = 0;  ///< number of addresses (values per state)
 
   std::unordered_map<Addr, std::size_t> addr_id_;
   std::vector<std::uint32_t> positions_;
   std::vector<Value> values_;
   Schedule schedule_;
-
-  // SoA frame stack: positions row and values row per frame.
-  std::vector<std::uint32_t> frame_positions_;
-  std::vector<Value> frame_values_;
-  std::vector<std::size_t> frame_base_len_;
-  std::vector<std::uint32_t> frame_next_choice_;
-
-  Arena arena_;  ///< owns all visited-key storage for this call
-  std::optional<FlatKeySet> visited_;  ///< set once a_ is known
-  std::vector<std::uint32_t> key_buf_;
+  std::unordered_set<StateKey, StateKeyHash> visited_;
   SearchStats stats_;
 };
 
 }  // namespace
 
-CheckResult check_sc_exact(const Execution& exec, const ScOptions& options) {
-  return ScSearch(AddressIndex(exec), options).run();
+CheckResult check_sc_exact_legacy(const Execution& exec,
+                                  const ScOptions& options) {
+  return LegacyScSearch(AddressIndex(exec), options).run();
 }
 
-CheckResult check_sc_exact(const AddressIndex& index, const ScOptions& options) {
-  return ScSearch(index, options).run();
+CheckResult check_sc_exact_legacy(const AddressIndex& index,
+                                  const ScOptions& options) {
+  return LegacyScSearch(index, options).run();
 }
 
 }  // namespace vermem::vsc

@@ -9,6 +9,7 @@
 #include "vmc/checker.hpp"
 #include "support/parallel.hpp"
 #include "vmc/exact.hpp"
+#include "vmc/exact_legacy.hpp"
 #include "vmc/special.hpp"
 #include "vmc/write_order.hpp"
 #include "workload/random.hpp"
@@ -782,6 +783,128 @@ TEST(VerifyCoherenceParallel, SharedIndexOverloadMatches) {
     EXPECT_EQ(via_index_parallel.addresses[i].result.verdict,
               direct.addresses[i].result.verdict);
   }
+}
+
+// ---- Differential: arena/packed-key search vs frozen legacy ----------
+
+// The hot-path rework (arena-backed frontier, packed keys, SoA stack)
+// must be invisible at the semantic level: same verdicts, same witness,
+// and the same SearchStats counters — the searches explore identical
+// state sequences, so any divergence is a dedup or ordering bug, not an
+// acceptable "different but valid" answer.
+void expect_stats_match_legacy(const SearchStats& now,
+                               const SearchStats& legacy) {
+  EXPECT_EQ(now.states_visited, legacy.states_visited);
+  EXPECT_EQ(now.transitions, legacy.transitions);
+  EXPECT_EQ(now.max_frontier, legacy.max_frontier);
+  EXPECT_EQ(now.prunes, legacy.prunes);
+}
+
+TEST(ExactDifferential, MatchesLegacyOnRandomizedAndFaultedTraces) {
+  Xoshiro256ss rng(97);
+  for (int trial = 0; trial < 40; ++trial) {
+    SingleAddressParams params;
+    params.num_histories = 2 + rng.below(4);
+    params.ops_per_history = 2 + rng.below(7);
+    params.num_values = 2 + rng.below(3);
+    const auto trace = workload::generate_coherent(params, rng);
+    std::vector<Execution> cases{trace.execution};
+    for (const Fault f : {Fault::kStaleRead, Fault::kLostWrite,
+                          Fault::kFabricatedRead, Fault::kReorderedOps}) {
+      if (auto faulted = workload::inject_fault(trace, f, rng))
+        cases.push_back(std::move(*faulted));
+    }
+    for (const auto& exec : cases) {
+      const auto instance = make(exec);
+      const auto now = check_exact(instance);
+      const auto legacy = check_exact_legacy(instance);
+      ASSERT_EQ(now.verdict, legacy.verdict) << "trial " << trial;
+      EXPECT_EQ(now.witness, legacy.witness);
+      expect_stats_match_legacy(now.stats, legacy.stats);
+      if (now.verdict == Verdict::kCoherent)
+        expect_valid_witness(instance, now);
+    }
+  }
+}
+
+TEST(ExactDifferential, MatchesLegacyUnderAblatedOptions) {
+  // The equivalence must hold in every search mode, not just the default:
+  // disabling memoization or eager reads changes the explored sequence,
+  // and legacy and reworked searches must change in lockstep.
+  Xoshiro256ss rng(31);
+  SingleAddressParams params;
+  params.num_histories = 3;
+  params.ops_per_history = 5;
+  params.num_values = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto trace = workload::generate_coherent(params, rng);
+    std::vector<Execution> cases{trace.execution};
+    if (auto faulted = workload::inject_fault(trace, Fault::kStaleRead, rng))
+      cases.push_back(std::move(*faulted));
+    for (const auto& exec : cases) {
+      for (const bool eager : {true, false}) {
+        for (const bool memo : {true, false}) {
+          ExactOptions options;
+          options.eager_reads = eager;
+          options.memoize = memo;
+          const auto now = check_exact(make(exec), options);
+          const auto legacy = check_exact_legacy(make(exec), options);
+          ASSERT_EQ(now.verdict, legacy.verdict)
+              << "eager=" << eager << " memo=" << memo;
+          EXPECT_EQ(now.witness, legacy.witness);
+          expect_stats_match_legacy(now.stats, legacy.stats);
+        }
+      }
+    }
+  }
+}
+
+TEST(ExactDifferential, ArenaStatsArePopulated) {
+  // The reworked search must account its storage: any instance that
+  // reaches the frontier search reserves arena space and serves at least
+  // one allocation from it; the frozen legacy reports zeros by contract.
+  const auto instance = make(figure_4_2());
+  const auto now = check_exact(instance);
+  EXPECT_GT(now.stats.arena_reserved, 0u);
+  EXPECT_GT(now.stats.arena_high_water, 0u);
+  EXPECT_GT(now.stats.arena_allocations, 0u);
+  EXPECT_LE(now.stats.arena_high_water, now.stats.arena_reserved);
+  const auto legacy = check_exact_legacy(instance);
+  EXPECT_EQ(legacy.stats.arena_reserved, 0u);
+}
+
+TEST(Aggregation, PeakProvenanceTracksOwningAddress) {
+  // Two addresses with very different search sizes: the peaks in the
+  // merged effort must be attributed to the address that produced them.
+  Xoshiro256ss rng(7);
+  SingleAddressParams params;
+  params.num_histories = 4;
+  params.ops_per_history = 6;
+  params.num_values = 3;
+  params.addr = 1;  // address 0 stays trivial
+  const auto trace = workload::generate_coherent(params, rng);
+  Execution merged = trace.execution;
+  merged.add_history(ProcessHistory{std::vector<Operation>{W(0, 1)}});
+
+  const auto report = verify_coherence(merged);
+  ASSERT_EQ(report.addresses.size(), 2u);
+  // Address 1 (index 1 in sorted order) did the real search work.
+  if (report.effort.states_visited > 0) {
+    ASSERT_NE(report.peak_visited_index, CoherenceReport::kNoViolation);
+    EXPECT_EQ(report.addresses[report.peak_visited_index].addr, 1u);
+  }
+  if (report.effort.arena_high_water > 0) {
+    ASSERT_NE(report.peak_arena_index, CoherenceReport::kNoViolation);
+    EXPECT_EQ(report.addresses[report.peak_arena_index].addr, 1u);
+  }
+  // Sequential and parallel dispatch agree on effort totals and
+  // provenance (per-shard stats are merged, never dropped).
+  const auto parallel = verify_coherence_parallel(merged, 2);
+  EXPECT_EQ(parallel.effort.states_visited, report.effort.states_visited);
+  EXPECT_EQ(parallel.effort.max_frontier, report.effort.max_frontier);
+  EXPECT_EQ(parallel.peak_frontier_index, report.peak_frontier_index);
+  EXPECT_EQ(parallel.peak_visited_index, report.peak_visited_index);
+  EXPECT_EQ(parallel.peak_arena_index, report.peak_arena_index);
 }
 
 TEST(VerifyCoherenceParallel, FlagsViolationsLikeSerial) {

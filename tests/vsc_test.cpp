@@ -8,6 +8,7 @@
 #include "vmc/checker.hpp"
 #include "vsc/conflict.hpp"
 #include "vsc/exact.hpp"
+#include "vsc/exact_legacy.hpp"
 #include "vsc/vscc.hpp"
 #include "workload/random.hpp"
 
@@ -234,6 +235,83 @@ TEST(Vscc, FallbackRescuesWrongScheduleSets) {
   // visible in the test log.
   std::cout << "[ info ] conflict merge fell back " << merges_failed
             << "/40 times\n";
+}
+
+// ---- Differential: arena/packed-key SC search vs frozen legacy -------
+
+// Same contract as the VMC differential: the rework must preserve the
+// exact exploration sequence, so verdicts, witnesses, and every
+// non-arena SearchStats counter must be bit-identical to the frozen
+// pre-arena implementation.
+TEST(ScExactDifferential, MatchesLegacyOnRandomizedTraces) {
+  Xoshiro256ss rng(59);
+  for (int trial = 0; trial < 25; ++trial) {
+    workload::MultiAddressParams params;
+    params.num_processes = 2 + rng.below(3);
+    params.ops_per_process = 2 + rng.below(6);
+    params.num_addresses = 1 + rng.below(3);
+    params.num_values = 2 + rng.below(2);
+    const auto trace = workload::generate_sc(params, rng);
+    // Perturb half the trials: swap two operations in one history so the
+    // differential also covers non-SC executions.
+    Execution exec = trace.execution;
+    if (trial % 2 == 1 && exec.num_processes() > 0) {
+      const std::size_t p = rng.below(exec.num_processes());
+      if (exec.history(p).size() >= 2) {
+        std::vector<Operation> ops(exec.history(p).begin(),
+                                   exec.history(p).end());
+        const std::size_t i = rng.below(ops.size() - 1);
+        std::swap(ops[i], ops[i + 1]);
+        ExecutionBuilder builder;
+        for (std::size_t q = 0; q < exec.num_processes(); ++q) {
+          if (q == p)
+            builder.process_ops(ops);
+          else
+            builder.process_ops(std::vector<Operation>(
+                exec.history(q).begin(), exec.history(q).end()));
+        }
+        for (const auto& [addr, value] : exec.initial_values())
+          builder.initial(addr, value);
+        exec = builder.build();
+      }
+    }
+    const auto now = check_sc_exact(exec);
+    const auto legacy = check_sc_exact_legacy(exec);
+    ASSERT_EQ(now.verdict, legacy.verdict) << "trial " << trial;
+    EXPECT_EQ(now.witness, legacy.witness);
+    EXPECT_EQ(now.stats.states_visited, legacy.stats.states_visited);
+    EXPECT_EQ(now.stats.transitions, legacy.stats.transitions);
+    EXPECT_EQ(now.stats.max_frontier, legacy.stats.max_frontier);
+    EXPECT_EQ(now.stats.prunes, legacy.stats.prunes);
+    EXPECT_GE(now.stats.arena_reserved, legacy.stats.arena_reserved);
+  }
+}
+
+TEST(ScExactDifferential, MatchesLegacyUnderAblatedOptions) {
+  Xoshiro256ss rng(83);
+  workload::MultiAddressParams params;
+  params.num_processes = 3;
+  params.ops_per_process = 4;
+  params.num_addresses = 2;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto trace = workload::generate_sc(params, rng);
+    for (const bool eager : {true, false}) {
+      for (const bool memo : {true, false}) {
+        ScOptions options;
+        options.eager_reads = eager;
+        options.memoize = memo;
+        const auto now = check_sc_exact(trace.execution, options);
+        const auto legacy = check_sc_exact_legacy(trace.execution, options);
+        ASSERT_EQ(now.verdict, legacy.verdict)
+            << "eager=" << eager << " memo=" << memo;
+        EXPECT_EQ(now.witness, legacy.witness);
+        EXPECT_EQ(now.stats.states_visited, legacy.stats.states_visited);
+        EXPECT_EQ(now.stats.transitions, legacy.stats.transitions);
+        EXPECT_EQ(now.stats.max_frontier, legacy.stats.max_frontier);
+        EXPECT_EQ(now.stats.prunes, legacy.stats.prunes);
+      }
+    }
+  }
 }
 
 }  // namespace

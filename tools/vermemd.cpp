@@ -100,11 +100,15 @@ void print_response(const std::string& tag,
       response.run_micros);
   std::printf(
       ",\"effort\":{\"states\":%llu,\"transitions\":%llu,\"prunes\":%llu,"
-      "\"max_frontier\":%llu}",
+      "\"max_frontier\":%llu,\"arena_reserved\":%llu,"
+      "\"arena_high_water\":%llu,\"arena_allocs\":%llu}",
       static_cast<unsigned long long>(response.effort.states_visited),
       static_cast<unsigned long long>(response.effort.transitions),
       static_cast<unsigned long long>(response.effort.prunes),
-      static_cast<unsigned long long>(response.effort.max_frontier));
+      static_cast<unsigned long long>(response.effort.max_frontier),
+      static_cast<unsigned long long>(response.effort.arena_reserved),
+      static_cast<unsigned long long>(response.effort.arena_high_water),
+      static_cast<unsigned long long>(response.effort.arena_allocations));
   if (response.analyzed)
     std::printf(",\"analysis\":%s",
                 tools::analysis_json(response.analysis).c_str());
