@@ -1,0 +1,287 @@
+// Streaming ingestion throughput and bounded-memory bench.
+//
+// Measures the sharded stream pipeline (src/stream/) end to end: binary
+// decode, address routing through the SPSC rings, and per-address
+// checking, in both ingest modes. Three properties land in
+// BENCH_stream.json and are gated by tools/check_bench_trajectory.py:
+//
+//   - differential_ok: the streamed report (kComplete mode) is identical
+//     to analysis::verify_coherence_routed on the same trace — verdicts,
+//     per-address evidence, witnesses;
+//   - memory_bounded_ok: in kOrdered mode, pipeline-resident bytes stay
+//     flat when the trace grows 4x (queue + GC'd write windows, not
+//     O(trace));
+//   - sustained_ops_per_sec: steady-state ingest rate on a pooled
+//     verifier, held to a >= 1M ops/sec floor (machine-dependent rates
+//     are otherwise recorded, not baseline-compared).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/router.hpp"
+#include "bench_util.hpp"
+#include "stream/verifier.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "trace/address_index.hpp"
+#include "trace/binary_io.hpp"
+#include "workload/random.hpp"
+
+namespace {
+
+using namespace vermem;
+
+workload::GeneratedMultiTrace make_trace(std::size_t processes,
+                                         std::size_t ops_per_process,
+                                         std::size_t addresses,
+                                         std::uint64_t seed) {
+  workload::MultiAddressParams params;
+  params.num_processes = processes;
+  params.ops_per_process = ops_per_process;
+  params.num_addresses = addresses;
+  // Globally fresh write values: every address routes to a polynomial
+  // decider, so the bench measures the pipeline, not exact search.
+  params.num_values = 0;
+  Xoshiro256ss rng(seed);
+  return workload::generate_sc(params, rng);
+}
+
+// --- google-benchmark timers (local profiling) ----------------------------
+
+void BM_StreamComplete(benchmark::State& state) {
+  const auto trace =
+      make_trace(4, static_cast<std::size_t>(state.range(0)), 16, 1);
+  const std::string bytes = encode_binary(trace.execution);
+  stream::StreamOptions opts;
+  stream::StreamVerifier verifier(opts);
+  for (auto _ : state) {
+    BinaryTraceReader reader{std::string_view(bytes)};
+    benchmark::DoNotOptimize(verifier.run(reader));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.execution.num_operations()));
+}
+BENCHMARK(BM_StreamComplete)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+void BM_StreamOrdered(benchmark::State& state) {
+  const auto trace =
+      make_trace(4, static_cast<std::size_t>(state.range(0)), 16, 2);
+  const std::string bytes =
+      encode_binary_ordered(trace.execution, trace.witness);
+  stream::StreamOptions opts;
+  stream::StreamVerifier verifier(opts);
+  for (auto _ : state) {
+    BinaryTraceReader reader{std::string_view(bytes)};
+    benchmark::DoNotOptimize(verifier.run(reader));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.execution.num_operations()));
+}
+BENCHMARK(BM_StreamOrdered)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+// --- the JSON-emitting sweep ---------------------------------------------
+
+struct StreamPoint {
+  std::string name;
+  std::string mode;
+  std::uint64_t ops = 0;
+  double wall_sec = 0;
+  double ops_per_sec = 0;
+  std::uint64_t resident_bytes = 0;
+};
+
+/// Steady-state rate: one warm-up run, then the median-ish average of
+/// `reps` timed runs on the same (pooled) verifier.
+StreamPoint run_point(const std::string& name, const std::string& mode,
+                      stream::StreamVerifier& verifier,
+                      const std::string& bytes, int reps) {
+  StreamPoint point;
+  point.name = name;
+  point.mode = mode;
+  {
+    BinaryTraceReader reader{std::string_view(bytes)};
+    const stream::StreamResult warm = verifier.run(reader);
+    point.ops = warm.events;
+    point.resident_bytes = warm.resident_peak_bytes;
+  }
+  Stopwatch timer;
+  for (int r = 0; r < reps; ++r) {
+    BinaryTraceReader reader{std::string_view(bytes)};
+    benchmark::DoNotOptimize(verifier.run(reader));
+  }
+  point.wall_sec = timer.seconds() / reps;
+  point.ops_per_sec =
+      point.wall_sec > 0 ? static_cast<double>(point.ops) / point.wall_sec : 0;
+  return point;
+}
+
+bool reports_identical(const vmc::CoherenceReport& a,
+                       const vmc::CoherenceReport& b) {
+  if (a.verdict != b.verdict) return false;
+  if (a.addresses.size() != b.addresses.size()) return false;
+  if (a.first_violation_index != b.first_violation_index) return false;
+  for (std::size_t i = 0; i < a.addresses.size(); ++i) {
+    if (a.addresses[i].addr != b.addresses[i].addr) return false;
+    if (a.addresses[i].result.verdict != b.addresses[i].result.verdict)
+      return false;
+    if (a.addresses[i].result.reason() != b.addresses[i].result.reason())
+      return false;
+    if (a.addresses[i].result.witness != b.addresses[i].result.witness)
+      return false;
+  }
+  return true;
+}
+
+bool check_differential() {
+  bool ok = true;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    workload::MultiAddressParams params;
+    params.num_processes = 4;
+    params.ops_per_process = 64;
+    params.num_addresses = 6;
+    params.num_values = 3;
+    Xoshiro256ss rng(seed * 41);
+    workload::GeneratedMultiTrace trace = workload::generate_sc(params, rng);
+    if (seed == 2) {
+      // Perturb one read so the incoherent side of the contract is
+      // exercised too (verdicts and evidence must still match).
+      Execution rebuilt;
+      for (const auto& [addr, v] : trace.execution.initial_values())
+        rebuilt.set_initial_value(addr, v);
+      for (const auto& [addr, v] : trace.execution.final_values())
+        rebuilt.set_final_value(addr, v);
+      bool perturbed = false;
+      for (const ProcessHistory& history : trace.execution.histories()) {
+        std::vector<Operation> ops = history.ops();
+        if (!perturbed) {
+          for (Operation& op : ops) {
+            if (op.kind == OpKind::kRead) {
+              op.value_read += 1000;  // a value nobody ever wrote
+              perturbed = true;
+              break;
+            }
+          }
+        }
+        rebuilt.add_history(ProcessHistory{std::move(ops)});
+      }
+      trace.execution = std::move(rebuilt);
+    }
+    const std::string bytes = encode_binary(trace.execution);
+    stream::StreamOptions opts;
+    stream::StreamVerifier verifier(opts);
+    BinaryTraceReader reader{std::string_view(bytes)};
+    const stream::StreamResult streamed = verifier.run(reader);
+    AddressIndex index(trace.execution);
+    const analysis::RoutedReport batch = analysis::verify_coherence_routed(index);
+    if (!streamed.ok() || !reports_identical(streamed.report, batch.report)) {
+      std::cout << "DIFFERENTIAL DIVERGENCE at seed " << seed << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void run_sweep() {
+  std::cout << "\n== streaming ingestion: throughput and resident memory ==\n";
+  std::vector<StreamPoint> points;
+
+  const bool differential_ok = check_differential();
+
+  // Throughput: pooled verifier, growing complete-mode traces. The
+  // largest point is the "sustained" figure the gate holds to >= 1M/s.
+  stream::StreamOptions opts;
+  stream::StreamVerifier verifier(opts);
+  double sustained = 0;
+  for (const std::size_t ops_per_process : {4096u, 16384u, 65536u}) {
+    const auto trace = make_trace(4, ops_per_process, 16, 7);
+    const std::string bytes = encode_binary(trace.execution);
+    StreamPoint point = run_point(
+        "complete_" + std::to_string(4 * ops_per_process), "complete",
+        verifier, bytes, ops_per_process >= 65536 ? 3 : 5);
+    sustained = point.ops_per_sec;
+    points.push_back(std::move(point));
+  }
+
+  // Ordered mode: resident bytes must stay flat as the trace grows 4x
+  // (every process keeps touching every address, so the GC window is
+  // workload-bounded, not trace-bounded).
+  double ordered_rate = 0;
+  std::uint64_t resident_small = 0, resident_large = 0;
+  {
+    stream::StreamVerifier ordered_verifier(opts);
+    const auto small = make_trace(4, 16384, 8, 9);
+    const auto large = make_trace(4, 65536, 8, 9);
+    const std::string small_bytes =
+        encode_binary_ordered(small.execution, small.witness);
+    const std::string large_bytes =
+        encode_binary_ordered(large.execution, large.witness);
+    StreamPoint small_point =
+        run_point("ordered_65536", "ordered", ordered_verifier, small_bytes, 5);
+    StreamPoint large_point =
+        run_point("ordered_262144", "ordered", ordered_verifier, large_bytes, 3);
+    resident_small = small_point.resident_bytes;
+    resident_large = large_point.resident_bytes;
+    ordered_rate = large_point.ops_per_sec;
+    points.push_back(std::move(small_point));
+    points.push_back(std::move(large_point));
+  }
+  const bool memory_bounded_ok =
+      resident_large <= 2 * resident_small + (64u << 10);
+
+  TextTable table({"point", "mode", "ops", "wall", "ops/sec", "resident"});
+  char buf[64], rate[64], res[64];
+  for (const StreamPoint& point : points) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", point.wall_sec * 1e3);
+    std::snprintf(rate, sizeof rate, "%.2fM/s", point.ops_per_sec / 1e6);
+    std::snprintf(res, sizeof res, "%.1f KiB",
+                  static_cast<double>(point.resident_bytes) / 1024.0);
+    table.add_row({point.name, point.mode, std::to_string(point.ops), buf,
+                   rate, res});
+  }
+  table.print(std::cout);
+  std::cout << "differential: " << (differential_ok ? "ok" : "DIVERGED")
+            << "  memory bounded: " << (memory_bounded_ok ? "ok" : "UNBOUNDED")
+            << "  sustained: " << sustained / 1e6
+            << "M ops/s (trajectory gate: >= 1M/s)\n";
+
+  std::ofstream json("BENCH_stream.json");
+  json << "{\n  \"bench\": \"stream\",\n"
+       << "  \"differential_ok\": " << (differential_ok ? "true" : "false")
+       << ",\n"
+       << "  \"memory_bounded_ok\": " << (memory_bounded_ok ? "true" : "false")
+       << ",\n"
+       << "  \"sustained_ops_per_sec\": " << sustained << ",\n"
+       << "  \"ordered_ops_per_sec\": " << ordered_rate << ",\n"
+       << "  \"ordered_resident_growth_ratio\": "
+       << (resident_small > 0
+               ? static_cast<double>(resident_large) /
+                     static_cast<double>(resident_small)
+               : 0)
+       << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const StreamPoint& point = points[i];
+    json << "    {\"name\": \"" << point.name << "\", \"mode\": \""
+         << point.mode << "\", \"ops\": " << point.ops
+         << ", \"wall_sec\": " << point.wall_sec
+         << ", \"ops_per_sec\": " << point.ops_per_sec
+         << ", \"resident_bytes\": " << point.resident_bytes << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_stream.json\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  run_sweep();
+  return 0;
+}

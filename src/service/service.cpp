@@ -97,6 +97,9 @@ std::string ServiceStats::to_prometheus() const {
   counter("vermem_service_poly_routed_total", poly_routed);
   counter("vermem_service_exact_routed_total", exact_routed);
   counter("vermem_service_lint_warnings_total", lint_warnings);
+  counter("vermem_service_streamed_total", streamed);
+  counter("vermem_service_stream_events_total", stream_events);
+  counter("vermem_service_stream_shed_events_total", stream_shed);
   counter("vermem_service_effort_states_total", effort.states_visited);
   counter("vermem_service_effort_transitions_total", effort.transitions);
   counter("vermem_service_effort_prunes_total", effort.prunes);
@@ -424,6 +427,91 @@ VerificationResponse VerificationService::execute(Slot& slot) {
         obs::histogram("vermem_service_run_nanos");
     queue_nanos.observe_nanos(response.queue_micros * 1e3);
     run_nanos.observe_nanos(response.run_micros * 1e3);
+  }
+  return response;
+}
+
+VerificationResponse VerificationService::verify_stream(std::istream& in,
+                                                        StreamRequest request) {
+  BinaryTraceReader reader(in, {}, request.options.limits);
+  return verify_stream(reader, std::move(request));
+}
+
+VerificationResponse VerificationService::verify_stream(
+    BinaryTraceReader& reader, StreamRequest request) {
+  obs::Span span("service.stream");
+  Stopwatch run_timer;
+  VerificationResponse response;
+  response.tag = request.tag;
+
+  if (request.deadline)
+    request.options.exact.deadline = Deadline(*request.deadline);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      response.cancelled = true;
+      response.reason = "service shut down";
+      return response;
+    }
+  }
+
+  stream::StreamResult result;
+  {
+    // The pooled pipeline serves one trace at a time; concurrent
+    // streamed requests take turns rather than duplicating shard fleets.
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    if (!stream_verifier_ || stream_shards_ != request.options.shards ||
+        stream_queue_blocks_ != request.options.queue_blocks) {
+      stream_verifier_ =
+          std::make_unique<stream::StreamVerifier>(request.options);
+      stream_shards_ = request.options.shards;
+      stream_queue_blocks_ = request.options.queue_blocks;
+    } else {
+      stream_verifier_->set_options(request.options);
+    }
+    result = stream_verifier_->run(reader);
+  }
+
+  response.num_operations = static_cast<std::size_t>(result.events);
+  response.num_addresses = result.report.addresses.size();
+  if (!result.ok()) {
+    response.verdict = vmc::Verdict::kUnknown;
+    response.reason = "binary decode error at byte " +
+                      std::to_string(result.error_byte) + ": " + result.error;
+  } else {
+    response.verdict = result.report.verdict;
+    response.reason = reason_for(result.report);
+  }
+  response.effort = result.report.effort;
+  response.timed_out = result.cancelled && request.options.exact.deadline.expired();
+  response.cancelled = result.cancelled && !response.timed_out;
+  response.coherence = std::move(result.report);
+  if (request.drop_witnesses)
+    for (auto& address : response.coherence.addresses)
+      address.result.witness.clear();
+  response.run_micros = run_timer.millis() * 1e3;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.streamed;
+    counters_.stream_events += result.events;
+    counters_.stream_shed += result.shed_events;
+    switch (response.verdict) {
+      case vmc::Verdict::kCoherent: ++counters_.coherent; break;
+      case vmc::Verdict::kIncoherent: ++counters_.incoherent; break;
+      case vmc::Verdict::kUnknown: ++counters_.unknown; break;
+    }
+    for (std::size_t f = 0; f < analysis::kNumFragments; ++f)
+      counters_.fragments[f] += result.fragment_counts[f];
+    counters_.poly_routed += result.poly_routed;
+    counters_.exact_routed += result.exact_routed;
+    counters_.effort.merge(response.effort);
+  }
+  if (span.active()) {
+    span.attr("events", result.events);
+    span.attr("shards", static_cast<std::uint64_t>(result.shards_used));
+    span.attr("verdict", to_string(response.verdict));
   }
   return response;
 }

@@ -38,6 +38,7 @@
 #include "obs/metrics.hpp"
 #include "service/cache.hpp"
 #include "service/request.hpp"
+#include "stream/verifier.hpp"
 #include "support/parallel.hpp"
 #include "support/thread_pool.hpp"
 
@@ -87,6 +88,14 @@ struct ServiceStats {
   std::uint64_t exact_routed = 0;
   /// Warning-severity lint diagnostics emitted by analyze requests.
   std::uint64_t lint_warnings = 0;
+  /// Streaming ingestion (verify_stream): runs served, operations
+  /// ingested, and events dropped under shed backpressure. Streamed runs
+  /// are not counted in submitted/completed (they never pass through the
+  /// queue) but their verdicts and routing provenance fold into the
+  /// shared counters above.
+  std::uint64_t streamed = 0;
+  std::uint64_t stream_events = 0;
+  std::uint64_t stream_shed = 0;
 
   [[nodiscard]] double cache_hit_rate() const noexcept {
     const double total =
@@ -99,6 +108,16 @@ struct ServiceStats {
   /// with cumulative le buckets). Concatenates cleanly with
   /// obs::MetricsSnapshot::to_prometheus() — names do not collide.
   [[nodiscard]] std::string to_prometheus() const;
+};
+
+/// Policy for one streamed verification (verify_stream).
+struct StreamRequest {
+  stream::StreamOptions options;
+  /// Wall-clock budget from the start of ingestion; plumbed into the
+  /// reader loop and every shard's check phase. nullopt = unbounded.
+  std::optional<std::chrono::milliseconds> deadline;
+  bool drop_witnesses = true;
+  std::string tag;
 };
 
 class VerificationService {
@@ -131,6 +150,19 @@ class VerificationService {
   /// Submits one request. Cache hits resolve the returned future
   /// immediately; after shutdown() the future resolves as cancelled.
   [[nodiscard]] Ticket submit(VerificationRequest request);
+
+  /// Verifies one binary trace by streaming it through the sharded
+  /// ingest pipeline (src/stream/) without ever materializing an
+  /// Execution. Synchronous — the caller's thread acts as the pipeline's
+  /// reader; shard threads and per-address checker state are pooled
+  /// across calls. Serialized internally: concurrent callers take turns
+  /// on the pooled pipeline. Results are never cached (there is no
+  /// materialized trace to fingerprint).
+  [[nodiscard]] VerificationResponse verify_stream(std::istream& in,
+                                                   StreamRequest request = {});
+
+  [[nodiscard]] VerificationResponse verify_stream(BinaryTraceReader& reader,
+                                                   StreamRequest request = {});
 
   [[nodiscard]] ServiceStats stats() const;
 
@@ -166,6 +198,14 @@ class VerificationService {
 
   ThreadPool pool_;
   std::thread dispatcher_;
+
+  // Pooled streaming pipeline: shard threads, arenas, and online
+  // checkers persist across verify_stream calls. Rebuilt only when a
+  // request changes the structural options (shard count / queue size).
+  std::mutex stream_mutex_;
+  std::unique_ptr<stream::StreamVerifier> stream_verifier_;
+  std::size_t stream_shards_ = 0;
+  std::size_t stream_queue_blocks_ = 0;
 };
 
 }  // namespace vermem::service

@@ -226,12 +226,25 @@ WriteOrderParseResult parse_write_orders(std::string_view text) {
 }
 
 std::string serialize_execution(const Execution& exec) {
+  // Deterministic output (addresses ascending), so serialization is
+  // canonical: the same execution always yields the same bytes, and the
+  // text and binary formats round-trip byte-identically through each
+  // other (the CI conversion smoke step relies on this).
+  const auto sorted_addresses = [](const std::unordered_map<Addr, Value>& m) {
+    std::vector<Addr> addresses;
+    addresses.reserve(m.size());
+    for (const auto& [addr, value] : m) addresses.push_back(addr);
+    std::sort(addresses.begin(), addresses.end());
+    return addresses;
+  };
   std::string out;
-  for (const auto& [addr, value] : exec.initial_values()) {
-    out += "init " + std::to_string(addr) + ' ' + std::to_string(value) + '\n';
+  for (const Addr addr : sorted_addresses(exec.initial_values())) {
+    out += "init " + std::to_string(addr) + ' ' +
+           std::to_string(exec.initial_value(addr)) + '\n';
   }
-  for (const auto& [addr, value] : exec.final_values()) {
-    out += "final " + std::to_string(addr) + ' ' + std::to_string(value) + '\n';
+  for (const Addr addr : sorted_addresses(exec.final_values())) {
+    out += "final " + std::to_string(addr) + ' ' +
+           std::to_string(*exec.final_value(addr)) + '\n';
   }
   for (const auto& history : exec.histories()) {
     out += "P:";

@@ -23,8 +23,10 @@ Value OnlineCoherenceChecker::value_at(const AddressState& s,
 }
 
 void OnlineCoherenceChecker::fail(std::uint32_t process, const Operation& op,
-                                  std::string reason) {
-  violation_ = OnlineViolation{stats_.events - 1, process, op, std::move(reason)};
+                                  std::string reason, OnlineViolationKind kind,
+                                  Value last_value) {
+  violation_ = OnlineViolation{stats_.events - 1, process,      op,
+                               std::move(reason), kind, last_value};
 }
 
 void OnlineCoherenceChecker::garbage_collect(AddressState& s) {
@@ -45,7 +47,8 @@ bool OnlineCoherenceChecker::observe(std::uint32_t process, const Operation& op)
   ++stats_.events;
   if (op.is_sync()) return true;
   if (process >= num_processes_) {
-    fail(process, op, "event from unregistered process");
+    fail(process, op, "event from unregistered process",
+         OnlineViolationKind::kUnregisteredProcess);
     return false;
   }
   AddressState& s = state_of(op.addr);
@@ -64,7 +67,8 @@ bool OnlineCoherenceChecker::observe(std::uint32_t process, const Operation& op)
       if (!found) {
         fail(process, op,
              "no write of value " + std::to_string(op.value_read) +
-                 " is reachable from this process's anchor");
+                 " is reachable from this process's anchor",
+             OnlineViolationKind::kReadNotReachable);
         return false;
       }
       s.anchor[process] = pos;
@@ -78,7 +82,8 @@ bool OnlineCoherenceChecker::observe(std::uint32_t process, const Operation& op)
     fail(process, op,
          "RMW reads " + std::to_string(op.value_read) +
              " but the serialization's last write stored " +
-             std::to_string(s.last_value));
+             std::to_string(s.last_value),
+         OnlineViolationKind::kRmwMismatch, s.last_value);
     return false;
   }
   s.window.push_back(op.value_written);
@@ -118,7 +123,8 @@ bool OnlineCoherenceChecker::finish(
       ++stats_.events;
       fail(0, W(addr, fin),
            "final value mismatch on address " + std::to_string(addr) +
-               ": serialization ends at " + std::to_string(last));
+               ": serialization ends at " + std::to_string(last),
+           OnlineViolationKind::kFinalMismatch, last);
       return false;
     }
   }

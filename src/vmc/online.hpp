@@ -31,11 +31,35 @@
 
 namespace vermem::vmc {
 
+/// What the checker tripped on, as a closed enum so downstream layers
+/// (the stream pipeline) can map a violation to typed certify::Evidence
+/// without parsing the reason string.
+enum class OnlineViolationKind : std::uint8_t {
+  kUnregisteredProcess,  ///< event from a process index >= num_processes
+  kReadNotReachable,     ///< no write of the read value from this process's anchor
+  kRmwMismatch,          ///< RMW read differs from the serialization's last value
+  kFinalMismatch,        ///< recorded final value differs from the last write
+};
+
+[[nodiscard]] constexpr const char* to_string(OnlineViolationKind k) noexcept {
+  switch (k) {
+    case OnlineViolationKind::kUnregisteredProcess: return "unregistered-process";
+    case OnlineViolationKind::kReadNotReachable: return "read-not-reachable";
+    case OnlineViolationKind::kRmwMismatch: return "rmw-mismatch";
+    case OnlineViolationKind::kFinalMismatch: return "final-mismatch";
+  }
+  return "?";
+}
+
 struct OnlineViolation {
   std::size_t event_index = 0;  ///< 0-based index of the offending event
   std::uint32_t process = 0;
   Operation op;
   std::string reason;
+  OnlineViolationKind kind = OnlineViolationKind::kReadNotReachable;
+  /// The serialization's last stored value at the failure point
+  /// (meaningful for kRmwMismatch and kFinalMismatch).
+  Value last_value = 0;
 };
 
 struct OnlineStats {
@@ -98,7 +122,8 @@ class OnlineCoherenceChecker {
 
   AddressState& state_of(Addr addr);
   [[nodiscard]] Value value_at(const AddressState& s, std::uint64_t pos) const;
-  void fail(std::uint32_t process, const Operation& op, std::string reason);
+  void fail(std::uint32_t process, const Operation& op, std::string reason,
+            OnlineViolationKind kind, Value last_value = 0);
   void garbage_collect(AddressState& s);
 
   std::uint32_t num_processes_;

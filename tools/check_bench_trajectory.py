@@ -46,6 +46,7 @@ TIMING_FRAGMENTS = ("_sec", "_nanos", "_micros", "_ms", "per_sec", "_qps")
 
 # Hard floors that hold independent of any baseline.
 HOTPATH_MIN_ALLOC_BOUND_SPEEDUP = 2.0
+STREAM_MIN_SUSTAINED_OPS_PER_SEC = 1.0e6
 
 
 def flatten(value, prefix=""):
@@ -149,6 +150,30 @@ def hotpath_gates(current):
     return failures
 
 
+def stream_gates(current):
+    """Baseline-independent floors for the streaming ingest pipeline.
+
+    Throughput fields end in per_sec, so the baseline comparison records
+    but never gates them (machine-dependent); the sustained floor and the
+    two correctness booleans are enforced here instead.
+    """
+    failures = []
+    if current.get("differential_ok") is not True:
+        failures.append("stream: differential_ok is not true — streamed "
+                        "verdicts diverged from verify_coherence_routed")
+    if current.get("memory_bounded_ok") is not True:
+        failures.append("stream: memory_bounded_ok is not true — ordered-mode "
+                        "resident bytes grew with trace length")
+    sustained = current.get("sustained_ops_per_sec")
+    if not isinstance(sustained, (int, float)) or math.isnan(float(sustained)):
+        failures.append("stream: sustained_ops_per_sec missing")
+    elif sustained < STREAM_MIN_SUSTAINED_OPS_PER_SEC:
+        failures.append(
+            f"stream: sustained ingest rate {sustained:.3g} ops/sec is below "
+            f"the {STREAM_MIN_SUSTAINED_OPS_PER_SEC:.0e} floor")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baselines", default="bench/baselines",
@@ -189,6 +214,8 @@ def main():
                                      args.tolerance, args.slope_slack))
         if name == "BENCH_exact_hotpath.json":
             failures.extend(hotpath_gates(current))
+        if name == "BENCH_stream.json":
+            failures.extend(stream_gates(current))
         compared += 1
 
     # Surface new artifacts that have no baseline yet (informational).

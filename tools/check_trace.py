@@ -1,20 +1,95 @@
 #!/usr/bin/env python3
-"""Validity check for vermemd --trace-out Chrome trace-event JSON.
+"""Validity checks for vermem trace artifacts.
 
-Asserts what a viewer (Perfetto / chrome://tracing) needs to load the
-file and what the span tracer guarantees:
+Default mode validates vermemd --trace-out Chrome trace-event JSON —
+what a viewer (Perfetto / chrome://tracing) needs to load the file and
+what the span tracer guarantees:
   - the file is well-formed JSON with a traceEvents array
   - every event is a complete ("X") event with name, ts, dur, pid, tid
   - ts is monotonically non-decreasing within each tid (export is
     start-ordered per thread) and dur is non-negative (all spans closed)
   - parent links reference a span id that exists (0 = root)
 
-Usage: check_trace.py FILE [--min-events N]
+--binary mode validates a binary trace header (the "VMTB" format of
+src/trace/binary_io.hpp, normative spec in docs/FORMATS.md):
+  - magic "VMTB", known version, no unknown flag bits
+  - num_processes / total_ops decode as minimal LEB128 varints and stay
+    under the decoder's hard limits
+Payload integrity past the header is the C++ decoder's job (vermemconv
+round-trips in CI cover it); this guards the envelope a foreign producer
+is most likely to get wrong.
+
+Usage: check_trace.py FILE [--min-events N] [--binary]
 Exit 0 on success, 1 with a diagnostic on the first violation.
 """
 
 import json
 import sys
+
+BINARY_MAGIC = b'VMTB'
+BINARY_VERSION = 1
+BINARY_KNOWN_FLAGS = 0x03  # bit0 ordered, bit1 write-order section
+MAX_PROCESSES = 1 << 20
+MAX_OPS = 1 << 32
+
+
+def read_varint(data: bytes, offset: int):
+    """Decodes one minimal LEB128 varint; returns (value, next_offset)."""
+    value = 0
+    shift = 0
+    start = offset
+    while True:
+        if offset >= len(data):
+            raise ValueError(f'truncated varint at byte {start}')
+        if offset - start >= 10:
+            raise ValueError(f'oversized varint at byte {start}')
+        byte = data[offset]
+        value |= (byte & 0x7F) << shift
+        offset += 1
+        if not byte & 0x80:
+            if byte == 0 and offset - start > 1:
+                raise ValueError(f'non-minimal varint at byte {start}')
+            return value, offset
+        shift += 7
+
+
+def check_binary(path: str) -> int:
+    with open(path, 'rb') as handle:
+        data = handle.read(64)  # header envelope only
+    if len(data) < 6:
+        print(f'{path}: too short for a binary trace header '
+              f'({len(data)} bytes)')
+        return 1
+    if data[:4] != BINARY_MAGIC:
+        print(f'{path}: bad magic {data[:4]!r}, expected {BINARY_MAGIC!r}')
+        return 1
+    version = data[4]
+    if version != BINARY_VERSION:
+        print(f'{path}: unknown version {version}, expected {BINARY_VERSION}')
+        return 1
+    flags = data[5]
+    if flags & ~BINARY_KNOWN_FLAGS:
+        print(f'{path}: unknown flag bits 0x{flags & ~BINARY_KNOWN_FLAGS:02x}')
+        return 1
+    try:
+        num_processes, offset = read_varint(data, 6)
+        total_ops, _ = read_varint(data, offset)
+    except ValueError as err:
+        print(f'{path}: {err}')
+        return 1
+    if num_processes > MAX_PROCESSES:
+        print(f'{path}: declared {num_processes} processes exceeds the '
+              f'decoder limit {MAX_PROCESSES}')
+        return 1
+    if total_ops > MAX_OPS:
+        print(f'{path}: declared {total_ops} ops exceeds the decoder '
+              f'limit {MAX_OPS}')
+        return 1
+    ordered = 'ordered' if flags & 0x01 else 'complete'
+    orders = '+write-orders' if flags & 0x02 else ''
+    print(f'{path}: OK (v{version} {ordered}{orders}, '
+          f'{num_processes} processes, {total_ops} ops)')
+    return 0
 
 
 def check(path: str, min_events: int) -> int:
@@ -68,6 +143,8 @@ def main(argv: list) -> int:
     if len(argv) < 2:
         print(__doc__)
         return 1
+    if '--binary' in argv:
+        return check_binary(argv[1])
     min_events = 1
     if '--min-events' in argv:
         min_events = int(argv[argv.index('--min-events') + 1])

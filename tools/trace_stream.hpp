@@ -39,6 +39,37 @@ inline void split_wo_lines(const std::string& text, TraceSource& out) {
   }
 }
 
+/// Splits an already-read multi-trace text stream (traces separated by
+/// "---" lines) into sources tagged "<tag_prefix>[i]".
+inline void split_concatenated_sources(const std::string& all,
+                                       const std::string& tag_prefix,
+                                       std::vector<TraceSource>& sources) {
+  std::size_t count = 0;
+  std::istringstream lines(all);
+  std::string line;
+  std::string chunk;
+  auto flush = [&] {
+    if (chunk.find_first_not_of(" \t\r\n") == std::string::npos) {
+      chunk.clear();
+      return;
+    }
+    TraceSource current;
+    current.tag = tag_prefix + "[" + std::to_string(count++) + "]";
+    split_wo_lines(chunk, current);
+    sources.push_back(std::move(current));
+    chunk.clear();
+  };
+  while (std::getline(lines, line)) {
+    if (line.find_first_not_of('-') == std::string::npos && line.size() >= 3) {
+      flush();
+    } else {
+      chunk += line;
+      chunk += '\n';
+    }
+  }
+  flush();
+}
+
 /// Loads sources from the given paths, or from stdin when `paths` is
 /// empty (splitting the stream into traces on "---" separator lines).
 /// On an unreadable file prints a message to stderr and returns false.
@@ -47,32 +78,7 @@ inline bool load_trace_sources(const std::vector<std::string>& paths,
   if (paths.empty()) {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
-    const std::string all = buffer.str();
-    std::size_t count = 0;
-    std::istringstream lines(all);
-    std::string line;
-    std::string chunk;
-    auto flush = [&] {
-      if (chunk.find_first_not_of(" \t\r\n") == std::string::npos) {
-        chunk.clear();
-        return;
-      }
-      TraceSource current;
-      current.tag = "stdin[" + std::to_string(count++) + "]";
-      split_wo_lines(chunk, current);
-      sources.push_back(std::move(current));
-      chunk.clear();
-    };
-    while (std::getline(lines, line)) {
-      if (line.find_first_not_of('-') == std::string::npos &&
-          line.size() >= 3) {
-        flush();
-      } else {
-        chunk += line;
-        chunk += '\n';
-      }
-    }
-    flush();
+    split_concatenated_sources(buffer.str(), "stdin", sources);
     return true;
   }
   for (const std::string& path : paths) {

@@ -6,8 +6,9 @@
 // Usage:
 //   vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]
 //           [--workers=N] [--batch=N] [--cache=N] [--deadline-ms=N]
-//           [--repeat=N] [--analyze] [--certify] [--stats] [--version]
-//           [--trace-out=FILE] [--metrics-out=FILE] [FILE...]
+//           [--repeat=N] [--binary] [--shards=N] [--analyze] [--certify]
+//           [--stats] [--version] [--trace-out=FILE] [--metrics-out=FILE]
+//           [FILE...]
 //
 // Each FILE is one trace in the text_io format; lines starting with
 // "wo " are split out as the trace's write-order log (enabling the
@@ -15,6 +16,15 @@
 // it may hold several traces separated by lines containing only "---".
 // All traces are submitted up front and verified concurrently by the
 // service; output order matches input order.
+//
+// Binary traces (docs/FORMATS.md) are auto-detected by their "VMTB"
+// magic — on stdin and per FILE — and verified through the service's
+// streaming ingest pipeline (sharded, bounded-memory, no materialized
+// Execution) instead of the batch queue. --binary forces the binary
+// interpretation (a non-binary input then fails with a decode error);
+// --shards=N sets the pipeline's checker-shard count (0 = auto).
+// Streamed traces support coherence mode only, and --analyze/--certify
+// do not apply to them.
 //
 // --deadline-ms bounds each request's wall-clock latency (late requests
 // report "unknown" with "timed_out": true). --repeat submits the input
@@ -49,11 +59,14 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis_json.hpp"
 #include "certify/text.hpp"
+#include "trace/binary_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "service/service.hpp"
@@ -70,9 +83,10 @@ int usage() {
       stderr,
       "usage: vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]\n"
       "               [--workers=N] [--batch=N] [--cache=N]\n"
-      "               [--deadline-ms=N] [--repeat=N] [--analyze]\n"
-      "               [--certify] [--stats] [--trace-out=FILE]\n"
-      "               [--metrics-out=FILE] [--version] [FILE...]\n");
+      "               [--deadline-ms=N] [--repeat=N] [--binary]\n"
+      "               [--shards=N] [--analyze] [--certify] [--stats]\n"
+      "               [--trace-out=FILE] [--metrics-out=FILE] [--version]\n"
+      "               [FILE...]\n");
   return 2;
 }
 
@@ -133,6 +147,8 @@ int main(int argc, char** argv) {
   std::size_t cache = 1024;
   std::size_t deadline_ms = 0;
   std::size_t repeat = 1;
+  std::size_t stream_shards = 0;
+  bool force_binary = false;
   bool analyze = false;
   bool certify = false;
   bool print_stats = false;
@@ -154,6 +170,10 @@ int main(int argc, char** argv) {
       ok = tools::parse_size_arg(arg, 14, deadline_ms);
     else if (arg.rfind("--repeat=", 0) == 0)
       ok = tools::parse_size_arg(arg, 9, repeat);
+    else if (arg.rfind("--shards=", 0) == 0)
+      ok = tools::parse_size_arg(arg, 9, stream_shards);
+    else if (arg == "--binary")
+      force_binary = true;
     else if (arg.rfind("--trace-out=", 0) == 0)
       trace_out = arg.substr(12);
     else if (arg.rfind("--metrics-out=", 0) == 0)
@@ -194,10 +214,63 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  // Classify each input as text (batch queue) or binary (streaming
+  // pipeline) by peeking at the "VMTB" magic, preserving input order.
+  struct InputItem {
+    std::string tag;
+    bool binary = false;
+    std::string bytes;              // raw binary trace when binary
+    std::size_t request_index = 0;  // into requests[] when text
+  };
+  std::vector<InputItem> items;
   std::vector<tools::TraceSource> sources;
-  if (!tools::load_trace_sources(paths, sources)) return 2;
-  if (sources.empty()) {
+  auto classify = [&](std::string tag, std::string data) {
+    if (force_binary || looks_like_binary_trace(data)) {
+      items.push_back({std::move(tag), true, std::move(data), 0});
+      return;
+    }
+    tools::TraceSource source;
+    source.tag = std::move(tag);
+    tools::split_wo_lines(data, source);
+    sources.push_back(std::move(source));
+    items.push_back({sources.back().tag, false, {}, sources.size() - 1});
+  };
+  if (paths.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    std::string all = buffer.str();
+    if (force_binary || looks_like_binary_trace(all)) {
+      items.push_back({"stdin", true, std::move(all), 0});
+    } else {
+      std::vector<tools::TraceSource> split;
+      tools::split_concatenated_sources(all, "stdin", split);
+      for (tools::TraceSource& source : split) {
+        sources.push_back(std::move(source));
+        items.push_back({sources.back().tag, false, {}, sources.size() - 1});
+      }
+    }
+  } else {
+    for (const std::string& path : paths) {
+      std::ifstream file(path, std::ios::binary);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      classify(path, buffer.str());
+    }
+  }
+  if (items.empty()) {
     std::fprintf(stderr, "no traces to verify\n");
+    return 2;
+  }
+  bool any_binary = false;
+  for (const InputItem& item : items) any_binary |= item.binary;
+  if (any_binary && check_mode != service::CheckMode::kCoherence) {
+    std::fprintf(stderr,
+                 "binary traces stream through the coherence checker only "
+                 "(--mode=coherence)\n");
     return 2;
   }
 
@@ -241,14 +314,27 @@ int main(int argc, char** argv) {
   bool any_incoherent = false;
   bool any_unknown = false;
   for (std::size_t round = 0; round < repeat; ++round) {
+    // Text traces go through the batch queue up front (verified
+    // concurrently); binary traces stream synchronously on this thread,
+    // in input order, through the pooled ingest pipeline.
     std::vector<service::VerificationService::Ticket> tickets;
     tickets.reserve(requests.size());
     for (const service::VerificationRequest& request : requests)
       tickets.push_back(svc.submit(service::VerificationRequest(request)));
-    for (std::size_t i = 0; i < tickets.size(); ++i) {
-      const service::VerificationResponse response =
-          tickets[i].response.get();
-      print_response(requests[i].tag, response);
+    for (const InputItem& item : items) {
+      service::VerificationResponse response;
+      if (item.binary) {
+        service::StreamRequest stream_request;
+        stream_request.options.shards = stream_shards;
+        if (deadline_ms != 0)
+          stream_request.deadline = std::chrono::milliseconds(deadline_ms);
+        stream_request.tag = item.tag;
+        BinaryTraceReader reader{std::string_view(item.bytes)};
+        response = svc.verify_stream(reader, std::move(stream_request));
+      } else {
+        response = tickets[item.request_index].response.get();
+      }
+      print_response(item.tag, response);
       if (response.verdict == vmc::Verdict::kIncoherent)
         any_incoherent = true;
       else if (response.verdict == vmc::Verdict::kUnknown)
@@ -272,7 +358,9 @@ int main(int argc, char** argv) {
                  "\"coherent\":%llu,\"incoherent\":%llu,\"unknown\":%llu,"
                  "\"p50_us\":%.1f,\"p99_us\":%.1f,\"workers\":%zu,"
                  "\"poly_routed\":%llu,\"exact_routed\":%llu,"
-                 "\"lint_warnings\":%llu,\"fragments\":{%s}}\n",
+                 "\"lint_warnings\":%llu,"
+                 "\"streamed\":%llu,\"stream_events\":%llu,"
+                 "\"stream_shed\":%llu,\"fragments\":{%s}}\n",
                  static_cast<unsigned long long>(stats.submitted),
                  static_cast<unsigned long long>(stats.completed),
                  static_cast<unsigned long long>(stats.cache_hits),
@@ -285,6 +373,9 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.poly_routed),
                  static_cast<unsigned long long>(stats.exact_routed),
                  static_cast<unsigned long long>(stats.lint_warnings),
+                 static_cast<unsigned long long>(stats.streamed),
+                 static_cast<unsigned long long>(stats.stream_events),
+                 static_cast<unsigned long long>(stats.stream_shed),
                  fragments.c_str());
   }
   if (!metrics_out.empty()) {
