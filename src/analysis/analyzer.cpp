@@ -15,7 +15,18 @@ AnalysisReport analyze(const AddressIndex& index,
     }
     AddressAnalysis address;
     address.profile = classify(view, order != nullptr);
-    lint_view(view, address.profile, order, address.diagnostics);
+    // Saturation feeds W005 (contention hotspots on exact-bound
+    // fragments) and W006 (log entries the trace itself contradicts);
+    // it is skipped wherever neither rule can fire.
+    if (address.profile.num_writes >= 2 &&
+        (order != nullptr ||
+         address.profile.fragment == Fragment::kBoundedProcesses ||
+         address.profile.fragment == Fragment::kGeneral)) {
+      address.saturation = saturate::saturate(view);
+    }
+    lint_view(view, address.profile, order,
+              address.saturation ? &*address.saturation : nullptr,
+              address.diagnostics);
     ++out.fragment_counts[static_cast<std::size_t>(address.profile.fragment)];
     for (const Diagnostic& diagnostic : address.diagnostics) {
       if (diagnostic.severity == Severity::kWarning)

@@ -3,10 +3,14 @@
 // rule set over every per-address projection, reusing one AddressIndex
 // pass (no rescans). This is the entry point vermemd --analyze, the
 // vermemlint CLI, and the service's analyze flag all share. Analysis is
-// purely static — it never runs a decision procedure — so it is O(n)
-// in the trace size and safe to run on every request.
+// static — it never runs a search or SAT solve. Classification and the
+// value-shape lints are O(n); addresses bound for the exact search (and
+// addresses carrying a write-order log) additionally run the polynomial
+// coherence-order saturation pass, whose constraint graph powers the
+// graph-derived lints W005/W006.
 
 #include <array>
+#include <optional>
 #include <vector>
 
 #include "analysis/fragment.hpp"
@@ -19,6 +23,9 @@ namespace vermem::analysis {
 struct AddressAnalysis {
   FragmentProfile profile;
   std::vector<Diagnostic> diagnostics;  ///< rule-ID order, I001 last
+  /// Log-free saturation result; engaged iff the pass ran (exact-bound
+  /// fragments and logged addresses with at least two writes).
+  std::optional<saturate::Result> saturation;
 };
 
 struct AnalysisReport {

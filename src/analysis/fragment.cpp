@@ -41,6 +41,7 @@ FragmentProfile classify(const ProjectedView& view, bool has_write_order) {
   struct ValueUse {
     std::uint32_t writes = 0;
     bool read = false;
+    bool last_write = false;  ///< written by some history's last write
   };
   std::unordered_map<Value, ValueUse> values;
   values.reserve(profile.num_writes);
@@ -77,6 +78,12 @@ FragmentProfile classify(const ProjectedView& view, bool has_write_order) {
       }
       prev_was_pure_read = op.kind == OpKind::kRead;
     }
+    for (std::size_t i = refs.size(); i-- > 0;) {
+      const Operation& op = view.op(refs[i]);
+      if (!op.writes_memory()) continue;
+      values[op.value_written].last_write = true;
+      break;
+    }
   }
 
   const auto fin = view.final_value();
@@ -85,7 +92,10 @@ FragmentProfile classify(const ProjectedView& view, bool has_write_order) {
     profile.max_writes_per_value =
         std::max(profile.max_writes_per_value, use.writes);
     if (use.writes > 2) ++profile.values_written_thrice;
-    if (!use.read && !(fin && *fin == value)) ++profile.unread_values;
+    // Mirrors lint W002: with no recorded final value, a value produced
+    // by some history's last write may legitimately be the end state.
+    const bool final_candidate = fin ? *fin == value : use.last_write;
+    if (!use.read && !final_candidate) ++profile.unread_values;
   }
   profile.write_once =
       profile.max_writes_per_value <= 1 && !profile.writes_initial_value;

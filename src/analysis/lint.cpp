@@ -23,6 +23,7 @@ std::string op_at(const ProjectedView& view, OpRef original) {
 
 void lint_view(const ProjectedView& view, const FragmentProfile& profile,
                const std::vector<OpRef>* write_order,
+               const saturate::Result* saturation,
                std::vector<Diagnostic>& out) {
   const Addr addr = view.addr();
   auto emit = [&](RuleId rule, std::optional<OpRef> location,
@@ -37,8 +38,9 @@ void lint_view(const ProjectedView& view, const FragmentProfile& profile,
     struct ValueSite {
       std::uint32_t writes = 0;
       bool read = false;
-      OpRef first_write;  ///< location for W002
-      OpRef third_write;  ///< location for W001
+      bool last_write = false;  ///< written by some history's last write
+      OpRef first_write;        ///< location for W002
+      OpRef third_write;        ///< location for W001
     };
     std::unordered_map<Value, ValueSite> sites;
     for (const OpRef ref : view.refs()) {
@@ -49,6 +51,15 @@ void lint_view(const ProjectedView& view, const FragmentProfile& profile,
         ++site.writes;
         if (site.writes == 1) site.first_write = ref;
         if (site.writes == 3) site.third_write = ref;
+      }
+    }
+    for (std::size_t h = 0; h < view.num_histories(); ++h) {
+      const auto refs = view.history_refs(h);
+      for (std::size_t i = refs.size(); i-- > 0;) {
+        const Operation& op = view.op(refs[i]);
+        if (!op.writes_memory()) continue;
+        sites[op.value_written].last_write = true;
+        break;
       }
     }
     std::vector<Value> ordered;
@@ -67,12 +78,17 @@ void lint_view(const ProjectedView& view, const FragmentProfile& profile,
                  "); exceeds the 2-writes-per-value cap of the restricted "
                  "fragment, exact verification may go exponential");
       }
-      if (!site.read && !(fin && *fin == value)) {
+      // A value is a final-section candidate when it matches the recorded
+      // final value or, with no final recorded, when some history's last
+      // write produces it (it may legitimately be the trace's end state).
+      const bool final_candidate = fin ? *fin == value : site.last_write;
+      if (!site.read && !final_candidate) {
         emit(RuleId::kUnreadWrite, site.first_write,
              "value " + std::to_string(value) + " written at " +
                  op_at(view, site.first_write) +
                  " is never read on address " + std::to_string(addr) +
-                 " and is not its final value");
+                 (fin ? " and is not its final value"
+                      : " and is overwritten before every history ends"));
       }
     }
   }
@@ -93,13 +109,61 @@ void lint_view(const ProjectedView& view, const FragmentProfile& profile,
     }
   }
 
+  std::optional<poly::WriteOrderLogCheck> log_check;
   if (write_order) {
-    const poly::WriteOrderLogCheck check =
-        poly::validate_write_order_log(view, *write_order);
-    if (!check.ok) {
-      emit(RuleId::kInconsistentWriteOrderLog, check.entry,
+    log_check = poly::validate_write_order_log(view, *write_order);
+    if (!log_check->ok) {
+      emit(RuleId::kInconsistentWriteOrderLog, log_check->entry,
            "write-order log for address " + std::to_string(addr) +
-               " does not validate: " + check.problem);
+               " does not validate: " + log_check->problem);
+    }
+  }
+
+  // W005: the saturation tier left concurrent writes genuinely
+  // unordered on an exact-search-bound fragment — the contention
+  // hotspot that makes the frontier search branch.
+  if (saturation && saturation->branch_points > 0 &&
+      (profile.fragment == Fragment::kBoundedProcesses ||
+       profile.fragment == Fragment::kGeneral)) {
+    const auto [a, b] = std::minmax(saturation->unordered_example.first,
+                                    saturation->unordered_example.second);
+    emit(RuleId::kUnorderedWritePair, saturation->writes[a],
+         "writes " + op_at(view, saturation->writes[a]) + " and " +
+             op_at(view, saturation->writes[b]) + " on address " +
+             std::to_string(addr) + " stay unordered after saturation (" +
+             std::to_string(saturation->branch_points) +
+             " branch points, peak " +
+             std::to_string(saturation->max_concurrent) +
+             " concurrent writes); contended hotspot, exact search must "
+             "branch here");
+  }
+
+  // W006: the log passed shape validation, yet it orders some write
+  // pair against a must-precede edge the trace alone already implies —
+  // the log records a serialization no coherent run can have.
+  if (write_order && log_check && log_check->ok && saturation &&
+      !saturation->edges.empty()) {
+    std::unordered_map<std::uint64_t, std::size_t> log_pos;
+    log_pos.reserve(write_order->size());
+    const auto key = [](OpRef ref) {
+      return (static_cast<std::uint64_t>(ref.process) << 32) | ref.index;
+    };
+    for (std::size_t i = 0; i < write_order->size(); ++i)
+      log_pos.emplace(key((*write_order)[i]), i);
+    for (const auto& [before, after] : saturation->edges) {
+      const auto pb = log_pos.find(key(saturation->writes[before]));
+      const auto pa = log_pos.find(key(saturation->writes[after]));
+      if (pb == log_pos.end() || pa == log_pos.end()) continue;
+      if (pa->second < pb->second) {
+        emit(RuleId::kSaturationContradictedLog,
+             saturation->writes[after],
+             "write-order log for address " + std::to_string(addr) +
+                 " places " + op_at(view, saturation->writes[after]) +
+                 " before " + op_at(view, saturation->writes[before]) +
+                 ", but the trace itself forces the opposite order; the "
+                 "log cannot describe a coherent run");
+        break;  // one representative contradiction per address
+      }
     }
   }
 

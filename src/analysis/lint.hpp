@@ -13,15 +13,22 @@
 //                                    reduction (Figure 5.1) and exact
 //                                    verification may go exponential
 //   W002 unread-write                a written value no read observes
-//                                    (and not the final value): dead
-//                                    traffic or a coverage gap in the
-//                                    recorded trace
+//                                    and that cannot be the trace's
+//                                    final value: dead traffic or a
+//                                    coverage gap in the recorded trace
 //   W003 rmw-atomicity-candidate     adjacent read-then-write pair on
 //                                    one address in one history: the
 //                                    non-atomic shape where atomicity
 //                                    violations hide; consider RMW
 //   W004 inconsistent-write-order-log supplied write-order log does not
 //                                    validate against the trace
+//   W005 unordered-write-pair        saturation left concurrent writes
+//                                    unordered: a contention hotspot that
+//                                    forces the exact search to branch
+//   W006 saturation-contradicted-log write-order log is shape-valid but
+//                                    orders two writes against a
+//                                    must-precede edge the trace itself
+//                                    implies
 //   I001 fragment-classification     the address's fragment + bound
 //
 // Severities: W-rules are warnings (vermemlint exits nonzero iff one
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "analysis/fragment.hpp"
+#include "analysis/saturate/core.hpp"
 #include "trace/address_index.hpp"
 
 namespace vermem::analysis {
@@ -41,6 +49,8 @@ enum class RuleId : std::uint8_t {
   kUnreadWrite,                ///< W002
   kRmwAtomicityCandidate,      ///< W003
   kInconsistentWriteOrderLog,  ///< W004
+  kUnorderedWritePair,         ///< W005
+  kSaturationContradictedLog,  ///< W006
   kFragmentClassification,     ///< I001
 };
 
@@ -52,6 +62,8 @@ enum class Severity : std::uint8_t { kInfo, kWarning };
     case RuleId::kUnreadWrite: return "W002";
     case RuleId::kRmwAtomicityCandidate: return "W003";
     case RuleId::kInconsistentWriteOrderLog: return "W004";
+    case RuleId::kUnorderedWritePair: return "W005";
+    case RuleId::kSaturationContradictedLog: return "W006";
     case RuleId::kFragmentClassification: return "I001";
   }
   return "?";
@@ -64,6 +76,9 @@ enum class Severity : std::uint8_t { kInfo, kWarning };
     case RuleId::kRmwAtomicityCandidate: return "rmw-atomicity-candidate";
     case RuleId::kInconsistentWriteOrderLog:
       return "inconsistent-write-order-log";
+    case RuleId::kUnorderedWritePair: return "unordered-write-pair";
+    case RuleId::kSaturationContradictedLog:
+      return "saturation-contradicted-log";
     case RuleId::kFragmentClassification: return "fragment-classification";
   }
   return "?";
@@ -92,10 +107,13 @@ struct Diagnostic {
 /// Runs every rule over one per-address projection. `profile` must be
 /// classify()'s output for the same view (the lint pass reuses its
 /// counters to skip rules that cannot fire). `write_order`, when
-/// non-null, is the address's serialization log (rule W004).
-/// Diagnostics are appended in rule-ID order, I001 last.
+/// non-null, is the address's serialization log (rules W004/W006).
+/// `saturation`, when non-null, is the *log-free* saturation result for
+/// the same view (rules W005/W006); pass nullptr when the tier was
+/// skipped. Diagnostics are appended in rule-ID order, I001 last.
 void lint_view(const ProjectedView& view, const FragmentProfile& profile,
                const std::vector<OpRef>* write_order,
+               const saturate::Result* saturation,
                std::vector<Diagnostic>& out);
 
 }  // namespace vermem::analysis

@@ -8,7 +8,9 @@
 #include "analysis/poly/rmw_chain.hpp"
 #include "analysis/poly/write_once.hpp"
 #include "analysis/poly/write_order.hpp"
+#include "analysis/saturate/core.hpp"
 #include "vmc/exact.hpp"
+#include "vmc/write_order.hpp"
 
 namespace vermem::analysis {
 
@@ -34,6 +36,128 @@ void count_fragment(Fragment fragment) {
     return out;
   }();
   counters[static_cast<std::size_t>(fragment)].add();
+}
+
+/// Wraps a saturation Contradiction into the matching typed evidence,
+/// in projected coordinates (the caller's translation pass maps back).
+certify::Incoherence contradiction_evidence(const ProjectedView& view,
+                                            const saturate::Contradiction& c) {
+  const Addr addr = view.addr();
+  const auto local = [&](OpRef ref) { return *view.projected_of(ref); };
+  switch (c.kind) {
+    case saturate::ContradictionKind::kUnwrittenRead:
+      return certify::unwritten_read(addr, local(c.read), c.value);
+    case saturate::ContradictionKind::kReadBeforeWrite:
+      return certify::read_before_write(addr, local(c.read), local(c.other),
+                                        c.value);
+    case saturate::ContradictionKind::kStaleInitialRead:
+      return certify::stale_initial_read(addr, local(c.other), local(c.read));
+    case saturate::ContradictionKind::kUnwritableFinal:
+      return certify::unwritable_final(addr, c.value);
+  }
+  return certify::unwritten_read(addr, OpRef{}, c.value);  // unreachable
+}
+
+/// The saturation tier for kBoundedProcesses/kGeneral (and structural
+/// fallbacks): derive the must-precede graph, decide outright when it
+/// resolves (cycle / forced total order / contradiction), otherwise hand
+/// the edges to the exact search as a pruning oracle. All evidence and
+/// witnesses leave in projected coordinates.
+CheckResult saturate_then_exact(const ProjectedView& view,
+                                const vmc::VmcInstance& instance,
+                                const vmc::ExactOptions& exact_options,
+                                RouteOutcome& out) {
+  const saturate::Result sat = [&] {
+    obs::Span span("analysis.saturate");
+    saturate::Result r = saturate::saturate(view);
+    if (span.active()) {
+      span.attr("addr", static_cast<std::uint64_t>(view.addr()));
+      span.attr("writes", r.num_writes());
+      span.attr("edges", r.edges.size());
+      span.attr("rounds", r.rounds);
+      span.attr("branch_points", r.branch_points);
+      span.attr("status", saturate::to_string(r.status));
+    }
+    return r;
+  }();
+  out.saturation_ran = true;
+  out.saturation_status = sat.status;
+  out.saturation_edges = sat.edges.size();
+  out.saturation_branch_points = sat.branch_points;
+  if (obs::enabled()) {
+    static const obs::Counter cycles =
+        obs::counter("vermem_saturate_outcomes_total{outcome=\"cycle\"}");
+    static const obs::Counter forced =
+        obs::counter("vermem_saturate_outcomes_total{outcome=\"forced\"}");
+    static const obs::Counter partial =
+        obs::counter("vermem_saturate_outcomes_total{outcome=\"partial\"}");
+    static const obs::Counter contradictions = obs::counter(
+        "vermem_saturate_outcomes_total{outcome=\"contradiction\"}");
+    static const obs::Counter edges =
+        obs::counter("vermem_saturate_must_edges_total");
+    switch (sat.status) {
+      case saturate::Status::kCycle: cycles.add(); break;
+      case saturate::Status::kForcedTotal: forced.add(); break;
+      case saturate::Status::kPartial: partial.add(); break;
+      case saturate::Status::kContradiction: contradictions.add(); break;
+    }
+    edges.add(sat.edges.size());
+  }
+
+  switch (sat.status) {
+    case saturate::Status::kContradiction:
+      out.decider = Decider::kSaturate;
+      return CheckResult::no(contradiction_evidence(view, *sat.contradiction));
+    case saturate::Status::kCycle: {
+      out.decider = Decider::kSaturate;
+      std::vector<OpRef> ops;
+      ops.reserve(sat.cycle.size());
+      for (const std::uint32_t n : sat.cycle) ops.push_back(sat.writes_local[n]);
+      return CheckResult::no(
+          certify::saturation_cycle(view.addr(), std::move(ops)));
+    }
+    case saturate::Status::kForcedTotal: {
+      // A unique linear extension remains: the Section 5.2 re-run under
+      // it is exact for the whole instance.
+      vmc::WriteOrder order;
+      order.reserve(sat.forced.size());
+      for (const std::uint32_t n : sat.forced)
+        order.push_back(sat.writes_local[n]);
+      CheckResult decided = vmc::check_with_write_order(instance, order);
+      if (decided.verdict == Verdict::kCoherent) {
+        out.decider = Decider::kSaturate;
+        return decided;
+      }
+      if (decided.verdict == Verdict::kIncoherent) {
+        out.decider = Decider::kSaturate;
+        return CheckResult::no(
+            certify::forced_order_refutation(view.addr(), std::move(order)),
+            decided.stats);
+      }
+      break;  // §5.2 bailed (not expected): let the exact search decide
+    }
+    case saturate::Status::kPartial:
+      break;
+  }
+
+  // Partial order: export the derived must-edges as a pruning oracle.
+  // Every edge is necessary, so pruned subtrees are witness-free and the
+  // search keeps bit-identical verdicts and witnesses.
+  vmc::MustPrecede oracle;
+  vmc::ExactOptions pruned = exact_options;
+  if (!sat.edges.empty()) {
+    for (const auto& [a, b] : sat.edges)
+      oracle.add_edge(sat.writes_local[a], sat.writes_local[b]);
+    std::vector<std::uint32_t> sizes;
+    sizes.reserve(instance.execution.num_processes());
+    for (std::uint32_t p = 0; p < instance.execution.num_processes(); ++p)
+      sizes.push_back(
+          static_cast<std::uint32_t>(instance.execution.history(p).size()));
+    oracle.finalize(sizes);
+    pruned.pruner = &oracle;
+  }
+  out.decider = Decider::kExact;
+  return vmc::check_exact(instance, pruned);
 }
 
 }  // namespace
@@ -90,20 +214,19 @@ RouteOutcome check_routed(const ProjectedView& view,
     case Fragment::kEmpty:  // handled above
     case Fragment::kBoundedProcesses:
     case Fragment::kGeneral:
-      out.decider = Decider::kExact;
-      result = vmc::check_exact(instance, exact_options);
+      result = saturate_then_exact(view, instance, exact_options, out);
       break;
   }
 
   // A structural decider that bails (branching RMW chain, or a classifier
-  // precondition the wrapped checker re-rejects) falls back to exact so
-  // routing never loses completeness. A supplied write-order does not
-  // fall back: "coherent under this serialization" is the question, and
-  // an invalid log is an answer (surfaced separately as lint rule W004).
+  // precondition the wrapped checker re-rejects) falls back through the
+  // saturation tier to exact so routing never loses completeness. A
+  // supplied write-order does not fall back: "coherent under this
+  // serialization" is the question, and an invalid log is an answer
+  // (surfaced separately as lint rule W004).
   if (result.verdict == Verdict::kUnknown && out.decider != Decider::kExact &&
-      out.decider != Decider::kWriteOrder) {
-    result = vmc::check_exact(instance, exact_options);
-    out.decider = Decider::kExact;
+      out.decider != Decider::kSaturate && out.decider != Decider::kWriteOrder) {
+    result = saturate_then_exact(view, instance, exact_options, out);
     out.fell_back = true;
   }
 
@@ -167,6 +290,15 @@ RoutedReport verify_coherence_routed(const AddressIndex& index,
       ++out.exact_routed;
     else
       ++out.poly_routed;
+    if (outcome.saturation_ran) {
+      ++out.saturate_ran;
+      out.saturate_edges += outcome.saturation_edges;
+      if (outcome.decider == Decider::kSaturate) ++out.saturate_decided;
+      if (outcome.saturation_status == saturate::Status::kCycle)
+        ++out.saturate_cycles;
+      if (outcome.saturation_status == saturate::Status::kForcedTotal)
+        ++out.saturate_forced;
+    }
     out.fragments.push_back(outcome.fragment);
     out.deciders.push_back(outcome.decider);
     reports.push_back({addr, std::move(outcome.result)});

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "analysis/fragment.hpp"
+#include "analysis/saturate/core.hpp"
 #include "vmc/checker.hpp"
 
 namespace vermem::analysis {
@@ -28,6 +29,7 @@ enum class Decider : std::uint8_t {
   kWriteOnce,   ///< poly/write_once
   kWriteOrder,  ///< poly/write_order (Section 5.2)
   kRmwChain,    ///< poly/rmw_chain forced walk
+  kSaturate,    ///< coherence-order saturation (analysis/saturate)
   kExact,       ///< exact frontier search (incl. fallbacks)
 };
 
@@ -41,6 +43,7 @@ inline constexpr std::size_t kNumDeciders =
     case Decider::kWriteOnce: return "write-once";
     case Decider::kWriteOrder: return "write-order";
     case Decider::kRmwChain: return "rmw-chain";
+    case Decider::kSaturate: return "saturate";
     case Decider::kExact: return "exact";
   }
   return "?";
@@ -54,6 +57,12 @@ struct RouteOutcome {
   /// True when a polynomial decider bailed (kUnknown) and the exact
   /// search produced the verdict instead.
   bool fell_back = false;
+  /// Saturation provenance, populated when the saturation tier ran
+  /// (kBoundedProcesses/kGeneral routes and structural fallbacks).
+  bool saturation_ran = false;
+  saturate::Status saturation_status = saturate::Status::kPartial;
+  std::uint64_t saturation_edges = 0;         ///< must-edges derived
+  std::uint64_t saturation_branch_points = 0; ///< unordered Kahn steps
 };
 
 /// Classifies and decides one projection. `write_order`, when non-null,
@@ -77,6 +86,12 @@ struct RoutedReport {
   std::array<std::uint64_t, kNumDeciders> decider_counts{};
   std::uint64_t poly_routed = 0;   ///< addresses decided polynomially
   std::uint64_t exact_routed = 0;  ///< addresses that reached exact search
+  // Saturation tier tallies (subset of the addresses above).
+  std::uint64_t saturate_ran = 0;      ///< addresses the tier analyzed
+  std::uint64_t saturate_decided = 0;  ///< decided by it (no search needed)
+  std::uint64_t saturate_cycles = 0;   ///< cycle refutations
+  std::uint64_t saturate_forced = 0;   ///< forced-total orders found
+  std::uint64_t saturate_edges = 0;    ///< must-edges exported to exact/SAT
 };
 
 [[nodiscard]] RoutedReport verify_coherence_routed(

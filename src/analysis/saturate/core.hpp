@@ -1,0 +1,135 @@
+#pragma once
+// Coherence-order saturation (ISSUE 8 tentpole; Roy et al. style
+// constraint closure, PAPERS.md).
+//
+// For one address, build a constraint graph whose nodes are the writing
+// operations and whose directed edges mean "must precede in every
+// coherent write serialization". Edges are seeded from program order,
+// the recorded final value, and read-mapped value flow, then closed to
+// fixpoint with two rules:
+//
+//   R1 (unique-source pin): if a read r has exactly one remaining
+//      candidate write s, then in any coherent schedule r observes s,
+//      which forces xm -> s (xm = last write program-order-before r),
+//      s -> n (n = first write program-order-after r) and, for the
+//      write half o of an RMW, s -> o.
+//   R2 (candidate pruning): a candidate w is impossible for r if
+//      w ->* xm with w != xm (w is strictly overwritten before r), or
+//      n ->* w (w lands after r). Reachability is answered by
+//      budgeted DFS over the current direct edges; a partial DFS can
+//      only under-approximate reachability, so pruning stays sound.
+//
+// Every emitted edge is *necessary* — implied by the trace alone — so
+// the derivation is sound regardless of how early it stops
+// (budget/round caps only lose completeness, never soundness).
+//
+// Outcomes: a cycle refutes the address; a forced total order reduces
+// the decision to one Section 5.2 re-run; a partial order exports
+// must-edges as a pruning oracle for the exact search and as unit
+// clauses for the SAT encoding. Trace-level dead ends found while
+// building candidates surface as typed Contradictions matching the
+// existing certify kinds.
+//
+// This library depends on trace/ only: both the analysis router (which
+// wraps outcomes into certify::Evidence) and the certificate checker
+// (which re-derives the graph independently) link it without creating
+// a layering cycle.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "trace/address_index.hpp"
+#include "trace/operation.hpp"
+
+namespace vermem::saturate {
+
+struct Options {
+  /// Fixpoint round cap; each round is one pass over unresolved reads.
+  std::uint32_t max_rounds = 32;
+  /// Total node-visit budget across all R2 reachability DFS walks.
+  std::uint64_t reach_budget = 1u << 22;
+  /// Reads with more initial candidates than this are left unpinned
+  /// (they are effectively unconstrained and tracking them costs
+  /// O(reads * writes) memory in contended traces).
+  std::uint32_t max_tracked_candidates = 64;
+};
+
+enum class Status : std::uint8_t {
+  kCycle,          ///< must-precede cycle: the address is incoherent
+  kForcedTotal,    ///< a unique total write order remains; §5.2 decides
+  kPartial,        ///< a genuine partial order: export edges, fall through
+  kContradiction,  ///< a read/final dead end was found while seeding
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kCycle: return "cycle";
+    case Status::kForcedTotal: return "forced";
+    case Status::kPartial: return "partial";
+    case Status::kContradiction: return "contradiction";
+  }
+  return "?";
+}
+
+/// Trace-level dead end; kinds mirror the certify evidence factories
+/// the router wraps them into.
+enum class ContradictionKind : std::uint8_t {
+  kUnwrittenRead,     ///< read value never written (and not initial)
+  kReadBeforeWrite,   ///< unique write of the value follows the read in po
+  kStaleInitialRead,  ///< initial-value read after a same-process write
+  kUnwritableFinal,   ///< recorded final value has no producing write
+};
+
+struct Contradiction {
+  ContradictionKind kind = ContradictionKind::kUnwrittenRead;
+  OpRef read{};   ///< the offending read (unused for kUnwritableFinal)
+  OpRef other{};  ///< the conflicting write (kReadBeforeWrite: the later
+                  ///< unique write; kStaleInitialRead: the earlier write)
+  Value value = 0;  ///< the read value / recorded final value
+};
+
+struct Result {
+  Status status = Status::kPartial;
+
+  /// Node table: the address's writing operations sorted by
+  /// (history, position). `writes[i]` is node i in original-execution
+  /// coordinates; `writes_local[i]` is the same node as
+  /// {process = projected history, index = position within history} —
+  /// the coordinate system of ProjectedView::materialize().
+  std::vector<OpRef> writes;
+  std::vector<OpRef> writes_local;
+
+  /// Direct must-precede edges (deduplicated, node ids).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+  std::vector<std::uint32_t> cycle;   ///< node cycle w0 -> .. -> w0 (kCycle)
+  std::vector<std::uint32_t> forced;  ///< unique topological order (kForcedTotal)
+  std::optional<Contradiction> contradiction;  ///< set for kContradiction
+
+  // Derivation stats.
+  std::uint32_t rounds = 0;          ///< fixpoint rounds executed
+  std::uint64_t reach_queries = 0;   ///< R2 DFS walks issued
+  std::uint64_t branch_points = 0;   ///< Kahn steps with >= 2 ready writes
+  std::uint32_t max_concurrent = 0;  ///< peak simultaneously-ready writes
+  /// A concrete unordered concurrent pair (valid when branch_points > 0).
+  std::pair<std::uint32_t, std::uint32_t> unordered_example{0, 0};
+  bool budget_hit = false;        ///< reach_budget or max_rounds exhausted
+  bool pruned_empty_read = false; ///< R2 left some read with no source —
+                                  ///< the address is incoherent but only
+                                  ///< search/§5.2 can certify it
+
+  [[nodiscard]] std::size_t num_writes() const noexcept { return writes.size(); }
+};
+
+/// Saturates the constraint graph of one projected address. Pure
+/// function of the trace: no logs, no metrics, no global state — the
+/// certificate checker calls it to re-derive evidence independently.
+[[nodiscard]] Result saturate(const ProjectedView& view, const Options& options = {});
+
+/// True iff edge (a, b) is derivable from `result`'s direct edges by
+/// transitivity (DFS over the direct graph; used by the checker).
+[[nodiscard]] bool reaches(const Result& result, std::uint32_t a, std::uint32_t b);
+
+}  // namespace vermem::saturate

@@ -8,9 +8,11 @@
 #include <variant>
 #include <vector>
 
+#include "analysis/saturate/core.hpp"
 #include "encode/vmc_to_cnf.hpp"
 #include "encode/vsc_to_cnf.hpp"
 #include "sat/proof.hpp"
+#include "trace/address_index.hpp"
 #include "vmc/exact.hpp"
 #include "vmc/instance.hpp"
 #include "vmc/write_order.hpp"
@@ -496,6 +498,88 @@ CheckOutcome check_search_exhaustion(const Execution& exec, Scope scope,
   return fail("search-exhaustion: unreachable");
 }
 
+// -- kSaturationCycle -------------------------------------------------------
+// Re-derive the saturated must-precede graph from the trace alone (the
+// derivation emits only edges necessary in any coherent write order) and
+// verify every claimed cycle edge is derivable by transitivity. A closed
+// chain of necessary edges leaves no coherent serialization.
+CheckOutcome check_saturation_cycle(const Execution& exec, const Incoherence& e) {
+  if (e.ops.size() < 2)
+    return fail("saturation-cycle: fewer than two writes in the cycle");
+  for (const OpRef ref : e.ops) {
+    std::string why;
+    const Operation* op = addr_op(exec, e.addr, ref, why);
+    if (!op) return fail("saturation-cycle: " + why);
+    if (!op->writes_memory())
+      return fail("saturation-cycle: " + to_string(ref) + " is not a write");
+  }
+  const AddressIndex index(exec);
+  if (index.find(e.addr) == nullptr)
+    return fail("saturation-cycle: no operations on the address");
+  const saturate::Result derived = saturate::saturate(index.view(e.addr));
+  const auto key = [](OpRef ref) {
+    return (static_cast<std::uint64_t>(ref.process) << 32) | ref.index;
+  };
+  std::unordered_map<std::uint64_t, std::uint32_t> node_of;
+  for (std::uint32_t i = 0; i < derived.writes.size(); ++i)
+    node_of[key(derived.writes[i])] = i;
+  std::vector<std::uint32_t> nodes;
+  nodes.reserve(e.ops.size());
+  for (const OpRef ref : e.ops) {
+    const auto it = node_of.find(key(ref));
+    if (it == node_of.end())
+      return fail("saturation-cycle: " + to_string(ref) +
+                  " is not a write node of the re-derived graph");
+    nodes.push_back(it->second);
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::uint32_t a = nodes[i];
+    const std::uint32_t b = nodes[(i + 1) % nodes.size()];
+    if (!saturate::reaches(derived, a, b))
+      return fail("saturation-cycle: edge " + to_string(e.ops[i]) + " -> " +
+                  to_string(e.ops[(i + 1) % nodes.size()]) +
+                  " is not derivable from the trace");
+  }
+  return pass();
+}
+
+// -- kForcedOrderRefutation -------------------------------------------------
+// Re-derive the graph, confirm it forces exactly the claimed total write
+// order (unique linear extension), then replay the independent Section
+// 5.2 decision procedure under that order; with the order forced, its
+// refutation is exact.
+CheckOutcome check_forced_order_refutation(const Execution& exec,
+                                           const Incoherence& e) {
+  const AddressIndex index(exec);
+  if (index.find(e.addr) == nullptr)
+    return fail("forced-order-refutation: no operations on the address");
+  const ProjectedView view = index.view(e.addr);
+  const saturate::Result derived = saturate::saturate(view);
+  if (derived.status != saturate::Status::kForcedTotal)
+    return fail(std::string("forced-order-refutation: saturation does not "
+                            "force a total order (status ") +
+                saturate::to_string(derived.status) + ")");
+  if (e.write_order.size() != derived.forced.size())
+    return fail("forced-order-refutation: order length mismatch");
+  for (std::size_t i = 0; i < derived.forced.size(); ++i) {
+    if (!(e.write_order[i] == derived.writes[derived.forced[i]]))
+      return fail("forced-order-refutation: position " + std::to_string(i) +
+                  " does not match the forced order");
+  }
+  const ExecutionProjection projection = view.materialize();
+  vmc::WriteOrder order;
+  order.reserve(derived.forced.size());
+  for (const std::uint32_t node : derived.forced)
+    order.push_back(derived.writes_local[node]);
+  const vmc::VmcInstance instance{projection.execution, e.addr};
+  const vmc::CheckResult decided = vmc::check_with_write_order(instance, order);
+  if (decided.verdict == Verdict::kIncoherent) return pass();
+  if (decided.verdict == Verdict::kCoherent)
+    return fail("forced-order-refutation: a coherent schedule exists under "
+                "the forced order");
+  return fail("forced-order-refutation: not confirmed: " + decided.reason());
+}
+
 CheckOutcome check_incoherence(const Execution& exec, const Certificate& cert,
                                const Incoherence& e, const CheckOptions& options) {
   switch (e.kind) {
@@ -530,6 +614,10 @@ CheckOutcome check_incoherence(const Execution& exec, const Certificate& cert,
       return check_search_exhaustion(exec, cert.scope, e, options);
     case IncoherenceKind::kMergeCycle:
       return fail("merge-cycle evidence is not independently checkable");
+    case IncoherenceKind::kSaturationCycle:
+      return check_saturation_cycle(exec, e);
+    case IncoherenceKind::kForcedOrderRefutation:
+      return check_forced_order_refutation(exec, e);
   }
   return fail("unknown incoherence kind");
 }

@@ -47,6 +47,8 @@ enum class IncoherenceKind : std::uint8_t {
   kRupRefutation,        ///< UNSAT of the coherence CNF, certified by a RUP proof
   kSearchExhaustion,     ///< exhaustive search found no schedule (re-check = re-decide)
   kMergeCycle,           ///< heuristic SC merge found a cycle (not independently checkable)
+  kSaturationCycle,      ///< must-precede saturation derived a cycle among writes
+  kForcedOrderRefutation,///< saturation forced a total write order that fails §5.2
 };
 
 [[nodiscard]] constexpr const char* to_string(IncoherenceKind k) noexcept {
@@ -68,6 +70,8 @@ enum class IncoherenceKind : std::uint8_t {
     case IncoherenceKind::kRupRefutation: return "rup-refutation";
     case IncoherenceKind::kSearchExhaustion: return "search-exhaustion";
     case IncoherenceKind::kMergeCycle: return "merge-cycle";
+    case IncoherenceKind::kSaturationCycle: return "saturation-cycle";
+    case IncoherenceKind::kForcedOrderRefutation: return "forced-order-refutation";
   }
   return "?";
 }
@@ -327,6 +331,32 @@ inline Incoherence search_exhaustion(Addr addr, std::uint64_t states,
 inline Incoherence merge_cycle() {
   Incoherence e;
   e.kind = IncoherenceKind::kMergeCycle;
+  return e;
+}
+
+/// Coherence-order saturation derived a must-precede cycle among the
+/// writes of `addr`: `ops` = w0..wk-1 with every edge wi -> w(i+1 mod k)
+/// individually necessary in any coherent schedule. The checker
+/// re-derives the saturated constraint graph from the trace alone and
+/// verifies each cycle edge is (still) derivable.
+inline Incoherence saturation_cycle(Addr addr, std::vector<OpRef> cycle_ops) {
+  Incoherence e;
+  e.kind = IncoherenceKind::kSaturationCycle;
+  e.addr = addr;
+  e.ops = std::move(cycle_ops);
+  return e;
+}
+
+/// Saturation forced a unique total order over the writes of `addr`
+/// (`write_order` field), and the Section 5.2 re-run under that order
+/// refutes the trace. The checker verifies both parts: that the order
+/// is forced edge-by-edge by the re-derived graph, and that §5.2
+/// rejects it.
+inline Incoherence forced_order_refutation(Addr addr, std::vector<OpRef> order) {
+  Incoherence e;
+  e.kind = IncoherenceKind::kForcedOrderRefutation;
+  e.addr = addr;
+  e.write_order = std::move(order);
   return e;
 }
 

@@ -12,7 +12,7 @@ namespace vermem::certify {
 
 namespace {
 
-constexpr std::array<IncoherenceKind, 17> kAllKinds = {
+constexpr std::array<IncoherenceKind, 19> kAllKinds = {
     IncoherenceKind::kUnwrittenRead,        IncoherenceKind::kUnwritableFinal,
     IncoherenceKind::kReadBeforeWrite,      IncoherenceKind::kStaleInitialRead,
     IncoherenceKind::kClusterCycle,         IncoherenceKind::kFinalNotLast,
@@ -21,7 +21,8 @@ constexpr std::array<IncoherenceKind, 17> kAllKinds = {
     IncoherenceKind::kOrderProgramConflict, IncoherenceKind::kOrderRmwMismatch,
     IncoherenceKind::kOrderReadWindow,      IncoherenceKind::kOrderFinalMismatch,
     IncoherenceKind::kRupRefutation,        IncoherenceKind::kSearchExhaustion,
-    IncoherenceKind::kMergeCycle,
+    IncoherenceKind::kMergeCycle,           IncoherenceKind::kSaturationCycle,
+    IncoherenceKind::kForcedOrderRefutation,
 };
 
 constexpr std::array<UnknownReason, 10> kAllReasons = {
@@ -159,6 +160,15 @@ std::string dump(const Certificate& cert) {
     out += "incoherent ";
     out += to_string(e->kind);
     out += '\n';
+    // The evidence address normally coincides with the certificate
+    // header's; an execution-scope certificate reusing an address-level
+    // refutation is the exception, and must carry it explicitly or the
+    // round-trip would re-anchor the evidence at the header's address.
+    if (e->addr != cert.addr) {
+      out += "addr ";
+      out += std::to_string(e->addr);
+      out += '\n';
+    }
     append_refs(out, "ops", e->ops);
     if (!e->values.empty()) {
       out += "values";
@@ -261,6 +271,12 @@ ParseResult parse_certificates(std::string_view text) {
         evidence.kind = *kind;
         evidence.addr = cert.addr;
         have_incoherence = true;
+      } else if (tag == "addr") {
+        if (body.size() != 2) return fail("expected `addr <address>`");
+        const auto evidence_addr = uint64_from(body[1]);
+        if (!evidence_addr || *evidence_addr > UINT32_MAX)
+          return fail("bad evidence address `" + body[1] + "`");
+        evidence.addr = static_cast<Addr>(*evidence_addr);
       } else if (tag == "ops" || tag == "order") {
         std::vector<OpRef>& refs = tag == "ops" ? evidence.ops : evidence.write_order;
         for (std::size_t i = 1; i < body.size(); ++i) {

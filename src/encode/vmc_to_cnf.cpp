@@ -47,6 +47,11 @@ vmc::WriteOrder VmcEncoding::decode_write_order(
 }
 
 VmcEncoding encode_vmc(const vmc::VmcInstance& instance) {
+  return encode_vmc(instance, OrderHints{});
+}
+
+VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
+                       const OrderHints& hints) {
   VmcEncoding enc;
   if (const auto why = instance.malformed()) {
     enc.trivially_incoherent = true;
@@ -100,6 +105,21 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance) {
       if (prev != kInitial) enc.cnf.add_unit(order_lit(prev, wi));
       prev = wi;
     }
+  }
+
+  // Saturation hints: units over the order variables, one per mappable
+  // must-precede edge. Sound because every hint edge holds in every
+  // coherent serialization (see analysis/saturate), so no model is lost.
+  for (const auto& [before, after] : hints.must) {
+    const auto index_of = [&](OpRef ref) {
+      if (ref.process >= write_index_of.size()) return kInitial;
+      if (ref.index >= write_index_of[ref.process].size()) return kInitial;
+      return write_index_of[ref.process][ref.index];
+    };
+    const std::size_t bi = index_of(before);
+    const std::size_t ai = index_of(after);
+    if (bi == kInitial || ai == kInitial || bi == ai) continue;
+    enc.cnf.add_unit(order_lit(bi, ai));
   }
 
   // Collect read items with candidates.

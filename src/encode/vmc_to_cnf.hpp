@@ -62,8 +62,25 @@ struct VmcEncoding {
       const std::vector<bool>& model) const;
 };
 
+/// Must-precede ordering hints from the coherence-order saturation pass
+/// (analysis/saturate). Each pair (before, after) is an edge implied by
+/// the trace alone, so asserting it as a unit clause preserves the
+/// satisfiable/unsatisfiable answer while handing the solver the
+/// saturated skeleton of the write order for free.
+struct OrderHints {
+  std::vector<std::pair<OpRef, OpRef>> must;  ///< instance coordinates
+};
+
 /// Builds the CNF encoding of a VMC instance.
 [[nodiscard]] VmcEncoding encode_vmc(const vmc::VmcInstance& instance);
+
+/// Same encoding plus one unit clause per mappable hint edge. Hint pairs
+/// that do not name writing operations of the instance are skipped. A
+/// hinted formula must NOT back an RUP certificate: the proof checker
+/// re-encodes the instance plainly, so log proofs only for the
+/// hint-free encoding.
+[[nodiscard]] VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
+                                     const OrderHints& hints);
 
 /// End-to-end SAT-based coherence check: encode, solve with the CDCL
 /// solver, decode the write order, and certify the witness with the

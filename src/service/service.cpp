@@ -96,6 +96,11 @@ std::string ServiceStats::to_prometheus() const {
   }
   counter("vermem_service_poly_routed_total", poly_routed);
   counter("vermem_service_exact_routed_total", exact_routed);
+  counter("vermem_service_saturate_ran_total", saturate_ran);
+  counter("vermem_service_saturate_decided_total", saturate_decided);
+  counter("vermem_service_saturate_cycles_total", saturate_cycles);
+  counter("vermem_service_saturate_forced_total", saturate_forced);
+  counter("vermem_service_saturate_edges_total", saturate_edges);
   counter("vermem_service_lint_warnings_total", lint_warnings);
   counter("vermem_service_streamed_total", streamed);
   counter("vermem_service_stream_events_total", stream_events);
@@ -344,6 +349,11 @@ VerificationResponse VerificationService::execute(Slot& slot) {
           counters_.fragments[f] += routed.fragment_counts[f];
         counters_.poly_routed += routed.poly_routed;
         counters_.exact_routed += routed.exact_routed;
+        counters_.saturate_ran += routed.saturate_ran;
+        counters_.saturate_decided += routed.saturate_decided;
+        counters_.saturate_cycles += routed.saturate_cycles;
+        counters_.saturate_forced += routed.saturate_forced;
+        counters_.saturate_edges += routed.saturate_edges;
       }
       break;
     }

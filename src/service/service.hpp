@@ -86,6 +86,16 @@ struct ServiceStats {
   std::array<std::uint64_t, analysis::kNumFragments> fragments{};
   std::uint64_t poly_routed = 0;
   std::uint64_t exact_routed = 0;
+  /// Saturation-tier tallies (analysis/saturate), summed over every
+  /// coherence-mode request: addresses the tier analyzed, addresses it
+  /// decided outright (no search needed), cycle and forced-order
+  /// refutations among those, and must-edges exported to the exact
+  /// search's pruning oracle.
+  std::uint64_t saturate_ran = 0;
+  std::uint64_t saturate_decided = 0;
+  std::uint64_t saturate_cycles = 0;
+  std::uint64_t saturate_forced = 0;
+  std::uint64_t saturate_edges = 0;
   /// Warning-severity lint diagnostics emitted by analyze requests.
   std::uint64_t lint_warnings = 0;
   /// Streaming ingestion (verify_stream): runs served, operations

@@ -87,6 +87,13 @@ class ExactSearch {
         const Operation& op = history[positions_[p]];
         if (options_.eager_reads && !op.writes_memory()) continue;
         if (op.reads_memory() && op.value_read != value_) continue;
+        if (options_.pruner && op.writes_memory() &&
+            !options_.pruner->satisfied(positions_, p, positions_[p])) {
+          // A must-precede predecessor is still unscheduled: this branch
+          // violates a necessary ordering and cannot contain a witness.
+          ++stats_.oracle_prunes;
+          continue;
+        }
         break;
       }
       if (p == k_) {
@@ -226,6 +233,7 @@ CheckResult check_exact(const VmcInstance& instance, const ExactOptions& options
     span.attr("transitions", result.stats.transitions);
     span.attr("max_frontier", result.stats.max_frontier);
     span.attr("prunes", result.stats.prunes);
+    span.attr("oracle_prunes", result.stats.oracle_prunes);
     span.attr("arena_reserved", result.stats.arena_reserved);
     span.attr("arena_high_water", result.stats.arena_high_water);
     span.attr("verdict", to_string(result.verdict));
@@ -237,6 +245,8 @@ CheckResult check_exact(const VmcInstance& instance, const ExactOptions& options
     static const obs::Counter transitions =
         obs::counter("vermem_exact_transitions_total");
     static const obs::Counter prunes = obs::counter("vermem_exact_prunes_total");
+    static const obs::Counter oracle_prunes =
+        obs::counter("vermem_exact_oracle_prunes_total");
     static const obs::Counter arena_reserved =
         obs::counter("vermem_exact_arena_reserved_bytes_total");
     static const obs::Counter arena_allocations =
@@ -245,6 +255,7 @@ CheckResult check_exact(const VmcInstance& instance, const ExactOptions& options
     states.add(result.stats.states_visited);
     transitions.add(result.stats.transitions);
     prunes.add(result.stats.prunes);
+    oracle_prunes.add(result.stats.oracle_prunes);
     arena_reserved.add(result.stats.arena_reserved);
     arena_allocations.add(result.stats.arena_allocations);
   }

@@ -31,6 +31,7 @@ struct SearchStats {
   std::uint64_t transitions = 0;      ///< operations tried during search
   std::uint64_t max_frontier = 0;     ///< peak stack depth / queue size
   std::uint64_t prunes = 0;           ///< branches cut by a memo-table hit
+  std::uint64_t oracle_prunes = 0;    ///< branches cut by a must-precede oracle
   /// Arena accounting for the search's key/node storage (all zero when a
   /// polynomial route decided the instance without a frontier search).
   std::uint64_t arena_reserved = 0;     ///< bytes reserved from the system
@@ -45,6 +46,7 @@ struct SearchStats {
     states_visited += other.states_visited;
     transitions += other.transitions;
     prunes += other.prunes;
+    oracle_prunes += other.oracle_prunes;
     if (other.max_frontier > max_frontier) max_frontier = other.max_frontier;
     arena_reserved += other.arena_reserved;
     arena_allocations += other.arena_allocations;

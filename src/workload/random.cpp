@@ -72,6 +72,7 @@ GeneratedMultiTrace generate_sc(const MultiAddressParams& params,
     return it == memory.end() ? Value{0} : it->second;
   };
 
+  Value unique_counter = 0;
   while (total > 0) {
     const std::size_t p = pick_process(remaining, total, rng);
     --remaining[p];
@@ -80,7 +81,10 @@ GeneratedMultiTrace generate_sc(const MultiAddressParams& params,
 
     Operation op;
     if (rng.chance(params.write_fraction)) {
-      const Value fresh = 1 + static_cast<Value>(rng.below(params.num_values));
+      const Value fresh =
+          params.num_values == 0
+              ? ++unique_counter
+              : 1 + static_cast<Value>(rng.below(params.num_values));
       op = rng.chance(params.rmw_fraction) ? RW(addr, value_of(addr), fresh)
                                            : W(addr, fresh);
       memory[addr] = fresh;

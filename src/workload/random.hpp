@@ -44,6 +44,9 @@ struct MultiAddressParams {
   std::size_t num_processes = 4;
   std::size_t ops_per_process = 16;
   std::size_t num_addresses = 4;
+  /// Distinct data values writes draw from, shared across addresses.
+  /// 0 means every write produces a globally fresh value (the same
+  /// convention as SingleAddressParams).
   std::size_t num_values = 4;
   double write_fraction = 0.4;
   double rmw_fraction = 0.0;

@@ -836,6 +836,44 @@ TEST(CertificateText, CheckedAfterRoundTrip) {
   expect_checks(cycle, parsed.certs[0], "round-tripped rup");
 }
 
+TEST(CertificateText, ExecutionScopeKeepsEvidenceAddress) {
+  // An execution-scope certificate may reuse an address-level refutation
+  // verbatim (the vscc path does exactly that); the text round-trip must
+  // not re-anchor the evidence at the header's address 0.
+  const Execution exec = ExecutionBuilder()
+                             .process(W(2, 1), R(2, 2))
+                             .process(W(2, 2))
+                             .build();
+  vmc::WriteOrderMap orders;
+  orders[2] = {OpRef{1, 0}, OpRef{0, 0}};
+  const vmc::CoherenceReport report =
+      vmc::verify_coherence_with_write_order(exec, orders);
+  ASSERT_EQ(report.verdict, vmc::Verdict::kIncoherent);
+  const auto* violation = report.first_violation();
+  ASSERT_NE(violation, nullptr);
+  ASSERT_NE(violation->result.incoherence(), nullptr);
+
+  certify::Certificate cert;
+  cert.scope = certify::Scope::kExecution;
+  cert.verdict = vmc::Verdict::kIncoherent;
+  certify::Incoherence evidence = *violation->result.incoherence();
+  evidence.addr = violation->addr;
+  cert.evidence = std::move(evidence);
+  expect_checks(exec, cert, "execution-scope order refutation");
+
+  const std::string text = certify::dump(cert);
+  EXPECT_NE(text.find("addr 2"), std::string::npos)
+      << "evidence address missing from the serialized form:\n" << text;
+  const certify::ParseResult parsed = certify::parse_certificates(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.certs.size(), 1u);
+  const auto* round =
+      std::get_if<certify::Incoherence>(&parsed.certs[0].evidence);
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->addr, 2u);
+  expect_checks(exec, parsed.certs[0], "round-tripped execution scope");
+}
+
 TEST(CertificateText, RejectsMalformedInput) {
   EXPECT_FALSE(certify::parse_certificates("cert bogus 0 coherent\nend\n").ok);
   EXPECT_FALSE(certify::parse_certificates("cert address 0 maybe\nend\n").ok);

@@ -2,7 +2,11 @@
 // JSON rendering of an AnalysisReport, shared by `vermemd --analyze`
 // and the standalone vermemlint CLI so both emit the same object shape:
 //   {"warnings":N,"infos":N,
-//    "fragments":[{"addr":A,"fragment":"write-once","bound":"O(n)"}...],
+//    "fragments":[{"addr":A,"fragment":"write-once","bound":"O(n)",
+//                  "saturation":{"status":"partial","edges":N,
+//                                "branch_points":N}}...],
+// (the "saturation" member appears only on addresses where the
+// coherence-order saturation pass ran),
 //    "diagnostics":[{"rule":"W001","name":"duplicate-value-write",
 //                    "severity":"warning","addr":A,"op":"P0#2",
 //                    "message":"..."}...]}
@@ -25,7 +29,16 @@ inline std::string analysis_json(const analysis::AnalysisReport& report) {
     out += "{\"addr\":" + std::to_string(address.profile.addr) +
            ",\"fragment\":\"" + to_string(address.profile.fragment) +
            "\",\"bound\":\"" + complexity_bound(address.profile.fragment) +
-           "\"}";
+           "\"";
+    if (address.saturation) {
+      out += ",\"saturation\":{\"status\":\"";
+      out += to_string(address.saturation->status);
+      out += "\",\"edges\":" +
+             std::to_string(address.saturation->edges.size()) +
+             ",\"branch_points\":" +
+             std::to_string(address.saturation->branch_points) + "}";
+    }
+    out += "}";
   }
   out += "],\"diagnostics\":[";
   first = true;

@@ -47,6 +47,8 @@ TIMING_FRAGMENTS = ("_sec", "_nanos", "_micros", "_ms", "per_sec", "_qps")
 # Hard floors that hold independent of any baseline.
 HOTPATH_MIN_ALLOC_BOUND_SPEEDUP = 2.0
 STREAM_MIN_SUSTAINED_OPS_PER_SEC = 1.0e6
+SATURATE_MAX_ROUTED_SLOPE = 1.45
+SATURATE_MIN_PRUNE_SPEEDUP = 2.0
 
 
 def flatten(value, prefix=""):
@@ -174,6 +176,44 @@ def stream_gates(current):
     return failures
 
 
+def saturate_gates(current):
+    """Baseline-independent floors for the coherence-order saturation tier.
+
+    The routed decide path claims near-linear scaling (n*alpha(n) to
+    n log n on forced-order traces); the fitted slope gets a hard cap
+    well above the claim so baseline drift can never ratchet it into
+    quadratic territory. The must-precede oracle must keep paying for
+    itself (>= 2x on its best point) and the pruned search must have
+    stayed bit-identical to the unpruned one.
+    """
+    failures = []
+    if current.get("differential_ok") is not True:
+        failures.append("saturate: differential_ok is not true — the "
+                        "saturation tier or the pruned exact search diverged "
+                        "from the plain verdicts")
+    slope = current.get("routed_slope")
+    if not isinstance(slope, (int, float)) or math.isnan(float(slope)):
+        failures.append("saturate: routed_slope missing")
+    elif slope > SATURATE_MAX_ROUTED_SLOPE:
+        failures.append(
+            f"saturate: routed decide-path slope n^{slope:.2f} exceeds the "
+            f"n^{SATURATE_MAX_ROUTED_SLOPE} cap — the tier is no longer "
+            "near-linear on forced-order traces")
+    speedup = current.get("max_prune_speedup")
+    if not isinstance(speedup, (int, float)) or math.isnan(float(speedup)):
+        failures.append("saturate: max_prune_speedup missing")
+    elif speedup < SATURATE_MIN_PRUNE_SPEEDUP:
+        failures.append(
+            f"saturate: best prune speedup {speedup:.2f}x is below the "
+            f"{SATURATE_MIN_PRUNE_SPEEDUP}x floor")
+    for point in current.get("prune_points", []):
+        if point.get("differential_ok") is not True:
+            failures.append(
+                f"saturate: prune point '{point.get('name')}' diverged from "
+                "the unpruned search")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baselines", default="bench/baselines",
@@ -216,6 +256,8 @@ def main():
             failures.extend(hotpath_gates(current))
         if name == "BENCH_stream.json":
             failures.extend(stream_gates(current))
+        if name == "BENCH_saturate.json":
+            failures.extend(saturate_gates(current))
         compared += 1
 
     # Surface new artifacts that have no baseline yet (informational).

@@ -358,6 +358,9 @@ int main(int argc, char** argv) {
                  "\"coherent\":%llu,\"incoherent\":%llu,\"unknown\":%llu,"
                  "\"p50_us\":%.1f,\"p99_us\":%.1f,\"workers\":%zu,"
                  "\"poly_routed\":%llu,\"exact_routed\":%llu,"
+                 "\"saturate_ran\":%llu,\"saturate_decided\":%llu,"
+                 "\"saturate_cycles\":%llu,\"saturate_forced\":%llu,"
+                 "\"saturate_edges\":%llu,"
                  "\"lint_warnings\":%llu,"
                  "\"streamed\":%llu,\"stream_events\":%llu,"
                  "\"stream_shed\":%llu,\"fragments\":{%s}}\n",
@@ -372,6 +375,11 @@ int main(int argc, char** argv) {
                  stats.p50_micros, stats.p99_micros, svc.num_workers(),
                  static_cast<unsigned long long>(stats.poly_routed),
                  static_cast<unsigned long long>(stats.exact_routed),
+                 static_cast<unsigned long long>(stats.saturate_ran),
+                 static_cast<unsigned long long>(stats.saturate_decided),
+                 static_cast<unsigned long long>(stats.saturate_cycles),
+                 static_cast<unsigned long long>(stats.saturate_forced),
+                 static_cast<unsigned long long>(stats.saturate_edges),
                  static_cast<unsigned long long>(stats.lint_warnings),
                  static_cast<unsigned long long>(stats.streamed),
                  static_cast<unsigned long long>(stats.stream_events),
