@@ -1,8 +1,9 @@
-// Observability overhead: the instrumented pipeline (metrics registry +
-// span tracer both enabled, the most expensive configuration) vs the
-// same work with obs::scoped_disable — over the two hot paths the
-// instrumentation touches end to end: the single-caller routed
-// verification loop and the batched verification service.
+// Observability overhead: the instrumented pipeline (metrics registry,
+// span tracer, debug-level structured logging, and the flight recorder
+// all enabled — the most expensive configuration) vs the same work with
+// every recorder off — over the two hot paths the instrumentation
+// touches end to end: the single-caller routed verification loop and
+// the batched verification service.
 //
 // This is a gate, not a report: the process exits 1 if either path pays
 // more than kMaxOverheadPct with observability on. Numbers land in
@@ -20,6 +21,8 @@
 
 #include "analysis/router.hpp"
 #include "bench_util.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/span.hpp"
@@ -86,25 +89,40 @@ double best_of(int reps, const std::function<double()>& run) {
   return best;
 }
 
-/// Best-of timing with all observability on (metrics + span collection).
-/// The trace buffer is drained between reps so the measurement reflects
-/// steady-state recording, not an ever-growing buffer.
+/// Best-of timing with all observability on: metrics, span collection,
+/// debug-level logging, and the flight recorder under its default
+/// capture policy. The trace buffer, log ring, and retained flight
+/// records are drained between reps so the measurement reflects
+/// steady-state recording, not ever-growing buffers.
 double instrumented(int reps, const std::function<double()>& run) {
   obs::set_enabled(true);
   obs::set_tracing_enabled(true);
+  obs::set_log_level(obs::LogLevel::kDebug);
+  obs::set_flight_enabled(true);
+  obs::set_flight_policy(obs::FlightPolicy{});
   double best = run();
-  obs::reset_trace();
+  const auto drain = [] {
+    obs::reset_trace();
+    obs::reset_log();
+    obs::reset_flight();
+  };
+  drain();
   for (int r = 1; r < reps; ++r) {
     best = std::min(best, run());
-    obs::reset_trace();
+    drain();
   }
+  obs::set_flight_enabled(false);
+  obs::set_log_level(obs::LogLevel::kWarn);
   obs::set_tracing_enabled(false);
   return best;
 }
 
 double disabled(int reps, const std::function<double()>& run) {
   obs::scoped_disable off;
-  return best_of(reps, run);
+  obs::set_log_level(obs::LogLevel::kOff);
+  const double best = best_of(reps, run);
+  obs::set_log_level(obs::LogLevel::kWarn);
+  return best;
 }
 
 double overhead_pct(double instrumented_sec, double disabled_sec) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "analysis/poly/one_op.hpp"
@@ -67,6 +68,8 @@ CheckResult saturate_then_exact(const ProjectedView& view,
                                 const vmc::VmcInstance& instance,
                                 const vmc::ExactOptions& exact_options,
                                 RouteOutcome& out) {
+  obs::flight_event(obs::FlightEventKind::kTierEnter, "saturate",
+                    static_cast<std::uint64_t>(view.addr()));
   const saturate::Result sat = [&] {
     obs::Span span("analysis.saturate");
     saturate::Result r = saturate::saturate(view);
@@ -157,6 +160,9 @@ CheckResult saturate_then_exact(const ProjectedView& view,
     pruned.pruner = &oracle;
   }
   out.decider = Decider::kExact;
+  obs::flight_event(obs::FlightEventKind::kTierEnter, "exact",
+                    static_cast<std::uint64_t>(view.addr()),
+                    sat.edges.size());
   return vmc::check_exact(instance, pruned);
 }
 
@@ -174,11 +180,20 @@ RouteOutcome check_routed(const ProjectedView& view,
     span.attr("ops", view.num_ops());
     span.attr("fragment", to_string(profile.fragment));
   }
+  // Flight breadcrumb: which tier this address entered (detail = the
+  // classified fragment), matched by a kTierVerdict below.
+  obs::flight_event(obs::FlightEventKind::kTierEnter,
+                    to_string(profile.fragment),
+                    static_cast<std::uint64_t>(view.addr()), view.num_ops());
 
   if (profile.fragment == Fragment::kEmpty) {
     out.decider = Decider::kTrivial;
     out.result = CheckResult::yes({});
     if (span.active()) span.attr("decider", to_string(out.decider));
+    obs::flight_event(obs::FlightEventKind::kTierVerdict,
+                      to_string(out.decider),
+                      static_cast<std::uint64_t>(view.addr()),
+                      static_cast<std::uint64_t>(out.result.verdict));
     if (obs::enabled()) {
       static const obs::Counter poly = obs::counter("vermem_poly_routed_total");
       count_fragment(out.fragment);
@@ -238,6 +253,12 @@ RouteOutcome check_routed(const ProjectedView& view,
   certify::for_each_ref(result.evidence, to_original);
   out.result = std::move(result);
   if (span.active()) span.attr("decider", to_string(out.decider));
+  // The tier that actually decided (post-fallback), paired with the
+  // kTierEnter above; b carries the verdict enum value.
+  obs::flight_event(obs::FlightEventKind::kTierVerdict,
+                    to_string(out.decider),
+                    static_cast<std::uint64_t>(view.addr()),
+                    static_cast<std::uint64_t>(out.result.verdict));
   if (obs::enabled()) {
     static const obs::Counter poly = obs::counter("vermem_poly_routed_total");
     static const obs::Counter exact = obs::counter("vermem_exact_routed_total");

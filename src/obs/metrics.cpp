@@ -8,6 +8,10 @@
 #include <mutex>
 #include <unordered_map>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace vermem::obs {
 
 namespace detail {
@@ -29,19 +33,41 @@ std::atomic<bool> g_tracing_enabled{
 
 }  // namespace detail
 
+namespace {
+/// Threads past this many share one overflow shard (atomics, so merely
+/// slower, never wrong).
+constexpr std::size_t kMaxShards = 256;
+}  // namespace
+
 struct Registry::Impl {
   mutable std::mutex mutex;
   std::unordered_map<std::string, std::uint32_t> counter_ids;
-  std::vector<std::string> counter_names;  // slot -> name
   std::unordered_map<std::string, std::uint32_t> histogram_ids;
-  std::vector<std::string> histogram_names;
-  std::vector<std::unique_ptr<detail::Shard>> shards;
+  // Names and shards sit in fixed tables (count published with a
+  // release store after the slot is written) so the async-signal-safe
+  // crash dump can walk them without locks or reallocation hazards.
+  std::array<std::string, kMaxCounters> counter_names;
+  std::atomic<std::uint32_t> num_counters{0};
+  std::array<std::string, kMaxHistograms> histogram_names;
+  std::atomic<std::uint32_t> num_histograms{0};
+  std::array<detail::Shard*, kMaxShards> shard_slots{};
+  std::atomic<std::uint32_t> num_shards{0};
+  detail::Shard overflow_shard;
+
+  /// Applies `fn` to every registered shard, overflow included.
+  template <typename Fn>
+  void for_each_shard(Fn&& fn) {
+    const std::uint32_t n = num_shards.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < n; ++i) fn(*shard_slots[i]);
+    fn(overflow_shard);
+  }
 };
 
 Registry::Registry() : impl_(new Impl) {
   // Slot 0 is the sink for registrations past kMaxCounters.
   impl_->counter_ids.emplace("vermem_obs_overflow_total", 0);
-  impl_->counter_names.emplace_back("vermem_obs_overflow_total");
+  impl_->counter_names[0] = "vermem_obs_overflow_total";
+  impl_->num_counters.store(1, std::memory_order_release);
 }
 
 Registry& Registry::instance() {
@@ -53,10 +79,11 @@ Counter Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto it = impl_->counter_ids.find(std::string(name));
   if (it != impl_->counter_ids.end()) return Counter{it->second};
-  if (impl_->counter_names.size() >= kMaxCounters) return Counter{0};
-  const auto id = static_cast<std::uint32_t>(impl_->counter_names.size());
+  const std::uint32_t id = impl_->num_counters.load(std::memory_order_relaxed);
+  if (id >= kMaxCounters) return Counter{0};
   impl_->counter_ids.emplace(std::string(name), id);
-  impl_->counter_names.emplace_back(name);
+  impl_->counter_names[id] = std::string(name);
+  impl_->num_counters.store(id + 1, std::memory_order_release);
   return Counter{id};
 }
 
@@ -64,20 +91,22 @@ Histogram Registry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto it = impl_->histogram_ids.find(std::string(name));
   if (it != impl_->histogram_ids.end()) return Histogram{it->second};
-  if (impl_->histogram_names.size() >= kMaxHistograms)
-    return Histogram{kMaxHistograms - 1};
-  const auto id = static_cast<std::uint32_t>(impl_->histogram_names.size());
+  const std::uint32_t id = impl_->num_histograms.load(std::memory_order_relaxed);
+  if (id >= kMaxHistograms) return Histogram{kMaxHistograms - 1};
   impl_->histogram_ids.emplace(std::string(name), id);
-  impl_->histogram_names.emplace_back(name);
+  impl_->histogram_names[id] = std::string(name);
+  impl_->num_histograms.store(id + 1, std::memory_order_release);
   return Histogram{id};
 }
 
 detail::Shard& Registry::register_thread_shard() {
-  auto shard = std::make_unique<detail::Shard>();
-  detail::Shard& ref = *shard;
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  impl_->shards.push_back(std::move(shard));
-  return ref;
+  const std::uint32_t n = impl_->num_shards.load(std::memory_order_relaxed);
+  if (n >= kMaxShards) return impl_->overflow_shard;
+  auto* shard = new detail::Shard;  // leaked with the registry (reachable)
+  impl_->shard_slots[n] = shard;
+  impl_->num_shards.store(n + 1, std::memory_order_release);
+  return *shard;
 }
 
 namespace detail {
@@ -90,26 +119,31 @@ Shard& local_shard() {
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot out;
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  out.counters.reserve(impl_->counter_names.size());
-  for (std::size_t id = 0; id < impl_->counter_names.size(); ++id) {
+  const std::uint32_t num_counters =
+      impl_->num_counters.load(std::memory_order_relaxed);
+  out.counters.reserve(num_counters);
+  for (std::uint32_t id = 0; id < num_counters; ++id) {
     std::uint64_t total = 0;
-    for (const auto& shard : impl_->shards)
-      total += shard->counters[id].load(std::memory_order_relaxed);
+    impl_->for_each_shard([&](const detail::Shard& shard) {
+      total += shard.counters[id].load(std::memory_order_relaxed);
+    });
     out.counters.emplace_back(impl_->counter_names[id], total);
   }
-  out.histograms.reserve(impl_->histogram_names.size());
-  for (std::size_t id = 0; id < impl_->histogram_names.size(); ++id) {
+  const std::uint32_t num_histograms =
+      impl_->num_histograms.load(std::memory_order_relaxed);
+  out.histograms.reserve(num_histograms);
+  for (std::uint32_t id = 0; id < num_histograms; ++id) {
     HistogramSnapshot hist;
     hist.name = impl_->histogram_names[id];
-    for (const auto& shard : impl_->shards) {
-      const detail::HistShard& hs = shard->histograms[id];
+    impl_->for_each_shard([&](const detail::Shard& shard) {
+      const detail::HistShard& hs = shard.histograms[id];
       for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
         const std::uint64_t n = hs.buckets[b].load(std::memory_order_relaxed);
         hist.data.buckets[b] += n;
         hist.data.count += n;
       }
       hist.data.sum += hs.sum.load(std::memory_order_relaxed);
-    }
+    });
     out.histograms.push_back(std::move(hist));
   }
   std::sort(out.counters.begin(), out.counters.end());
@@ -122,14 +156,85 @@ MetricsSnapshot Registry::snapshot() const {
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  for (const auto& shard : impl_->shards) {
-    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
-    for (auto& h : shard->histograms) {
+  impl_->for_each_shard([](detail::Shard& shard) {
+    for (auto& c : shard.counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard.histograms) {
       for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
       h.sum.store(0, std::memory_order_relaxed);
     }
+  });
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+// write(2)-only helpers for the async-signal-safe crash dump.
+void crash_write_text(int fd, const char* text) noexcept {
+  std::size_t len = 0;
+  while (text[len] != '\0') ++len;
+  std::size_t off = 0;
+  while (off < len) {
+    const ::ssize_t n = ::write(fd, text + off, len - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
   }
 }
+
+void crash_write_u64(int fd, unsigned long long value) noexcept {
+  char buf[24];
+  std::size_t i = sizeof buf;
+  do {
+    buf[--i] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  std::size_t off = i;
+  while (off < sizeof buf) {
+    const ::ssize_t n = ::write(fd, buf + off, sizeof buf - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void Registry::crash_dump_counters(int fd) const noexcept {
+  // Lock-free walk: counts were release-published after their slots
+  // were written, and std::string contents are stable once assigned.
+  const std::uint32_t num_counters =
+      impl_->num_counters.load(std::memory_order_acquire);
+  const std::uint32_t num_shards =
+      impl_->num_shards.load(std::memory_order_acquire);
+  for (std::uint32_t id = 0; id < num_counters; ++id) {
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s)
+      total += impl_->shard_slots[s]->counters[id].load(
+          std::memory_order_relaxed);
+    total +=
+        impl_->overflow_shard.counters[id].load(std::memory_order_relaxed);
+    if (id != 0) crash_write_text(fd, ",");
+    crash_write_text(fd, "\"");
+    for (const char* p = impl_->counter_names[id].c_str(); *p != '\0'; ++p) {
+      const char pair[2] = {*p, '\0'};
+      if (*p == '"' || *p == '\\') crash_write_text(fd, "\\");
+      crash_write_text(fd, pair);
+    }
+    crash_write_text(fd, "\":");
+    crash_write_u64(fd, total);
+  }
+}
+
+#else
+
+void Registry::crash_dump_counters(int) const noexcept {}
+
+#endif
+
+namespace detail {
+void write_counters_crash(int fd) noexcept {
+  Registry::instance().crash_dump_counters(fd);
+}
+}  // namespace detail
 
 double HistogramData::quantile(double q) const noexcept {
   if (count == 0) return 0.0;

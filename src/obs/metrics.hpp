@@ -51,6 +51,10 @@ struct Shard {
 
 [[nodiscard]] Shard& local_shard();
 
+/// Forwards to Registry::instance().crash_dump_counters(fd); kept in
+/// detail so the crash handler (obs/flight.cpp) has one obvious entry.
+void write_counters_crash(int fd) noexcept;
+
 /// Log2 bucket index: 0 for value 0, otherwise bit_width clamped to the
 /// last bucket (which therefore holds [2^62, inf)).
 [[nodiscard]] constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
@@ -161,6 +165,13 @@ class Registry {
   /// Zeroes every shard (names stay registered). Test/bench helper;
   /// concurrent recording during a reset may survive it.
   void reset();
+
+  /// Async-signal-safe best-effort counter dump for the flight
+  /// recorder's crash handler: comma-separated `"name":value` JSON
+  /// members via write(2) only — no locks, no allocation. Names and
+  /// shards live in fixed tables published with release stores, so
+  /// the walk never touches reallocating storage.
+  void crash_dump_counters(int fd) const noexcept;
 
  private:
   Registry();

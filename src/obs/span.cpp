@@ -8,19 +8,21 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
 namespace vermem::obs {
 
-namespace {
-
-using SteadyClock = std::chrono::steady_clock;
-
-/// All spans share one epoch so cross-thread timestamps are comparable.
-[[nodiscard]] std::int64_t now_ns() {
+std::int64_t trace_now_ns() noexcept {
+  using SteadyClock = std::chrono::steady_clock;
+  // All obs timestamps share one epoch so they are comparable.
   static const SteadyClock::time_point epoch = SteadyClock::now();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              SteadyClock::now() - epoch)
       .count();
 }
+
+namespace {
 
 /// Finished spans of one thread. Appends lock the buffer's own mutex —
 /// uncontended in steady state (the exporter is the only other reader).
@@ -89,8 +91,27 @@ void append_json_string(std::ostream& out, const char* text) {
 
 }  // namespace
 
+namespace {
+
+/// Reports one span lost to the per-thread cap (or to an allocation
+/// failure) via the registry, so truncation is never silent. Registered
+/// eagerly: a zero-drop process must still export the family as an
+/// explicit 0 (absence would be indistinguishable from "not tracked").
+const Counter kDroppedSpans =
+    counter("vermem_obs_dropped_total{kind=\"span\"}");
+
+void count_dropped_span() {
+  if (!enabled()) return;
+  kDroppedSpans.add();
+}
+
+}  // namespace
+
 Span::Span(const char* name) {
-  if (!tracing_enabled()) return;
+  // Active when the global tracer collects OR the calling thread is
+  // inside a flight-recorder capture window (span trees for retained
+  // slow/shed/wrong requests work with tracing off).
+  if (!tracing_enabled() && !detail::flight_spans_wanted()) return;
   ThreadState& state = local_state();
   active_ = true;
   event_.name = name;
@@ -99,24 +120,30 @@ Span::Span(const char* name) {
   event_.parent_id = state.open != nullptr ? state.open->event_.id : 0;
   prev_open_ = state.open;
   state.open = this;
-  event_.start_ns = now_ns();  // last: exclude setup from the span
+  event_.start_ns = trace_now_ns();  // last: exclude setup from the span
 }
 
 Span::~Span() {
   if (!active_) return;
-  event_.dur_ns = now_ns() - event_.start_ns;
+  event_.dur_ns = trace_now_ns() - event_.start_ns;
   ThreadState& state = t_state;
   state.open = prev_open_;
+  if (detail::flight_spans_wanted())
+    detail::flight_capture_span(event_.name, event_.start_ns, event_.dur_ns,
+                                event_.id, event_.parent_id);
+  if (!tracing_enabled()) return;  // flight-only span: not retained here
   ThreadBuffer& buffer = *state.buffer;
   std::lock_guard<std::mutex> lock(buffer.mutex);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     ++buffer.dropped;
+    count_dropped_span();
     return;
   }
   try {
     buffer.events.push_back(event_);
   } catch (...) {
     ++buffer.dropped;  // allocation failure must not escape a destructor
+    count_dropped_span();
   }
 }
 

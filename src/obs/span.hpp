@@ -13,10 +13,18 @@
 // relaxed load and a few stores to its own frame. Finished events go to
 // per-thread buffers owned by the global trace log (they survive thread
 // exit, e.g. the service's pool workers); each buffer is capped —
-// events past the cap are dropped and counted, so a long-running
-// service cannot grow without bound. write_chrome_trace() emits the
-// whole log in Chrome trace-event JSON ("X" complete events, ts/dur in
-// microseconds), loadable in Perfetto / chrome://tracing.
+// events past the cap are dropped, counted, and reported via
+// vermem_obs_dropped_total{kind="span"}, so a long-running service
+// cannot grow without bound and cannot truncate silently.
+// write_chrome_trace() emits the whole log in Chrome trace-event JSON
+// ("X" complete events, ts/dur in microseconds), loadable in Perfetto /
+// chrome://tracing.
+//
+// Spans are additionally collected — independent of the global tracing
+// switch — while the calling thread is inside an active
+// obs::FlightScope: the finished span is copied into that request's
+// flight-recorder scratch so a captured slow/shed/wrong request carries
+// its own span tree (see obs/flight.hpp).
 
 #include <cstdint>
 #include <iosfwd>
@@ -79,6 +87,11 @@ class Span {
   Span* prev_open_ = nullptr;
   bool active_ = false;
 };
+
+/// Nanoseconds since the process trace epoch (a steady clock anchored
+/// at first use). Every obs timestamp — spans, log events, flight
+/// events, SLO windows — shares this epoch so they correlate directly.
+[[nodiscard]] std::int64_t trace_now_ns() noexcept;
 
 /// Writes every collected span as Chrome trace-event JSON. Within each
 /// thread, events are emitted in start-time order (monotonic ts).

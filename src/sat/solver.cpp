@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "sat/effort.hpp"
 
 namespace vermem::sat {
@@ -149,6 +151,16 @@ class Cdcl {
         if (options_.use_restarts && conflicts_until_restart == 0 &&
             decision_level() > 0) {
           ++stats_.restarts;
+          obs::flight_event(obs::FlightEventKind::kSolverRestart,
+                            "luby restart", stats_.restarts,
+                            stats_.conflicts);
+          static const obs::LogSite restart_site =
+              obs::log_site("sat.restart", 4.0, 8.0);
+          if (restart_site.should(obs::LogLevel::kDebug))
+            obs::LogLine(restart_site, obs::LogLevel::kDebug, "CDCL restart")
+                .field("restarts", stats_.restarts)
+                .field("conflicts", stats_.conflicts)
+                .field("learned", stats_.learned_clauses);
           cancel_until(0);
           conflicts_until_restart = next_restart_budget();
           continue;

@@ -120,6 +120,11 @@ struct VerificationResponse {
   /// consistency-mode requests (model admissibility has no certificate
   /// form yet).
   std::vector<certify::Certificate> certificates;
+  /// Flight-recorder record id when this request tripped the capture
+  /// policy (slow / unknown / incoherent / shed / cancelled); 0 when not
+  /// captured. The record is retrievable via obs::flight_record_for and
+  /// `vermemd --flight-out` while it stays resident.
+  std::uint64_t flight_id = 0;
 };
 
 }  // namespace vermem::service

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "models/checker.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/span.hpp"
 #include "support/hash.hpp"
 #include "support/stopwatch.hpp"
@@ -48,6 +50,32 @@ std::string reason_for(const vmc::CoherenceReport& report) {
                address.result.reason();
   }
   return {};
+}
+
+/// SLO/stats bucket for a queued request's mode (streamed runs use
+/// obs::RequestKind::kStream directly).
+constexpr obs::RequestKind kind_of(CheckMode mode) noexcept {
+  switch (mode) {
+    case CheckMode::kCoherence: return obs::RequestKind::kCoherence;
+    case CheckMode::kVscc: return obs::RequestKind::kVscc;
+    case CheckMode::kConsistency: return obs::RequestKind::kConsistency;
+  }
+  return obs::RequestKind::kCoherence;
+}
+
+/// Copies solver effort into the flight recorder's plain mirror struct
+/// (obs/ sits below vmc/ and cannot see SearchStats itself).
+obs::FlightEffort flight_effort_of(const vmc::SearchStats& stats) noexcept {
+  obs::FlightEffort out;
+  out.states = stats.states_visited;
+  out.transitions = stats.transitions;
+  out.max_frontier = stats.max_frontier;
+  out.prunes = stats.prunes;
+  out.oracle_prunes = stats.oracle_prunes;
+  out.arena_reserved = stats.arena_reserved;
+  out.arena_high_water = stats.arena_high_water;
+  out.arena_allocations = stats.arena_allocations;
+  return out;
 }
 
 }  // namespace
@@ -115,6 +143,8 @@ std::string ServiceStats::to_prometheus() const {
           effort.arena_allocations);
   gauge("vermem_service_effort_arena_high_water_bytes",
         effort.arena_high_water);
+  gauge("vermem_service_flight_retained", flight_retained);
+  counter("vermem_service_flight_retained_total", flight_retained_total);
   // Same cumulative-le exposition obs::MetricsSnapshot uses, over the
   // service-local latency distribution.
   obs::MetricsSnapshot latency;
@@ -122,6 +152,17 @@ std::string ServiceStats::to_prometheus() const {
       obs::HistogramSnapshot{"vermem_service_stats_latency_nanos",
                              latency_nanos});
   out += latency.to_prometheus();
+  // Per-kind breakdown of the same distribution, one labeled series per
+  // request kind (empty kinds are skipped, matching the SLO exposition).
+  out += "# TYPE vermem_service_kind_latency_nanos histogram\n";
+  for (std::size_t k = 0; k < obs::kNumRequestKinds; ++k) {
+    if (kinds[k].total == 0) continue;
+    const std::string labels = std::string("kind=\"") +
+        obs::to_string(static_cast<obs::RequestKind>(k)) + '"';
+    obs::append_histogram_prometheus(out, "vermem_service_kind_latency_nanos",
+                                     labels, kinds[k].latency_nanos);
+  }
+  out += slo.to_prometheus();
   return out;
 }
 
@@ -145,6 +186,7 @@ struct VerificationService::Slot {
 VerificationService::VerificationService(ServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity),
+      slo_(options.slo),
       pool_(options.workers),
       dispatcher_([this] { dispatcher_loop(); }) {}
 
@@ -242,6 +284,10 @@ void VerificationService::dispatcher_loop() {
           obs::histogram("vermem_service_batch_size");
       batch_size.observe(batch.size());
     }
+    static const obs::LogSite batch_site = obs::log_site("service.batch");
+    if (batch_site.should(obs::LogLevel::kDebug))
+      obs::LogLine(batch_site, obs::LogLevel::kDebug, "dispatching batch")
+          .field("requests", batch.size());
 
     // One O(n) indexing pass per request now; the checkers reuse it, and
     // its op totals drive size-aware dispatch below. Cancelled requests
@@ -292,8 +338,16 @@ void VerificationService::run_request(const std::shared_ptr<Slot>& slot) {
 }
 
 VerificationResponse VerificationService::execute(Slot& slot) {
-  obs::Span span("service.request");
+  // The flight scope opens before the request span so the whole span
+  // tree lands inside the capture window, and finishes after the span
+  // closes so the captured tree is complete when the policy evaluates.
+  obs::FlightScope flight(to_string(slot.request.mode), slot.request.tag);
   VerificationResponse response;
+  // Saturation-tier provenance for the flight record (the routed report
+  // holding it is consumed inside the span scope below).
+  obs::FlightEffort flight_effort;
+  [&] {
+  obs::Span span("service.request");
   response.tag = slot.request.tag;
   response.fingerprint = slot.fingerprint;
   response.num_operations = slot.request.execution.num_operations();
@@ -309,12 +363,12 @@ VerificationResponse VerificationService::execute(Slot& slot) {
   if (slot.token->cancelled()) {
     response.cancelled = true;
     response.reason = "cancelled before verification started";
-    return response;
+    return;
   }
   if (slot.deadline.expired()) {
     response.timed_out = true;
     response.reason = "deadline expired before verification started";
-    return response;
+    return;
   }
 
   // The whole-execution SC result, kept for the execution-scope
@@ -343,6 +397,9 @@ VerificationResponse VerificationService::execute(Slot& slot) {
       // once at aggregation time; reuse it rather than re-summing here.
       response.effort = routed.report.effort;
       response.coherence = std::move(routed.report);
+      flight_effort.saturate_ran = routed.saturate_ran;
+      flight_effort.saturate_decided = routed.saturate_decided;
+      flight_effort.saturate_edges = routed.saturate_edges;
       {
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t f = 0; f < analysis::kNumFragments; ++f)
@@ -438,6 +495,34 @@ VerificationResponse VerificationService::execute(Slot& slot) {
     queue_nanos.observe_nanos(response.queue_micros * 1e3);
     run_nanos.observe_nanos(response.run_micros * 1e3);
   }
+  }();
+
+  if (flight.active()) {
+    if (response.timed_out)
+      obs::flight_event(obs::FlightEventKind::kDeadline,
+                        "deadline expired before a definite verdict");
+    else if (response.cancelled)
+      obs::flight_event(obs::FlightEventKind::kCancelled,
+                        "request cancelled");
+    const std::uint64_t saturate_ran = flight_effort.saturate_ran;
+    const std::uint64_t saturate_decided = flight_effort.saturate_decided;
+    const std::uint64_t saturate_edges = flight_effort.saturate_edges;
+    flight_effort = flight_effort_of(response.effort);
+    flight_effort.saturate_ran = saturate_ran;
+    flight_effort.saturate_decided = saturate_decided;
+    flight_effort.saturate_edges = saturate_edges;
+    obs::FlightScope::Summary summary;
+    summary.verdict = vmc::to_string(response.verdict);
+    summary.unknown = response.verdict == vmc::Verdict::kUnknown;
+    summary.incoherent = response.verdict == vmc::Verdict::kIncoherent;
+    summary.timed_out = response.timed_out;
+    summary.cancelled = response.cancelled;
+    const double total_micros = response.queue_micros + response.run_micros;
+    summary.latency_nanos =
+        total_micros <= 0 ? 0 : static_cast<std::uint64_t>(total_micros * 1e3);
+    summary.effort = flight_effort;
+    response.flight_id = flight.finish(summary);
+  }
   return response;
 }
 
@@ -449,7 +534,11 @@ VerificationResponse VerificationService::verify_stream(std::istream& in,
 
 VerificationResponse VerificationService::verify_stream(
     BinaryTraceReader& reader, StreamRequest request) {
-  obs::Span span("service.stream");
+  // Scope before span: the stream's span tree (reader loop, shard joins)
+  // must land inside the capture window. Shard-thread events stay on
+  // their own rings; the caller thread summarizes shed/backpressure
+  // below so a retained record is self-explaining.
+  obs::FlightScope flight("stream", request.tag);
   Stopwatch run_timer;
   VerificationResponse response;
   response.tag = request.tag;
@@ -468,39 +557,82 @@ VerificationResponse VerificationService::verify_stream(
 
   stream::StreamResult result;
   {
-    // The pooled pipeline serves one trace at a time; concurrent
-    // streamed requests take turns rather than duplicating shard fleets.
-    std::lock_guard<std::mutex> lock(stream_mutex_);
-    if (!stream_verifier_ || stream_shards_ != request.options.shards ||
-        stream_queue_blocks_ != request.options.queue_blocks) {
-      stream_verifier_ =
-          std::make_unique<stream::StreamVerifier>(request.options);
-      stream_shards_ = request.options.shards;
-      stream_queue_blocks_ = request.options.queue_blocks;
-    } else {
-      stream_verifier_->set_options(request.options);
+    obs::Span span("service.stream");
+    {
+      // The pooled pipeline serves one trace at a time; concurrent
+      // streamed requests take turns rather than duplicating shard fleets.
+      std::lock_guard<std::mutex> lock(stream_mutex_);
+      if (!stream_verifier_ || stream_shards_ != request.options.shards ||
+          stream_queue_blocks_ != request.options.queue_blocks) {
+        stream_verifier_ =
+            std::make_unique<stream::StreamVerifier>(request.options);
+        stream_shards_ = request.options.shards;
+        stream_queue_blocks_ = request.options.queue_blocks;
+      } else {
+        stream_verifier_->set_options(request.options);
+      }
+      result = stream_verifier_->run(reader);
     }
-    result = stream_verifier_->run(reader);
+
+    response.num_operations = static_cast<std::size_t>(result.events);
+    response.num_addresses = result.report.addresses.size();
+    if (!result.ok()) {
+      response.verdict = vmc::Verdict::kUnknown;
+      response.reason = "binary decode error at byte " +
+                        std::to_string(result.error_byte) + ": " + result.error;
+    } else {
+      response.verdict = result.report.verdict;
+      response.reason = reason_for(result.report);
+    }
+    response.effort = result.report.effort;
+    response.timed_out =
+        result.cancelled && request.options.exact.deadline.expired();
+    response.cancelled = result.cancelled && !response.timed_out;
+    response.coherence = std::move(result.report);
+    if (request.drop_witnesses)
+      for (auto& address : response.coherence.addresses)
+        address.result.witness.clear();
+    response.run_micros = run_timer.millis() * 1e3;
+
+    if (span.active()) {
+      span.attr("events", result.events);
+      span.attr("shards", static_cast<std::uint64_t>(result.shards_used));
+      span.attr("verdict", to_string(response.verdict));
+    }
   }
 
-  response.num_operations = static_cast<std::size_t>(result.events);
-  response.num_addresses = result.report.addresses.size();
-  if (!result.ok()) {
-    response.verdict = vmc::Verdict::kUnknown;
-    response.reason = "binary decode error at byte " +
-                      std::to_string(result.error_byte) + ": " + result.error;
-  } else {
-    response.verdict = result.report.verdict;
-    response.reason = reason_for(result.report);
+  if (result.shed_events > 0) {
+    obs::flight_event(obs::FlightEventKind::kShed,
+                      "stream backpressure shed events", result.shed_events);
+    static const obs::LogSite shed_site = obs::log_site("stream.shed");
+    if (shed_site.should(obs::LogLevel::kWarn))
+      obs::LogLine(shed_site, obs::LogLevel::kWarn,
+                   "stream shed events under backpressure")
+          .field("shed", result.shed_events)
+          .field("events", result.events)
+          .field("tag", std::string_view(response.tag));
   }
-  response.effort = result.report.effort;
-  response.timed_out = result.cancelled && request.options.exact.deadline.expired();
-  response.cancelled = result.cancelled && !response.timed_out;
-  response.coherence = std::move(result.report);
-  if (request.drop_witnesses)
-    for (auto& address : response.coherence.addresses)
-      address.result.witness.clear();
-  response.run_micros = run_timer.millis() * 1e3;
+  if (response.timed_out)
+    obs::flight_event(obs::FlightEventKind::kDeadline,
+                      "stream deadline expired");
+  else if (response.cancelled)
+    obs::flight_event(obs::FlightEventKind::kCancelled, "stream cancelled");
+  const std::uint64_t latency_nanos =
+      static_cast<std::uint64_t>(response.run_micros * 1e3);
+  if (flight.active()) {
+    obs::FlightScope::Summary summary;
+    summary.verdict = vmc::to_string(response.verdict);
+    summary.unknown = response.verdict == vmc::Verdict::kUnknown;
+    summary.incoherent = response.verdict == vmc::Verdict::kIncoherent;
+    summary.timed_out = response.timed_out;
+    summary.cancelled = response.cancelled;
+    summary.shed = result.shed_events > 0;
+    summary.latency_nanos = latency_nanos;
+    summary.effort = flight_effort_of(response.effort);
+    response.flight_id = flight.finish(summary);
+  }
+  slo_.record(obs::RequestKind::kStream, latency_nanos,
+              response.verdict == vmc::Verdict::kUnknown, response.flight_id);
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -517,16 +649,21 @@ VerificationResponse VerificationService::verify_stream(
     counters_.poly_routed += result.poly_routed;
     counters_.exact_routed += result.exact_routed;
     counters_.effort.merge(response.effort);
-  }
-  if (span.active()) {
-    span.attr("events", result.events);
-    span.attr("shards", static_cast<std::uint64_t>(result.shards_used));
-    span.attr("verdict", to_string(response.verdict));
+    auto& kind = counters_.kinds[static_cast<std::size_t>(
+        obs::RequestKind::kStream)];
+    ++kind.total;
+    kind.latency_nanos.record(latency_nanos);
   }
   return response;
 }
 
 void VerificationService::respond(Slot& slot, VerificationResponse&& response) {
+  const double end_to_end_nanos =
+      micros_between(slot.submitted, Stopwatch::Clock::now()) * 1e3;
+  const std::uint64_t latency_nanos =
+      end_to_end_nanos <= 0 ? 0
+                            : static_cast<std::uint64_t>(end_to_end_nanos);
+  const obs::RequestKind kind = kind_of(slot.request.mode);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.completed;
@@ -538,12 +675,26 @@ void VerificationService::respond(Slot& slot, VerificationResponse&& response) {
       case vmc::Verdict::kUnknown: ++counters_.unknown; break;
     }
     if (options_.latency_window != 0) {
-      const double nanos =
-          micros_between(slot.submitted, Stopwatch::Clock::now()) * 1e3;
-      counters_.latency_nanos.record(
-          nanos <= 0 ? 0 : static_cast<std::uint64_t>(nanos));
+      counters_.latency_nanos.record(latency_nanos);
+      auto& per_kind = counters_.kinds[static_cast<std::size_t>(kind)];
+      ++per_kind.total;
+      per_kind.latency_nanos.record(latency_nanos);
     }
     counters_.effort.merge(response.effort);
+  }
+  slo_.record(kind, latency_nanos,
+              response.verdict == vmc::Verdict::kUnknown, response.flight_id);
+  if (response.verdict == vmc::Verdict::kUnknown && !response.cache_hit) {
+    static const obs::LogSite unknown_site = obs::log_site("service.unknown");
+    if (unknown_site.should(obs::LogLevel::kWarn))
+      obs::LogLine(unknown_site, obs::LogLevel::kWarn,
+                   "request resolved without a definite verdict")
+          .field("kind", std::string_view(obs::to_string(kind)))
+          .field("timed_out", static_cast<std::uint64_t>(response.timed_out))
+          .field("cancelled", static_cast<std::uint64_t>(response.cancelled))
+          .field("flight_id", response.flight_id)
+          .field("latency_nanos", latency_nanos)
+          .field("tag", std::string_view(response.tag));
   }
   if (obs::enabled()) {
     static const obs::Counter responses =
@@ -551,9 +702,7 @@ void VerificationService::respond(Slot& slot, VerificationResponse&& response) {
     static const obs::Histogram latency =
         obs::histogram("vermem_service_latency_nanos");
     responses.add(1);
-    latency.observe_nanos(micros_between(slot.submitted,
-                                         Stopwatch::Clock::now()) *
-                          1e3);
+    latency.observe_nanos(end_to_end_nanos);
   }
   slot.promise.set_value(std::move(response));
 }
@@ -571,6 +720,14 @@ ServiceStats VerificationService::stats() const {
     out.p50_micros = out.latency_nanos.quantile(0.50) / 1e3;
     out.p99_micros = out.latency_nanos.quantile(0.99) / 1e3;
   }
+  for (auto& kind : out.kinds) {
+    if (kind.latency_nanos.count == 0) continue;
+    kind.p50_micros = kind.latency_nanos.quantile(0.50) / 1e3;
+    kind.p99_micros = kind.latency_nanos.quantile(0.99) / 1e3;
+  }
+  out.slo = slo_.snapshot();
+  out.flight_retained = obs::flight_retained_count();
+  out.flight_retained_total = obs::flight_retained_total();
   return out;
 }
 

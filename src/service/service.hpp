@@ -36,6 +36,7 @@
 
 #include "analysis/router.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "service/cache.hpp"
 #include "service/request.hpp"
 #include "stream/verifier.hpp"
@@ -53,6 +54,10 @@ struct ServiceOptions {
   /// whole lifetime, so no completion window is kept. 0 still disables
   /// latency recording entirely.
   std::size_t latency_window = 4096;
+  /// Rolling-window SLO accounting (per-kind error budgets and latency
+  /// objectives; see obs/slo.hpp). Always on — recording is one short
+  /// mutex-guarded update per response.
+  obs::SloOptions slo = {};
 };
 
 /// Monotonic counters plus a point-in-time snapshot of queue state and
@@ -106,6 +111,22 @@ struct ServiceStats {
   std::uint64_t streamed = 0;
   std::uint64_t stream_events = 0;
   std::uint64_t stream_shed = 0;
+  /// Per-request-kind latency breakdown (coherence / vscc / consistency
+  /// / stream), recorded at the same choke points as the aggregate
+  /// fields above — which keep their lifetime-global meaning unchanged.
+  struct KindStats {
+    std::uint64_t total = 0;
+    double p50_micros = 0;
+    double p99_micros = 0;
+    obs::HistogramData latency_nanos;
+  };
+  std::array<KindStats, obs::kNumRequestKinds> kinds{};
+  /// Rolling-window SLO state (per-kind error budget, breaches, and
+  /// exemplar-decorated latency; see obs/slo.hpp).
+  obs::SloSnapshot slo;
+  /// Flight-recorder records currently resident / retained ever.
+  std::uint64_t flight_retained = 0;
+  std::uint64_t flight_retained_total = 0;
 
   [[nodiscard]] double cache_hit_rate() const noexcept {
     const double total =
@@ -205,6 +226,9 @@ class VerificationService {
   // Monotonic counters (including the latency histogram and effort
   // aggregate embedded in ServiceStats), guarded by mutex_.
   ServiceStats counters_;
+
+  // Rolling-window SLO accounting; internally synchronized.
+  obs::SloTracker slo_;
 
   ThreadPool pool_;
   std::thread dispatcher_;

@@ -8,6 +8,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "stream/spsc_queue.hpp"
@@ -471,7 +473,21 @@ StreamResult StreamVerifier::run(BinaryTraceReader& reader) {
       if (block == nullptr) {
         if (options_.backpressure == BackpressurePolicy::kShed) {
           ++out.shed_events;
-          shed_addrs.insert(event.op.addr);
+          if (shed_addrs.insert(event.op.addr).second) {
+            // First shed for this address: one flight breadcrumb + a
+            // rate-limited warning (a shed storm degrades to a trickle
+            // plus a suppression count, never a log flood).
+            obs::flight_event(obs::FlightEventKind::kShed, "queue full",
+                              static_cast<std::uint64_t>(event.op.addr),
+                              static_cast<std::uint64_t>(s));
+            static const obs::LogSite shed_site =
+                obs::log_site("stream.backpressure", 8.0, 16.0);
+            if (shed_site.should(obs::LogLevel::kWarn))
+              obs::LogLine(shed_site, obs::LogLevel::kWarn,
+                           "shedding events for address (shard queue full)")
+                  .field("addr", static_cast<std::uint64_t>(event.op.addr))
+                  .field("shard", static_cast<std::uint64_t>(s));
+          }
           continue;
         }
         // kBlock: bounded memory means the reader waits for the slowest

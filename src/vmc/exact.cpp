@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "support/arena.hpp"
@@ -259,6 +260,10 @@ CheckResult check_exact(const VmcInstance& instance, const ExactOptions& options
     arena_reserved.add(result.stats.arena_reserved);
     arena_allocations.add(result.stats.arena_allocations);
   }
+  if (result.stats.arena_high_water != 0)
+    obs::flight_event(obs::FlightEventKind::kArenaHighWater, "vmc.exact",
+                      result.stats.arena_high_water,
+                      result.stats.states_visited);
   return result;
 }
 

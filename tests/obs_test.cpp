@@ -1,21 +1,46 @@
 // Observability subsystem: metrics registry (sharded counters and
 // log-bucketed histograms aggregated on scrape), the RAII span tracer
-// with its Chrome trace-event exporter, and the enable/disable gates.
-// The concurrency tests drive real ThreadPool workers and assert EXACT
-// totals — sharded relaxed recording must lose nothing (run under TSan
-// in CI).
+// with its Chrome trace-event exporter, the rate-limited structured
+// logger, the flight recorder (capture policy, crash dump), the SLO
+// tracker, and the enable/disable gates. The concurrency tests drive
+// real ThreadPool workers and assert EXACT totals — sharded relaxed
+// recording must lose nothing (run under TSan in CI).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "support/thread_pool.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define VERMEM_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VERMEM_TEST_TSAN 1
+#endif
+#endif
 
 namespace vermem::obs {
 namespace {
@@ -209,6 +234,7 @@ TEST_F(ObsTest, SpanNestingParentLinksInChromeExport) {
   { Span sibling("obs.test.sibling"); }
   set_tracing_enabled(false);
   EXPECT_EQ(trace_event_count(), 3u);
+  EXPECT_EQ(trace_dropped_count(), 0u);
 
   std::ostringstream out;
   write_chrome_trace(out);
@@ -245,8 +271,10 @@ TEST_F(ObsTest, SpansAcrossPoolThreadsCarryDistinctTids) {
     for (auto& f : done) f.get();
   }
   set_tracing_enabled(false);
-  // 16 explicit spans; pool.task wrapper spans may add more.
+  // 16 explicit spans; pool.task wrapper spans may add more. Nothing may
+  // be lost below the per-thread cap.
   EXPECT_GE(trace_event_count(), 16u);
+  EXPECT_EQ(trace_dropped_count(), 0u);
   std::ostringstream out;
   write_chrome_trace(out);
   const std::string text = out.str();
@@ -265,6 +293,413 @@ TEST_F(ObsTest, DisabledSpansCollectNothing) {
     EXPECT_FALSE(span.active());
   }
   EXPECT_EQ(trace_event_count(), 0u);
+}
+
+// ---- structured logging --------------------------------------------------
+
+/// Restores the process log level and clears the ring around each test.
+class LogTest : public ObsTest {
+ protected:
+  void SetUp() override {
+    ObsTest::SetUp();
+    level_was_ = log_level();
+    set_log_level(LogLevel::kDebug);
+    reset_log();
+  }
+  void TearDown() override {
+    reset_log();
+    set_log_level(level_was_);
+    ObsTest::TearDown();
+  }
+
+ private:
+  LogLevel level_was_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, LevelGateRefusesBelowProcessLevel) {
+  const LogSite site = log_site("obs.test.level");
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(site.should(LogLevel::kWarn));
+  EXPECT_FALSE(site.should(LogLevel::kInfo));
+  EXPECT_FALSE(site.should(LogLevel::kDebug));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(site.should(LogLevel::kWarn));
+  // Level-gated refusals are policy, not loss: nothing is "suppressed".
+  EXPECT_EQ(log_suppressed_count(), 0u);
+}
+
+TEST_F(LogTest, TokenBucketAdmitsBurstThenSuppresses) {
+  // interval 20 ms, tau = 4 intervals: from a full bucket exactly 4
+  // back-to-back emissions pass, the rest are refused and counted.
+  const LogSite site = log_site("obs.test.burst", 50.0, 4.0);
+  int accepted = 0;
+  for (std::uint64_t i = 0; i < 10; ++i)
+    if (site.should(LogLevel::kWarn)) {
+      ++accepted;
+      LogLine(site, LogLevel::kWarn, "burst event").field("i", i);
+    }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(log_suppressed_count(), 6u);
+  // After a few refill intervals the site admits again, and that frame
+  // reports how many emissions the bucket refused in between.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(site.should(LogLevel::kWarn));
+  { LogLine line(site, LogLevel::kWarn, "after refill"); }
+  std::ostringstream out;
+  write_log_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"msg\":\"after refill\",\"suppressed\":6"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(log_event_count(), 5u);
+  EXPECT_EQ(log_dropped_count(), 0u);
+}
+
+TEST_F(LogTest, JsonlSchemaCarriesNumericAndStringFields) {
+  const LogSite site = log_site("obs.test.schema");
+  ASSERT_TRUE(site.should(LogLevel::kInfo));
+  LogLine(site, LogLevel::kInfo, "schema check")
+      .field("count", std::uint64_t{7})
+      .field("tag", std::string_view("with \"quotes\""));
+  std::ostringstream out;
+  write_log_jsonl(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(text.find("\"site\":\"obs.test.schema\""), std::string::npos);
+  EXPECT_NE(text.find("\"msg\":\"schema check\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"tag\":\"with \\\"quotes\\\"\""), std::string::npos);
+}
+
+TEST_F(LogTest, ConcurrentLoggingRetainsExactTotals) {
+  // Below the ring cap every concurrently committed frame must be
+  // retained: zero drops, zero suppression (unlimited site). Run under
+  // TSan in CI.
+  const LogSite site = log_site("obs.test.stress", 0.0, 0.0);
+  constexpr std::size_t kTasks = 8;
+  constexpr std::uint64_t kPerTask = 256;
+  static_assert(kTasks * kPerTask < kLogRingEvents);
+  {
+    ThreadPool pool(8);
+    std::vector<std::future<void>> done;
+    done.reserve(kTasks);
+    for (std::size_t t = 0; t < kTasks; ++t)
+      done.push_back(pool.submit([&site] {
+        for (std::uint64_t i = 0; i < kPerTask; ++i)
+          if (site.should(LogLevel::kInfo))
+            LogLine(site, LogLevel::kInfo, "stress").field("i", i);
+      }));
+    for (auto& f : done) f.get();
+  }
+  EXPECT_EQ(log_event_count(), kTasks * kPerTask);
+  EXPECT_EQ(log_dropped_count(), 0u);
+  EXPECT_EQ(log_suppressed_count(), 0u);
+}
+
+TEST_F(LogTest, RingOverwritesOldestAndCountsDrops) {
+  Registry::instance().reset();
+  const LogSite site = log_site("obs.test.overflow", 0.0, 0.0);
+  for (std::size_t i = 0; i < kLogRingEvents + 10; ++i)
+    LogLine(site, LogLevel::kDebug, "overflow");
+  EXPECT_EQ(log_event_count(), kLogRingEvents);
+  EXPECT_EQ(log_dropped_count(), 10u);
+  EXPECT_EQ(counter_value(snapshot_metrics(),
+                          "vermem_obs_dropped_total{kind=\"log\"}"),
+            10u);
+}
+
+// ---- flight recorder -----------------------------------------------------
+
+/// Restores the recorder switch and policy; clears retained records.
+class FlightTest : public ObsTest {
+ protected:
+  void SetUp() override {
+    ObsTest::SetUp();
+    flight_was_ = flight_enabled();
+    policy_was_ = flight_policy();
+    set_flight_enabled(true);
+    reset_flight();
+  }
+  void TearDown() override {
+    reset_flight();
+    set_flight_policy(policy_was_);
+    set_flight_enabled(flight_was_);
+    ObsTest::TearDown();
+  }
+
+ private:
+  bool flight_was_ = false;
+  FlightPolicy policy_was_;
+};
+
+TEST_F(FlightTest, FastCoherentRequestIsNotRetained) {
+  FlightPolicy policy;
+  policy.latency_threshold_nanos = 1'000'000'000;  // 1 s: nothing is slow
+  set_flight_policy(policy);
+  FlightScope scope("coherence", "fast");
+  ASSERT_TRUE(scope.active());
+  FlightScope::Summary summary;
+  summary.verdict = "coherent";
+  summary.latency_nanos = 1000;
+  EXPECT_EQ(scope.finish(summary), 0u);
+  EXPECT_EQ(flight_retained_count(), 0u);
+  EXPECT_EQ(flight_retained_total(), 0u);
+}
+
+TEST_F(FlightTest, SlowRequestIsRetainedWithEventsAndSpans) {
+  Registry::instance().reset();
+  FlightPolicy policy;
+  policy.latency_threshold_nanos = 10'000;
+  set_flight_policy(policy);
+  std::uint64_t id = 0;
+  {
+    FlightScope scope("coherence", "slow request");
+    ASSERT_TRUE(scope.active());
+    {
+      // Tracing is off: these spans are collected only because the
+      // thread is inside an active capture window.
+      Span outer("obs.test.flight.outer");
+      Span inner("obs.test.flight.inner");
+      EXPECT_TRUE(inner.active());
+    }
+    flight_event(FlightEventKind::kTierEnter, "exact", 42, 7);
+    FlightScope::Summary summary;
+    summary.verdict = "coherent";
+    summary.latency_nanos = 20'000;
+    summary.effort.states = 123;
+    id = scope.finish(summary);
+  }
+  ASSERT_NE(id, 0u);
+  FlightRecord record;
+  ASSERT_TRUE(flight_record_for(id, &record));
+  EXPECT_STREQ(record.trigger, "slow");
+  EXPECT_STREQ(record.verdict, "coherent");
+  EXPECT_STREQ(record.tag, "slow request");
+  EXPECT_STREQ(record.kind, "coherence");
+  EXPECT_EQ(record.effort.states, 123u);
+  EXPECT_EQ(record.dropped_events, 0u);
+  EXPECT_EQ(record.dropped_spans, 0u);
+
+  // The event window brackets the request and carries its id.
+  ASSERT_GE(record.num_events, 3u);
+  EXPECT_EQ(record.events[0].kind, FlightEventKind::kRequestBegin);
+  EXPECT_EQ(record.events[record.num_events - 1].kind,
+            FlightEventKind::kRequestEnd);
+  bool saw_tier = false;
+  for (std::uint32_t i = 0; i < record.num_events; ++i) {
+    EXPECT_EQ(record.events[i].request_id, id);
+    if (record.events[i].kind == FlightEventKind::kTierEnter &&
+        record.events[i].a == 42 && record.events[i].b == 7)
+      saw_tier = true;
+  }
+  EXPECT_TRUE(saw_tier);
+
+  // Both spans captured (close order: inner first) with the parent link
+  // resolvable inside the record.
+  ASSERT_EQ(record.num_spans, 2u);
+  EXPECT_STREQ(record.spans[0].name, "obs.test.flight.inner");
+  EXPECT_STREQ(record.spans[1].name, "obs.test.flight.outer");
+  EXPECT_EQ(record.spans[0].parent_id, record.spans[1].id);
+  EXPECT_EQ(record.spans[1].parent_id, 0u);
+
+  // Nothing was truncated, so nothing may be counted as dropped.
+  EXPECT_EQ(counter_value(snapshot_metrics(),
+                          "vermem_obs_dropped_total{kind=\"event\"}"),
+            0u);
+}
+
+TEST_F(FlightTest, VerdictAndShedTriggersRetain) {
+  FlightPolicy policy;
+  policy.latency_threshold_nanos = 0;  // disarm the slow trigger
+  set_flight_policy(policy);
+  std::uint64_t incoherent_id = 0;
+  std::uint64_t shed_id = 0;
+  {
+    FlightScope scope("coherence", "bad");
+    FlightScope::Summary summary;
+    summary.verdict = "incoherent";
+    summary.incoherent = true;
+    incoherent_id = scope.finish(summary);
+  }
+  {
+    FlightScope scope("stream", "backpressure");
+    flight_event(FlightEventKind::kShed, "queue full", 17);
+    FlightScope::Summary summary;
+    summary.verdict = "coherent";
+    summary.shed = true;
+    shed_id = scope.finish(summary);
+  }
+  FlightRecord record;
+  ASSERT_TRUE(flight_record_for(incoherent_id, &record));
+  EXPECT_STREQ(record.trigger, "incoherent");
+  ASSERT_TRUE(flight_record_for(shed_id, &record));
+  EXPECT_STREQ(record.trigger, "shed");
+  EXPECT_TRUE(record.shed);
+  EXPECT_EQ(flight_retained_total(), 2u);
+  EXPECT_GT(shed_id, incoherent_id);  // ids are process-unique, monotonic
+}
+
+TEST_F(FlightTest, DisabledScopeIsInert) {
+  set_flight_enabled(false);
+  FlightScope scope("coherence", "off");
+  EXPECT_FALSE(scope.active());
+  EXPECT_EQ(scope.request_id(), 0u);
+  FlightScope::Summary summary;
+  summary.verdict = "incoherent";
+  summary.incoherent = true;
+  EXPECT_EQ(scope.finish(summary), 0u);
+  EXPECT_EQ(flight_retained_count(), 0u);
+}
+
+TEST_F(FlightTest, WriteFlightJsonEmitsPolicyAndRecords) {
+  FlightPolicy policy;
+  policy.latency_threshold_nanos = 0;
+  set_flight_policy(policy);
+  {
+    FlightScope scope("vscc", "undecided");
+    FlightScope::Summary summary;
+    summary.verdict = "unknown";
+    summary.unknown = true;
+    ASSERT_NE(scope.finish(summary), 0u);
+  }
+  std::ostringstream out;
+  write_flight_json(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"policy\":{\"latency_threshold_nanos\":0"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"retained_total\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"trigger\":\"unknown\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"vscc\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"request_begin\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"request_end\""), std::string::npos);
+}
+
+TEST_F(FlightTest, ConcurrentScopesRetainEveryTriggeredRequest) {
+  // Per-thread rings: concurrent captures must not interfere and must
+  // lose nothing (run under TSan in CI).
+  Registry::instance().reset();
+  FlightPolicy policy;
+  policy.latency_threshold_nanos = 1;  // everything is "slow"
+  set_flight_policy(policy);
+  constexpr std::size_t kTasks = 16;
+  std::vector<std::uint64_t> ids;
+  {
+    ThreadPool pool(8);
+    std::vector<std::future<std::uint64_t>> done;
+    done.reserve(kTasks);
+    for (std::size_t t = 0; t < kTasks; ++t)
+      done.push_back(pool.submit([t] {
+        FlightScope scope("coherence", "stress");
+        flight_event(FlightEventKind::kTierEnter, "exact", t);
+        FlightScope::Summary summary;
+        summary.verdict = "coherent";
+        summary.latency_nanos = 100;
+        return scope.finish(summary);
+      }));
+    for (auto& f : done) ids.push_back(f.get());
+  }
+  for (const std::uint64_t id : ids) EXPECT_NE(id, 0u);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+  EXPECT_EQ(flight_retained_total(), kTasks);
+  EXPECT_EQ(flight_retained_count(), kTasks);
+  EXPECT_EQ(counter_value(snapshot_metrics(),
+                          "vermem_obs_dropped_total{kind=\"event\"}"),
+            0u);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(FlightCrashDump, AbortWritesParsableBlackBox) {
+#if defined(VERMEM_TEST_TSAN)
+  GTEST_SKIP() << "fork + abort is not reliable under TSan";
+#else
+  const std::string path = ::testing::TempDir() + "obs_flight_crash.json";
+  std::remove(path.c_str());
+  const pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // Child: arm the black box, record some context, then die the way a
+    // real crash would. _exit on any unexpected success path.
+    set_flight_enabled(true);
+    install_crash_handler(path.c_str());
+    FlightScope scope("coherence", "crashing request");
+    flight_event(FlightEventKind::kTierEnter, "exact", 1, 2);
+    std::abort();
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler wrote no dump at " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"crash\":true"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"signal\":" + std::to_string(SIGABRT)),
+            std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"tier_enter\""), std::string::npos);
+  EXPECT_NE(text.find("\"counters\":{"), std::string::npos);
+  std::remove(path.c_str());
+#endif
+}
+
+#endif  // __unix__ || __APPLE__
+
+// ---- SLO tracker ---------------------------------------------------------
+
+TEST(SloTracker, ErrorBudgetBurnsWithErrorsAndBreaches) {
+  SloOptions options;
+  options.objective = 0.9;  // budget = 10% of traffic
+  options.latency_slo_nanos = 1'000'000;
+  SloTracker tracker(options);
+  for (int i = 0; i < 98; ++i)
+    tracker.record(RequestKind::kCoherence, 1000, false, 0);
+  tracker.record(RequestKind::kCoherence, 1000, true, 0);       // error
+  tracker.record(RequestKind::kCoherence, 2'000'000, false, 0);  // breach
+  const SloSnapshot snapshot = tracker.snapshot();
+  const KindSlo& kind =
+      snapshot.kinds[static_cast<std::size_t>(RequestKind::kCoherence)];
+  EXPECT_EQ(kind.total, 100u);
+  EXPECT_EQ(kind.errors, 1u);
+  EXPECT_EQ(kind.breaches, 1u);
+  // budget = 10 requests, burned = 2: 80% remaining.
+  EXPECT_NEAR(kind.error_budget_remaining, 0.8, 1e-9);
+  EXPECT_GT(kind.p99_nanos, kind.p50_nanos);
+  // Untouched kinds stay at full budget.
+  const KindSlo& idle =
+      snapshot.kinds[static_cast<std::size_t>(RequestKind::kStream)];
+  EXPECT_EQ(idle.total, 0u);
+  EXPECT_DOUBLE_EQ(idle.error_budget_remaining, 1.0);
+}
+
+TEST(SloTracker, ExemplarLinksLatencyBucketToFlightRecord) {
+  SloTracker tracker;
+  tracker.record(RequestKind::kVscc, 700, false, 0);
+  tracker.record(RequestKind::kVscc, 900, false, 41);  // bucket [512,1024)
+  const SloSnapshot snapshot = tracker.snapshot();
+  const KindSlo& kind =
+      snapshot.kinds[static_cast<std::size_t>(RequestKind::kVscc)];
+  EXPECT_EQ(kind.exemplar_id[detail::bucket_of(900)], 41u);
+  EXPECT_EQ(kind.exemplar_nanos[detail::bucket_of(900)], 900u);
+  const std::string text = snapshot.to_prometheus();
+  EXPECT_NE(text.find("# {flight_id=\"41\"} 900"), std::string::npos) << text;
+  EXPECT_NE(text.find("vermem_slo_error_budget_remaining{kind=\"vscc\"}"),
+            std::string::npos);
+}
+
+TEST(SloTracker, ResetClearsWindowsAndExemplars) {
+  SloTracker tracker;
+  tracker.record(RequestKind::kStream, 500, true, 9);
+  tracker.reset();
+  const SloSnapshot snapshot = tracker.snapshot();
+  const KindSlo& kind =
+      snapshot.kinds[static_cast<std::size_t>(RequestKind::kStream)];
+  EXPECT_EQ(kind.total, 0u);
+  EXPECT_EQ(kind.exemplar_id[detail::bucket_of(500)], 0u);
+  EXPECT_DOUBLE_EQ(kind.error_budget_remaining, 1.0);
 }
 
 }  // namespace

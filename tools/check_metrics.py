@@ -2,10 +2,12 @@
 """Schema check for vermemd --metrics-out Prometheus text output.
 
 Validates the exposition format the obs registry and ServiceStats emit:
-  - every non-comment line is `name[{labels}] value`
+  - every non-comment line is `name[{labels}] value` with an optional
+    OpenMetrics exemplar suffix (`# {flight_id="N"} value`)
   - every sample name (label-stripped, histogram suffixes folded) is
     covered by a preceding # TYPE line
-  - histogram le buckets are cumulative and end with +Inf == _count
+  - histogram le buckets are cumulative per label set (minus le) and
+    every label set ends with a +Inf bucket
   - all names carry the vermem_ prefix
 
 Usage: check_metrics.py FILE [--require NAME ...]
@@ -16,7 +18,8 @@ import re
 import sys
 
 SAMPLE_RE = re.compile(
-    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? ([0-9.eE+-]+|NaN)$')
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? ([0-9.eE+-]+|NaN)'
+    r'( # \{[^}]*\} [0-9.eE+-]+)?$')
 TYPE_RE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$')
 
 
@@ -33,7 +36,10 @@ def base_of(name: str, types: dict) -> str:
 def check(path: str, required: list) -> int:
     types = {}
     seen = set()
-    hist_state = {}  # base -> (last cumulative, saw +Inf)
+    # (base, labels-minus-le) -> (last cumulative, saw +Inf): labeled
+    # histograms (e.g. per-kind latency) keep one cumulative sequence
+    # per series, not one per family.
+    hist_state = {}
     with open(path, encoding='utf-8') as handle:
         for lineno, raw in enumerate(handle, 1):
             line = raw.rstrip('\n')
@@ -54,7 +60,7 @@ def check(path: str, required: list) -> int:
             if not sample:
                 print(f'{where}: malformed sample line: {line!r}')
                 return 1
-            name, labels, value = sample.groups()
+            name, labels, value, exemplar = sample.groups()
             base = base_of(name, types)
             if not base.startswith('vermem_'):
                 print(f'{where}: sample {name} lacks the vermem_ prefix')
@@ -63,20 +69,26 @@ def check(path: str, required: list) -> int:
                 print(f'{where}: sample {name} has no preceding # TYPE line')
                 return 1
             seen.add(base)
+            if exemplar and not (types[base] == 'histogram' and
+                                 name.endswith('_bucket')):
+                print(f'{where}: exemplar on a non-bucket sample: {line!r}')
+                return 1
             if types[base] == 'histogram' and name.endswith('_bucket'):
                 le = re.search(r'le="([^"]+)"', labels or '')
                 if not le:
                     print(f'{where}: histogram bucket without le label')
                     return 1
-                cumulative, _ = hist_state.get(base, (0.0, False))
+                series = re.sub(r',?le="[^"]*"', '', labels or '')
+                key = (base, series)
+                cumulative, _ = hist_state.get(key, (0.0, False))
                 count = float(value)
                 if count < cumulative:
-                    print(f'{where}: non-cumulative bucket for {base}')
+                    print(f'{where}: non-cumulative bucket for {base}{series}')
                     return 1
-                hist_state[base] = (count, le.group(1) == '+Inf')
-    for base, (_, saw_inf) in hist_state.items():
+                hist_state[key] = (count, le.group(1) == '+Inf')
+    for (base, series), (_, saw_inf) in hist_state.items():
         if not saw_inf:
-            print(f'{path}: histogram {base} missing le="+Inf" bucket')
+            print(f'{path}: histogram {base}{series} missing le="+Inf" bucket')
             return 1
     missing = [name for name in required if name not in seen]
     if missing:

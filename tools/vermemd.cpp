@@ -47,6 +47,19 @@
 //                       Prometheus text exposition (plus the service's
 //                       own ServiceStats counters), or a JSON summary
 //                       when FILE ends in .json
+//   --log-out=FILE      write the structured JSONL log ring on exit;
+//                       raises the level to info when VERMEM_LOG left
+//                       it off
+//   --flight-out=FILE   enable the flight recorder, write retained
+//                       slow/shed/wrong-request records as JSON on
+//                       exit, and install the SIGSEGV/SIGABRT black-box
+//                       dump (written to FILE.crash)
+//   --flight-slow-us=N  flight-recorder slow-request threshold in
+//                       microseconds (default 50000)
+//
+// Every exporter file is written on *every* exit path, including fatal
+// errors after argument parsing — a crash investigation must not lose
+// the flight record because the process also hit a parse error.
 //
 // Exit codes (see docs/SERVICE.md):
 //   0  every trace verified with a definite coherent/admissible verdict
@@ -57,6 +70,7 @@
 //      timeouts" by requiring exit != 3
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -67,6 +81,8 @@
 #include "analysis_json.hpp"
 #include "certify/text.hpp"
 #include "trace/binary_io.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "service/service.hpp"
@@ -85,17 +101,77 @@ int usage() {
       "               [--workers=N] [--batch=N] [--cache=N]\n"
       "               [--deadline-ms=N] [--repeat=N] [--binary]\n"
       "               [--shards=N] [--analyze] [--certify] [--stats]\n"
-      "               [--trace-out=FILE] [--metrics-out=FILE] [--version]\n"
-      "               [FILE...]\n");
+      "               [--trace-out=FILE] [--metrics-out=FILE]\n"
+      "               [--log-out=FILE] [--flight-out=FILE]\n"
+      "               [--flight-slow-us=N] [--version] [FILE...]\n");
   return 2;
 }
 
-/// Flushes verdict lines already written before a fatal stderr message:
-/// when stdout is a pipe, an abort must not silently discard them.
-int fatal_exit() {
-  std::fflush(stdout);
-  return 2;
-}
+/// The one exit path every return after argument parsing goes through:
+/// flushes verdict lines already on stdout, then writes every requested
+/// exporter file — metrics (before service shutdown, so queue gauges
+/// reflect the serving state), trace, structured log, flight records —
+/// best-effort, so a fatal error after some exporters were requested
+/// still leaves the diagnostics that explain it on disk.
+struct Exporters {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string log_out;
+  std::string flight_out;
+  service::VerificationService* svc = nullptr;
+
+  int finish(int code) {
+    std::fflush(stdout);
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+        if (code == 0) code = 2;
+      } else {
+        const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+        const bool as_json =
+            metrics_out.size() >= 5 &&
+            metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+        if (as_json)
+          out << snapshot.to_json() << "\n";
+        else if (svc != nullptr)
+          out << snapshot.to_prometheus() << svc->stats().to_prometheus();
+        else
+          out << snapshot.to_prometheus();
+      }
+    }
+    if (svc != nullptr) svc->shutdown();
+    if (!trace_out.empty()) {
+      // After shutdown: worker and dispatcher spans are all closed.
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        if (code == 0) code = 2;
+      } else {
+        obs::write_chrome_trace(out);
+      }
+    }
+    if (!log_out.empty()) {
+      std::ofstream out(log_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", log_out.c_str());
+        if (code == 0) code = 2;
+      } else {
+        obs::write_log_jsonl(out);
+      }
+    }
+    if (!flight_out.empty()) {
+      std::ofstream out(flight_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", flight_out.c_str());
+        if (code == 0) code = 2;
+      } else {
+        obs::write_flight_json(out);
+      }
+    }
+    return code;
+  }
+};
 
 void print_response(const std::string& tag,
                     const service::VerificationResponse& response) {
@@ -103,7 +179,7 @@ void print_response(const std::string& tag,
       "{\"trace\":\"%s\",\"verdict\":\"%s\",\"reason\":\"%s\","
       "\"timed_out\":%s,\"cancelled\":%s,\"cache_hit\":%s,"
       "\"fingerprint\":\"%016llx\",\"ops\":%zu,\"addresses\":%zu,"
-      "\"queue_us\":%.1f,\"run_us\":%.1f",
+      "\"queue_us\":%.1f,\"run_us\":%.1f,\"flight_id\":%llu",
       tools::json_escape(tag).c_str(), to_string(response.verdict),
       tools::json_escape(response.reason).c_str(),
       response.timed_out ? "true" : "false",
@@ -111,7 +187,8 @@ void print_response(const std::string& tag,
       response.cache_hit ? "true" : "false",
       static_cast<unsigned long long>(response.fingerprint),
       response.num_operations, response.num_addresses, response.queue_micros,
-      response.run_micros);
+      response.run_micros,
+      static_cast<unsigned long long>(response.flight_id));
   std::printf(
       ",\"effort\":{\"states\":%llu,\"transitions\":%llu,\"prunes\":%llu,"
       "\"max_frontier\":%llu,\"arena_reserved\":%llu,"
@@ -148,12 +225,12 @@ int main(int argc, char** argv) {
   std::size_t deadline_ms = 0;
   std::size_t repeat = 1;
   std::size_t stream_shards = 0;
+  std::size_t flight_slow_us = 0;
   bool force_binary = false;
   bool analyze = false;
   bool certify = false;
   bool print_stats = false;
-  std::string trace_out;
-  std::string metrics_out;
+  Exporters exporters;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -175,9 +252,15 @@ int main(int argc, char** argv) {
     else if (arg == "--binary")
       force_binary = true;
     else if (arg.rfind("--trace-out=", 0) == 0)
-      trace_out = arg.substr(12);
+      exporters.trace_out = arg.substr(12);
     else if (arg.rfind("--metrics-out=", 0) == 0)
-      metrics_out = arg.substr(14);
+      exporters.metrics_out = arg.substr(14);
+    else if (arg.rfind("--log-out=", 0) == 0)
+      exporters.log_out = arg.substr(10);
+    else if (arg.rfind("--flight-out=", 0) == 0)
+      exporters.flight_out = arg.substr(13);
+    else if (arg.rfind("--flight-slow-us=", 0) == 0)
+      ok = tools::parse_size_arg(arg, 17, flight_slow_us);
     else if (arg == "--analyze")
       analyze = true;
     else if (arg == "--certify")
@@ -194,8 +277,24 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     if (!ok) return usage();
   }
-  if (!trace_out.empty()) obs::set_tracing_enabled(true);
-  if (!metrics_out.empty()) obs::set_enabled(true);
+  if (!exporters.trace_out.empty()) obs::set_tracing_enabled(true);
+  if (!exporters.metrics_out.empty()) obs::set_enabled(true);
+  // --log-out implies info-level logging unless VERMEM_LOG explicitly
+  // chose a level (including off).
+  if (!exporters.log_out.empty() && std::getenv("VERMEM_LOG") == nullptr)
+    obs::set_log_level(obs::LogLevel::kInfo);
+  if (!exporters.flight_out.empty()) {
+    obs::set_flight_enabled(true);
+    // Black box: a crash writes the last ring events + counters here.
+    static const std::string crash_path = exporters.flight_out + ".crash";
+    obs::install_crash_handler(crash_path.c_str());
+  }
+  if (flight_slow_us != 0) {
+    obs::FlightPolicy policy = obs::flight_policy();
+    policy.latency_threshold_nanos =
+        static_cast<std::uint64_t>(flight_slow_us) * 1000;
+    obs::set_flight_policy(policy);
+  }
 
   service::CheckMode check_mode = service::CheckMode::kCoherence;
   models::Model model = models::Model::kSc;
@@ -254,7 +353,7 @@ int main(int argc, char** argv) {
       std::ifstream file(path, std::ios::binary);
       if (!file) {
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 2;
+        return exporters.finish(2);
       }
       std::ostringstream buffer;
       buffer << file.rdbuf();
@@ -263,7 +362,7 @@ int main(int argc, char** argv) {
   }
   if (items.empty()) {
     std::fprintf(stderr, "no traces to verify\n");
-    return 2;
+    return exporters.finish(2);
   }
   bool any_binary = false;
   for (const InputItem& item : items) any_binary |= item.binary;
@@ -271,7 +370,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "binary traces stream through the coherence checker only "
                  "(--mode=coherence)\n");
-    return 2;
+    return exporters.finish(2);
   }
 
   // Parse everything before spinning up the service so a malformed trace
@@ -282,7 +381,7 @@ int main(int argc, char** argv) {
     if (!parsed.ok()) {
       std::fprintf(stderr, "%s: parse error at line %zu: %s\n",
                    source.tag.c_str(), parsed.line, parsed.error.c_str());
-      return fatal_exit();
+      return exporters.finish(2);
     }
     service::VerificationRequest request;
     request.execution = std::move(parsed.execution);
@@ -291,7 +390,7 @@ int main(int argc, char** argv) {
       if (!orders.ok()) {
         std::fprintf(stderr, "%s: write-order parse error: %s\n",
                      source.tag.c_str(), orders.error.c_str());
-        return fatal_exit();
+        return exporters.finish(2);
       }
       request.write_orders.emplace(orders.orders.begin(), orders.orders.end());
     }
@@ -310,6 +409,16 @@ int main(int argc, char** argv) {
   options.max_batch = batch;
   options.cache_capacity = cache;
   service::VerificationService svc(options);
+  exporters.svc = &svc;
+  {
+    static const obs::LogSite start_site = obs::log_site("vermemd.start");
+    if (start_site.should(obs::LogLevel::kInfo))
+      obs::LogLine(start_site, obs::LogLevel::kInfo, "service started")
+          .field("workers", svc.num_workers())
+          .field("traces", items.size())
+          .field("repeat", repeat)
+          .field("mode", std::string_view(mode));
+  }
 
   bool any_incoherent = false;
   bool any_unknown = false;
@@ -385,36 +494,31 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.stream_events),
                  static_cast<unsigned long long>(stats.stream_shed),
                  fragments.c_str());
-  }
-  if (!metrics_out.empty()) {
-    // Snapshot before shutdown so queue/in-flight gauges reflect the
-    // serving state; the registry itself is process-global.
-    const service::ServiceStats stats = svc.stats();
-    std::ofstream out(metrics_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
-      return fatal_exit();
+    // Companion SLO line: per-kind rolling-window accounting plus the
+    // flight-recorder residency, one JSON object to stderr.
+    std::string slo;
+    for (std::size_t k = 0; k < obs::kNumRequestKinds; ++k) {
+      const obs::KindSlo& kind = stats.slo.kinds[k];
+      if (kind.total == 0) continue;
+      if (!slo.empty()) slo += ",";
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "\"%s\":{\"requests\":%llu,\"errors\":%llu,"
+                    "\"breaches\":%llu,\"p99_us\":%.1f,"
+                    "\"budget_remaining\":%.4f}",
+                    obs::to_string(static_cast<obs::RequestKind>(k)),
+                    static_cast<unsigned long long>(kind.total),
+                    static_cast<unsigned long long>(kind.errors),
+                    static_cast<unsigned long long>(kind.breaches),
+                    kind.p99_nanos / 1e3, kind.error_budget_remaining);
+      slo += buf;
     }
-    const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
-    const bool as_json = metrics_out.size() >= 5 &&
-                         metrics_out.compare(metrics_out.size() - 5, 5,
-                                             ".json") == 0;
-    if (as_json)
-      out << snapshot.to_json() << "\n";
-    else
-      out << snapshot.to_prometheus() << stats.to_prometheus();
+    std::fprintf(stderr,
+                 "{\"slo\":{%s},\"flight_retained\":%llu,"
+                 "\"flight_retained_total\":%llu}\n",
+                 slo.c_str(),
+                 static_cast<unsigned long long>(stats.flight_retained),
+                 static_cast<unsigned long long>(stats.flight_retained_total));
   }
-  svc.shutdown();
-  if (!trace_out.empty()) {
-    // After shutdown: worker and dispatcher spans are all closed by now.
-    std::ofstream out(trace_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
-      return fatal_exit();
-    }
-    obs::write_chrome_trace(out);
-  }
-  if (any_incoherent) return 1;
-  if (any_unknown) return 3;
-  return 0;
+  return exporters.finish(any_incoherent ? 1 : any_unknown ? 3 : 0);
 }
