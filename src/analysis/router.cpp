@@ -1,6 +1,12 @@
 #include "analysis/router.hpp"
 
+#include <atomic>
+#include <thread>
 #include <utility>
+#include <variant>
+#include <vector>
+
+#include "sat/dpll.hpp"
 
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -10,6 +16,9 @@
 #include "analysis/poly/write_once.hpp"
 #include "analysis/poly/write_order.hpp"
 #include "analysis/saturate/core.hpp"
+#include "encode/naive.hpp"
+#include "encode/vmc_to_cnf.hpp"
+#include "vmc/bounded.hpp"
 #include "vmc/exact.hpp"
 #include "vmc/write_order.hpp"
 
@@ -59,6 +68,153 @@ certify::Incoherence contradiction_evidence(const ProjectedView& view,
   return certify::unwritten_read(addr, OpRef{}, c.value);  // unreachable
 }
 
+void count_engine_win(Engine engine) {
+  static const std::array<obs::Counter, kNumEngines> counters = [] {
+    std::array<obs::Counter, kNumEngines> out;
+    for (std::size_t e = 0; e < kNumEngines; ++e)
+      out[e] = obs::counter(
+          std::string("vermem_portfolio_wins_total{engine=\"") +
+          to_string(static_cast<Engine>(e)) + "\"}");
+    return out;
+  }();
+  counters[static_cast<std::size_t>(engine)].add();
+}
+
+/// One engine's run in a portfolio race. Every arm is budgeted by the
+/// caller's deadline and the race's linked cancellation token, and every
+/// definite verdict obeys the certification discipline of its engine.
+CheckResult run_engine(Engine engine, const vmc::VmcInstance& instance,
+                       const vmc::ExactOptions& exact_options,
+                       const PortfolioOptions& portfolio,
+                       const CancellationToken& stop) {
+  switch (engine) {
+    case Engine::kExactSearch: {
+      vmc::ExactOptions options = exact_options;
+      options.cancel = &stop;
+      return vmc::check_exact(instance, options);
+    }
+    case Engine::kCdcl: {
+      sat::SolverOptions options = portfolio.solver;
+      options.deadline = exact_options.deadline;
+      options.cancel = &stop;
+      return encode::check_via_sat(instance, options);
+    }
+    case Engine::kBoundedK: {
+      vmc::BoundedKOptions options = portfolio.bounded;
+      options.deadline = exact_options.deadline;
+      options.cancel = &stop;
+      if (options.max_states == 0) options.max_states = exact_options.max_states;
+      return vmc::check_bounded_k(instance, options);
+    }
+    case Engine::kDpll: {
+      // No cancellation hook (sat/dpll.hpp): a lost race still runs to
+      // its deadline, which is why this arm is opt-in (race_dpll).
+      const encode::VmcEncoding enc = encode::encode_vmc(instance);
+      if (enc.trivially_incoherent) {
+        if (const auto* unknown = std::get_if<certify::Unknown>(&enc.evidence))
+          return CheckResult::unknown(*unknown);
+        return CheckResult::no(std::get<certify::Incoherence>(enc.evidence));
+      }
+      const sat::DpllResult solved =
+          sat::solve_dpll(enc.cnf, exact_options.deadline);
+      vmc::SearchStats stats;
+      stats.states_visited = solved.stats.decisions;
+      stats.transitions = solved.stats.propagations;
+      switch (solved.status) {
+        case sat::Status::kUnsat:
+          // DPLL logs no proof; like the naive oracle it is not a
+          // certificate producer.
+          return CheckResult::no(
+              certify::search_exhaustion(instance.addr, solved.stats.decisions,
+                                         solved.stats.propagations),
+              stats);
+        case sat::Status::kUnknown:
+          return CheckResult::unknown(certify::UnknownReason::kSolverGaveUp,
+                                      "DPLL gave up", stats);
+        case sat::Status::kSat:
+          break;
+      }
+      const vmc::WriteOrder order = enc.decode_write_order(solved.model);
+      CheckResult certified = vmc::check_with_write_order(instance, order);
+      if (certified.verdict != Verdict::kCoherent)
+        return CheckResult::unknown(
+            certify::UnknownReason::kCertificationFailed,
+            "internal: DPLL model failed certification: " + certified.reason(),
+            stats);
+      certified.stats = stats;
+      return certified;
+    }
+  }
+  return CheckResult::unknown(certify::UnknownReason::kSolverGaveUp,
+                              "unknown portfolio engine");
+}
+
+/// Races the exact tier's engines on one instance. First definite
+/// verdict (by finish time) wins and cancels the rest through a token
+/// linked to the request-level one; the winner's effort becomes the
+/// result's stats and the losers' effort is surfaced separately in
+/// RouteOutcome::wasted_effort.
+CheckResult race_portfolio(const vmc::VmcInstance& instance,
+                           const vmc::ExactOptions& exact_options,
+                           const PortfolioOptions& portfolio,
+                           RouteOutcome& out) {
+  obs::Span span("analysis.portfolio");
+  CancellationToken stop(exact_options.cancel);
+
+  std::vector<Engine> engines;
+  if (portfolio.only) {
+    engines.push_back(*portfolio.only);
+  } else {
+    engines = {Engine::kExactSearch, Engine::kCdcl, Engine::kBoundedK};
+    if (portfolio.solver.race_dpll) engines.push_back(Engine::kDpll);
+  }
+
+  std::vector<CheckResult> results(engines.size());
+  std::atomic<int> first_definite{-1};
+  const auto arm = [&](std::size_t i) {
+    CheckResult result =
+        run_engine(engines[i], instance, exact_options, portfolio, stop);
+    if (result.verdict != Verdict::kUnknown) {
+      int expected = -1;
+      if (first_definite.compare_exchange_strong(expected,
+                                                 static_cast<int>(i)))
+        stop.cancel();
+    }
+    results[i] = std::move(result);
+  };
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(engines.size());
+    for (std::size_t i = 0; i < engines.size(); ++i)
+      threads.emplace_back(arm, i);
+    for (auto& thread : threads) thread.join();
+  }
+
+  // With no definite verdict the frontier search's answer (engines[0])
+  // stands in, so kUnknown evidence stays meaningful.
+  const int decided = first_definite.load();
+  const std::size_t winner =
+      decided >= 0 ? static_cast<std::size_t>(decided) : 0;
+  out.portfolio_ran = true;
+  out.portfolio_winner = engines[winner];
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if (i != winner) out.wasted_effort.merge(results[i].stats);
+
+  if (span.active()) {
+    span.attr("addr", static_cast<std::uint64_t>(instance.addr));
+    span.attr("engines", engines.size());
+    span.attr("winner", to_string(engines[winner]));
+    span.attr("definite", decided >= 0);
+    span.attr("wasted_states", out.wasted_effort.states_visited);
+  }
+  obs::flight_event(obs::FlightEventKind::kTierVerdict,
+                    to_string(engines[winner]),
+                    static_cast<std::uint64_t>(instance.addr),
+                    static_cast<std::uint64_t>(results[winner].verdict));
+  if (decided >= 0 && obs::enabled()) count_engine_win(engines[winner]);
+  return std::move(results[winner]);
+}
+
 /// The saturation tier for kBoundedProcesses/kGeneral (and structural
 /// fallbacks): derive the must-precede graph, decide outright when it
 /// resolves (cycle / forced total order / contradiction), otherwise hand
@@ -67,6 +223,7 @@ certify::Incoherence contradiction_evidence(const ProjectedView& view,
 CheckResult saturate_then_exact(const ProjectedView& view,
                                 const vmc::VmcInstance& instance,
                                 const vmc::ExactOptions& exact_options,
+                                const PortfolioOptions& portfolio,
                                 RouteOutcome& out) {
   obs::flight_event(obs::FlightEventKind::kTierEnter, "saturate",
                     static_cast<std::uint64_t>(view.addr()));
@@ -160,6 +317,12 @@ CheckResult saturate_then_exact(const ProjectedView& view,
     pruned.pruner = &oracle;
   }
   out.decider = Decider::kExact;
+  if (portfolio.enabled) {
+    obs::flight_event(obs::FlightEventKind::kTierEnter, "portfolio",
+                      static_cast<std::uint64_t>(view.addr()),
+                      sat.edges.size());
+    return race_portfolio(instance, pruned, portfolio, out);
+  }
   obs::flight_event(obs::FlightEventKind::kTierEnter, "exact",
                     static_cast<std::uint64_t>(view.addr()),
                     sat.edges.size());
@@ -170,7 +333,8 @@ CheckResult saturate_then_exact(const ProjectedView& view,
 
 RouteOutcome check_routed(const ProjectedView& view,
                           const std::vector<OpRef>* write_order,
-                          const vmc::ExactOptions& exact_options) {
+                          const vmc::ExactOptions& exact_options,
+                          const PortfolioOptions& portfolio) {
   obs::Span span("analysis.route");
   RouteOutcome out;
   const FragmentProfile profile = classify(view, write_order != nullptr);
@@ -229,7 +393,7 @@ RouteOutcome check_routed(const ProjectedView& view,
     case Fragment::kEmpty:  // handled above
     case Fragment::kBoundedProcesses:
     case Fragment::kGeneral:
-      result = saturate_then_exact(view, instance, exact_options, out);
+      result = saturate_then_exact(view, instance, exact_options, portfolio, out);
       break;
   }
 
@@ -241,7 +405,7 @@ RouteOutcome check_routed(const ProjectedView& view,
   // (surfaced separately as lint rule W004).
   if (result.verdict == Verdict::kUnknown && out.decider != Decider::kExact &&
       out.decider != Decider::kSaturate && out.decider != Decider::kWriteOrder) {
-    result = saturate_then_exact(view, instance, exact_options, out);
+    result = saturate_then_exact(view, instance, exact_options, portfolio, out);
     out.fell_back = true;
   }
 
@@ -273,7 +437,8 @@ RouteOutcome check_routed(const ProjectedView& view,
 
 RoutedReport verify_coherence_routed(const AddressIndex& index,
                                      const vmc::WriteOrderMap* write_orders,
-                                     const vmc::ExactOptions& exact_options) {
+                                     const vmc::ExactOptions& exact_options,
+                                     const PortfolioOptions& portfolio) {
   obs::Span span("analysis.verify_routed");
   RoutedReport out;
   const std::size_t count = index.num_addresses();
@@ -304,7 +469,7 @@ RoutedReport verify_coherence_routed(const AddressIndex& index,
       if (it != write_orders->end()) order = &it->second;
     }
     RouteOutcome outcome =
-        check_routed(index.view_at(i), order, exact_options);
+        check_routed(index.view_at(i), order, exact_options, portfolio);
     ++out.fragment_counts[static_cast<std::size_t>(outcome.fragment)];
     ++out.decider_counts[static_cast<std::size_t>(outcome.decider)];
     if (outcome.decider == Decider::kExact)
@@ -319,6 +484,12 @@ RoutedReport verify_coherence_routed(const AddressIndex& index,
         ++out.saturate_cycles;
       if (outcome.saturation_status == saturate::Status::kForcedTotal)
         ++out.saturate_forced;
+    }
+    if (outcome.portfolio_ran) {
+      ++out.portfolio_races;
+      if (outcome.result.verdict != Verdict::kUnknown)
+        ++out.engine_wins[static_cast<std::size_t>(outcome.portfolio_winner)];
+      out.wasted_effort.merge(outcome.wasted_effort);
     }
     out.fragments.push_back(outcome.fragment);
     out.deciders.push_back(outcome.decider);

@@ -15,9 +15,12 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 
 #include "analysis/fragment.hpp"
 #include "analysis/saturate/core.hpp"
+#include "sat/solver.hpp"
+#include "vmc/bounded.hpp"
 #include "vmc/checker.hpp"
 
 namespace vermem::analysis {
@@ -49,6 +52,47 @@ inline constexpr std::size_t kNumDeciders =
   return "?";
 }
 
+/// Engines the portfolio races on the exact tier. Every engine decides
+/// the same instance independently; the first *definite* verdict
+/// (coherent/incoherent) wins and cancels the rest cooperatively.
+enum class Engine : std::uint8_t {
+  kExactSearch,  ///< memoized frontier search (vmc::check_exact)
+  kCdcl,         ///< CNF encoding + CDCL (encode::check_via_sat)
+  kBoundedK,     ///< level-synchronous BFS (vmc::check_bounded_k)
+  kDpll,         ///< CNF + chronological DPLL (opt-in, see sat/dpll.hpp)
+};
+
+inline constexpr std::size_t kNumEngines =
+    static_cast<std::size_t>(Engine::kDpll) + 1;
+
+[[nodiscard]] constexpr const char* to_string(Engine e) noexcept {
+  switch (e) {
+    case Engine::kExactSearch: return "exact-search";
+    case Engine::kCdcl: return "cdcl";
+    case Engine::kBoundedK: return "bounded-k";
+    case Engine::kDpll: return "dpll";
+  }
+  return "?";
+}
+
+/// Portfolio configuration for the exact tier. Disabled by default: the
+/// race spends one thread per engine on every instance that reaches the
+/// tier, which only pays off when instances are hard enough that no
+/// single engine dominates.
+struct PortfolioOptions {
+  bool enabled = false;
+  /// When set, the exact tier runs ONLY this engine instead of racing —
+  /// the vermemd `--solver=cdcl|dpll` escape hatch. The winner is still
+  /// recorded (trivially, as the forced engine).
+  std::optional<Engine> only;
+  /// CDCL budget/flags. `solver.race_dpll` opts the DPLL arm in (off by
+  /// default — no cancellation hook, so a lost race still runs to its
+  /// deadline; see sat/dpll.hpp).
+  sat::SolverOptions solver;
+  /// Bounded-k arm ceiling; its deadline/cancel are overridden per race.
+  vmc::BoundedKOptions bounded;
+};
+
 /// Verdict plus routing provenance for one address.
 struct RouteOutcome {
   vmc::CheckResult result;
@@ -63,15 +107,24 @@ struct RouteOutcome {
   saturate::Status saturation_status = saturate::Status::kPartial;
   std::uint64_t saturation_edges = 0;         ///< must-edges derived
   std::uint64_t saturation_branch_points = 0; ///< unordered Kahn steps
+  /// Portfolio provenance. `result.stats` carries ONLY the winning
+  /// engine's effort; the losers' effort lands in `wasted_effort` so
+  /// aggregate effort accounting stays honest (a race that burned three
+  /// engines is not reported as one engine's work).
+  bool portfolio_ran = false;
+  Engine portfolio_winner = Engine::kExactSearch;
+  vmc::SearchStats wasted_effort;  ///< losing engines' merged effort
 };
 
 /// Classifies and decides one projection. `write_order`, when non-null,
 /// is this address's serialization log in original-execution
 /// coordinates; the witness in the outcome is likewise translated back
-/// to original coordinates.
+/// to original coordinates. `portfolio`, when enabled, races the exact
+/// tier's engines instead of running the frontier search alone.
 [[nodiscard]] RouteOutcome check_routed(
     const ProjectedView& view, const std::vector<OpRef>* write_order,
-    const vmc::ExactOptions& exact_options = {});
+    const vmc::ExactOptions& exact_options = {},
+    const PortfolioOptions& portfolio = {});
 
 /// verify_coherence with routing provenance: same verdicts as the vmc
 /// entry points (addresses in sorted order, early exit bookkeeping via
@@ -92,11 +145,18 @@ struct RoutedReport {
   std::uint64_t saturate_cycles = 0;   ///< cycle refutations
   std::uint64_t saturate_forced = 0;   ///< forced-total orders found
   std::uint64_t saturate_edges = 0;    ///< must-edges exported to exact/SAT
+  // Portfolio tallies (meaningful when a PortfolioOptions was enabled).
+  std::uint64_t portfolio_races = 0;   ///< addresses decided by a race
+  std::array<std::uint64_t, kNumEngines> engine_wins{};
+  /// Losing engines' merged effort across all races. Deliberately kept
+  /// out of report.effort: that field is winner-only, per-engine honest.
+  vmc::SearchStats wasted_effort;
 };
 
 [[nodiscard]] RoutedReport verify_coherence_routed(
     const AddressIndex& index,
     const vmc::WriteOrderMap* write_orders = nullptr,
-    const vmc::ExactOptions& exact_options = {});
+    const vmc::ExactOptions& exact_options = {},
+    const PortfolioOptions& portfolio = {});
 
 }  // namespace vermem::analysis

@@ -44,6 +44,83 @@ struct Graph {
   }
 };
 
+/// SCC condensation of the direct-edge graph. R2 reachability queries
+/// walk the component DAG instead of the raw graph, so a strongly
+/// connected cluster — which exists transiently within a round, after a
+/// cycle-closing R1 pin and before the post-round cycle check refutes
+/// the address — costs one component visit instead of a re-tour of the
+/// whole cluster, and parallel edges between clusters deduplicate away.
+/// Rebuilt lazily when edges were added since the last build; querying
+/// a stale build only under-approximates reachability (edges are never
+/// removed), which keeps R2 pruning sound.
+struct Condensation {
+  std::vector<std::uint32_t> comp;  ///< node -> component id
+  std::vector<std::vector<std::uint32_t>> fwd;  ///< component DAG
+  std::vector<std::vector<std::uint32_t>> rev;
+  std::uint32_t num = 0;
+
+  void build(const Graph& g) {
+    const auto n = static_cast<std::uint32_t>(g.fwd.size());
+    comp.assign(n, kNone);
+    num = 0;
+    // Iterative Tarjan: `frame.second` is the edge cursor, doubling as
+    // the first-visit flag (cursor 0 = not yet numbered).
+    std::vector<std::uint32_t> index(n, kNone);
+    std::vector<std::uint32_t> low(n, 0);
+    std::vector<std::uint8_t> on_stack(n, 0);
+    std::vector<std::uint32_t> scc_stack;
+    std::vector<std::pair<std::uint32_t, std::size_t>> call;
+    std::uint32_t next_index = 0;
+    for (std::uint32_t root = 0; root < n; ++root) {
+      if (index[root] != kNone) continue;
+      call.emplace_back(root, 0);
+      while (!call.empty()) {
+        const std::uint32_t u = call.back().first;
+        if (index[u] == kNone) {
+          index[u] = low[u] = next_index++;
+          scc_stack.push_back(u);
+          on_stack[u] = 1;
+        }
+        if (call.back().second < g.fwd[u].size()) {
+          const std::uint32_t v = g.fwd[u][call.back().second++];
+          if (index[v] == kNone)
+            call.emplace_back(v, 0);
+          else if (on_stack[v])
+            low[u] = std::min(low[u], index[v]);
+        } else {
+          if (low[u] == index[u]) {
+            while (true) {
+              const std::uint32_t v = scc_stack.back();
+              scc_stack.pop_back();
+              on_stack[v] = 0;
+              comp[v] = num;
+              if (v == u) break;
+            }
+            ++num;
+          }
+          call.pop_back();
+          if (!call.empty()) {
+            const std::uint32_t p = call.back().first;
+            low[p] = std::min(low[p], low[u]);
+          }
+        }
+      }
+    }
+    fwd.assign(num, {});
+    rev.assign(num, {});
+    std::unordered_set<std::uint64_t> keys;
+    for (const auto& [a, b] : g.edges) {
+      const std::uint32_t ca = comp[a];
+      const std::uint32_t cb = comp[b];
+      if (ca == cb) continue;
+      const std::uint64_t key = (static_cast<std::uint64_t>(ca) << 32) | cb;
+      if (!keys.insert(key).second) continue;
+      fwd[ca].push_back(cb);
+      rev[cb].push_back(ca);
+    }
+  }
+};
+
 /// Budgeted DFS: stamps every node reachable from `from` (inclusive)
 /// with `epoch`. An exhausted budget leaves the marking partial, which
 /// only under-approximates reachability — R2 pruning stays sound.
@@ -271,7 +348,9 @@ Result saturate(const ProjectedView& view, const Options& options) {
 
   // ---- Fixpoint: R2 pruning + R1 pinning until nothing changes. ----
   std::uint64_t budget = options.reach_budget;
-  std::vector<std::uint32_t> stamp(w, 0);
+  Condensation cond;
+  bool cond_dirty = true;  // edges added since the last build
+  std::vector<std::uint32_t> stamp;
   std::uint32_t epoch = 0;
   std::vector<std::uint32_t> scratch;
   bool changed = true;
@@ -295,7 +374,10 @@ Result saturate(const ProjectedView& view, const Options& options) {
         bool added = false;
         if (item.xm != kNone && item.xm != s) added |= graph.add(item.xm, s);
         if (item.nx != kNone && item.nx != s) added |= graph.add(s, item.nx);
-        if (added) changed = true;
+        if (added) {
+          changed = true;
+          cond_dirty = true;
+        }
         continue;
       }
       if (item.xm == kNone && item.nx == kNone) {
@@ -306,27 +388,42 @@ Result saturate(const ProjectedView& view, const Options& options) {
         res.budget_hit = true;
         continue;
       }
-      // R2: drop candidates that provably cannot be the source.
+      // R2: drop candidates that provably cannot be the source. Queries
+      // run on the SCC condensation, rebuilt lazily on the first query
+      // after an edge was added.
+      if (cond_dirty) {
+        cond.build(graph);
+        ++res.scc_builds;
+        res.scc_components = cond.num;
+        stamp.assign(cond.num, 0);
+        epoch = 0;
+        cond_dirty = false;
+      }
       std::uint32_t anc_epoch = 0;
       std::uint32_t desc_epoch = 0;
       if (item.xm != kNone) {
         anc_epoch = ++epoch;
         ++res.reach_queries;
-        if (!mark_reachable(graph.rev, item.xm, stamp, anc_epoch, scratch, budget))
+        if (!mark_reachable(cond.rev, cond.comp[item.xm], stamp, anc_epoch,
+                            scratch, budget))
           res.budget_hit = true;
       }
       if (item.nx != kNone) {
         desc_epoch = ++epoch;
         ++res.reach_queries;
-        if (!mark_reachable(graph.fwd, item.nx, stamp, desc_epoch, scratch, budget))
+        if (!mark_reachable(cond.fwd, cond.comp[item.nx], stamp, desc_epoch,
+                            scratch, budget))
           res.budget_hit = true;
       }
       const std::size_t before = item.cand.size();
       std::erase_if(item.cand, [&](std::uint32_t c) {
-        // c ->* xm with c != xm: c is overwritten before the read.
-        if (anc_epoch != 0 && c != item.xm && stamp[c] == anc_epoch) return true;
+        // c ->* xm with c != xm: c is overwritten before the read (a
+        // candidate sharing xm's component is in a cycle with it, so
+        // c ->* xm holds there too).
+        if (anc_epoch != 0 && c != item.xm && stamp[cond.comp[c]] == anc_epoch)
+          return true;
         // nx ->* c: c lands after the read.
-        return desc_epoch != 0 && stamp[c] == desc_epoch;
+        return desc_epoch != 0 && stamp[cond.comp[c]] == desc_epoch;
       });
       if (item.cand.size() != before) changed = true;
     }

@@ -16,8 +16,15 @@
 //   R2 (candidate pruning): a candidate w is impossible for r if
 //      w ->* xm with w != xm (w is strictly overwritten before r), or
 //      n ->* w (w lands after r). Reachability is answered by
-//      budgeted DFS over the current direct edges; a partial DFS can
-//      only under-approximate reachability, so pruning stays sound.
+//      budgeted DFS over the SCC condensation of the current direct
+//      edges: strongly connected clusters (which arise transiently
+//      within a round, between a cycle-closing R1 pin and the
+//      post-round cycle check) collapse to single DAG nodes, so dense
+//      graphs cost one component visit where the raw walk would re-tour
+//      the whole cluster. The condensation is rebuilt lazily when edges
+//      were added; a stale build only under-approximates reachability
+//      (edges are never removed), and a partial DFS likewise, so
+//      pruning stays sound either way.
 //
 // Every emitted edge is *necessary* — implied by the trace alone — so
 // the derivation is sound regardless of how early it stops
@@ -111,6 +118,11 @@ struct Result {
   // Derivation stats.
   std::uint32_t rounds = 0;          ///< fixpoint rounds executed
   std::uint64_t reach_queries = 0;   ///< R2 DFS walks issued
+  std::uint64_t scc_builds = 0;      ///< condensation (re)builds for R2
+  /// Components in the last condensation build; < num_writes means a
+  /// nontrivial strongly connected cluster was collapsed (a transient
+  /// cycle observed mid-round, before the cycle check refuted it).
+  std::uint32_t scc_components = 0;
   std::uint64_t branch_points = 0;   ///< Kahn steps with >= 2 ready writes
   std::uint32_t max_concurrent = 0;  ///< peak simultaneously-ready writes
   /// A concrete unordered concurrent pair (valid when branch_points > 0).

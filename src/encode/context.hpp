@@ -1,0 +1,61 @@
+#pragma once
+// Shared clause-emission context for the encoders.
+//
+// Every encoder in this module (naive, vmc_to_cnf, vsc_to_cnf) produces
+// the same kind of output — fresh variables plus clauses — but two very
+// different consumers want it: the one-shot checkers buffer a sat::Cnf
+// and hand it to sat::solve(), while the incremental kVscc sweep feeds a
+// persistent sat::IncrementalSolver where the trace skeleton is pushed
+// once and per-address constraints land in assumption-guarded frames.
+// EmitContext abstracts the target so the encoding logic is written
+// once: it forwards to a Cnf or to an IncrementalSolver, and while a
+// frame guard is set every emitted clause C is stored as (C | ~act),
+// i.e. enforced only when the frame's activation literal is assumed.
+
+#include <cassert>
+#include <utility>
+
+#include "sat/cnf.hpp"
+#include "sat/incremental.hpp"
+
+namespace vermem::encode {
+
+class EmitContext {
+ public:
+  explicit EmitContext(sat::Cnf& cnf) : cnf_(&cnf) {}
+  explicit EmitContext(sat::IncrementalSolver& solver) : solver_(&solver) {}
+
+  [[nodiscard]] sat::Var new_var() {
+    return cnf_ ? cnf_->new_var() : solver_->new_var();
+  }
+
+  /// Guards all subsequent clauses with ~act until end_frame(). Both
+  /// backends honor it, so a buffered formula and an incremental one
+  /// built from the same emission sequence are literally identical.
+  void begin_frame(sat::Var act) {
+    assert(!guarded_);
+    guarded_ = true;
+    guard_ = sat::neg(act);
+  }
+  void end_frame() { guarded_ = false; }
+  [[nodiscard]] bool in_frame() const noexcept { return guarded_; }
+
+  void add_clause(sat::Clause clause) {
+    if (guarded_) clause.push_back(guard_);
+    if (cnf_)
+      cnf_->add_clause(std::move(clause));
+    else
+      (void)solver_->add_clause(std::move(clause));
+  }
+  void add_unit(sat::Lit a) { add_clause({a}); }
+  void add_binary(sat::Lit a, sat::Lit b) { add_clause({a, b}); }
+  void add_ternary(sat::Lit a, sat::Lit b, sat::Lit c) { add_clause({a, b, c}); }
+
+ private:
+  sat::Cnf* cnf_ = nullptr;
+  sat::IncrementalSolver* solver_ = nullptr;
+  bool guarded_ = false;
+  sat::Lit guard_{};
+};
+
+}  // namespace vermem::encode

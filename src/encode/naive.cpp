@@ -4,6 +4,8 @@
 #include <numeric>
 #include <variant>
 
+#include "encode/context.hpp"
+
 namespace vermem::encode {
 
 namespace {
@@ -35,10 +37,11 @@ Schedule NaiveEncoding::decode_schedule(const std::vector<bool>& model) const {
 
 NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
   NaiveEncoding enc;
+  EmitContext ctx(enc.cnf);
   if (const auto why = instance.malformed()) {
     enc.trivially_incoherent = true;
     enc.evidence = certify::Unknown{certify::UnknownReason::kMalformed, *why};
-    enc.cnf.add_clause({});
+    ctx.add_clause({});
     return enc;
   }
   const Execution& exec = instance.execution;
@@ -55,7 +58,7 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
   const std::size_t n = enc.ops.size();
 
   enc.order_vars.resize(n * (n - 1) / 2);
-  for (auto& var : enc.order_vars) var = enc.cnf.new_var();
+  for (auto& var : enc.order_vars) var = ctx.new_var();
   auto order_lit = [&](std::size_t i, std::size_t j) {
     return i < j ? sat::pos(enc.order_var(i, j)) : sat::neg(enc.order_var(j, i));
   };
@@ -66,7 +69,7 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
       if (j == i) continue;
       for (std::size_t l = 0; l < n; ++l) {
         if (l == i || l == j) continue;
-        enc.cnf.add_ternary(~order_lit(i, j), ~order_lit(j, l), order_lit(i, l));
+        ctx.add_ternary(~order_lit(i, j), ~order_lit(j, l), order_lit(i, l));
       }
     }
 
@@ -75,7 +78,7 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
     std::size_t base = 0;
     for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
       for (std::size_t i = 0; i + 1 < exec.history(p).size(); ++i)
-        enc.cnf.add_unit(order_lit(base + i, base + i + 1));
+        ctx.add_unit(order_lit(base + i, base + i + 1));
       base += exec.history(p).size();
     }
   }
@@ -97,31 +100,31 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
       enc.trivially_incoherent = true;
       enc.evidence = certify::unwritten_read(instance.addr, enc.ops[node],
                                              op.value_read);
-      enc.cnf.add_clause({});
+      ctx.add_clause({});
       return enc;
     }
 
     sat::Clause alo;
     std::vector<sat::Var> map_vars(candidates.size());
     for (auto& var : map_vars) {
-      var = enc.cnf.new_var();
+      var = ctx.new_var();
       alo.push_back(sat::pos(var));
     }
     sat::Var initial_var = 0;
     if (initial_ok) {
-      initial_var = enc.cnf.new_var();
+      initial_var = ctx.new_var();
       alo.push_back(sat::pos(initial_var));
     }
-    enc.cnf.add_clause(std::move(alo));
+    ctx.add_clause(std::move(alo));
 
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       const std::size_t w = candidates[c];
       const sat::Lit m = sat::pos(map_vars[c]);
-      enc.cnf.add_binary(~m, order_lit(w, node));
+      ctx.add_binary(~m, order_lit(w, node));
       // No other write between w and this operation.
       for (const std::size_t other : write_nodes) {
         if (other == w || other == node) continue;
-        enc.cnf.add_ternary(~m, order_lit(other, w), order_lit(node, other));
+        ctx.add_ternary(~m, order_lit(other, w), order_lit(node, other));
       }
     }
     if (initial_ok) {
@@ -129,7 +132,7 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
       // RMW, itself).
       for (const std::size_t w : write_nodes) {
         if (w == node) continue;
-        enc.cnf.add_binary(sat::neg(initial_var), order_lit(node, w));
+        ctx.add_binary(sat::neg(initial_var), order_lit(node, w));
       }
     }
     (void)is_rmw;  // the node doubles as the write; no extra constraint
@@ -144,24 +147,24 @@ NaiveEncoding encode_vmc_naive(const vmc::VmcInstance& instance) {
       if (*fin != initial) {
         enc.trivially_incoherent = true;
         enc.evidence = certify::unwritable_final(instance.addr, *fin);
-        enc.cnf.add_clause({});
+        ctx.add_clause({});
       }
       return enc;
     }
     if (last_candidates.empty()) {
       enc.trivially_incoherent = true;
       enc.evidence = certify::unwritable_final(instance.addr, *fin);
-      enc.cnf.add_clause({});
+      ctx.add_clause({});
       return enc;
     }
     sat::Clause alo;
     for (const std::size_t w : last_candidates) {
-      const sat::Var l = enc.cnf.new_var();
+      const sat::Var l = ctx.new_var();
       alo.push_back(sat::pos(l));
       for (const std::size_t other : write_nodes)
-        if (other != w) enc.cnf.add_binary(sat::neg(l), order_lit(other, w));
+        if (other != w) ctx.add_binary(sat::neg(l), order_lit(other, w));
     }
-    enc.cnf.add_clause(std::move(alo));
+    ctx.add_clause(std::move(alo));
   }
   return enc;
 }

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <variant>
 
+#include "encode/context.hpp"
+
 namespace vermem::encode {
 
 namespace {
@@ -53,10 +55,11 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance) {
 VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
                        const OrderHints& hints) {
   VmcEncoding enc;
+  EmitContext ctx(enc.cnf);
   if (const auto why = instance.malformed()) {
     enc.trivially_incoherent = true;
     enc.evidence = certify::Unknown{certify::UnknownReason::kMalformed, *why};
-    enc.cnf.add_clause({});
+    ctx.add_clause({});
     return enc;
   }
 
@@ -79,7 +82,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
 
   // Order variables o(i,j) for i < j.
   enc.order_vars.resize(w * (w - 1) / 2);
-  for (auto& var : enc.order_vars) var = enc.cnf.new_var();
+  for (auto& var : enc.order_vars) var = ctx.new_var();
   auto order_lit = [&](std::size_t i, std::size_t j) {
     // Literal that is true iff write i precedes write j.
     return i < j ? sat::pos(enc.order_var(i, j)) : sat::neg(enc.order_var(j, i));
@@ -91,7 +94,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
       if (j == i) continue;
       for (std::size_t k = 0; k < w; ++k) {
         if (k == i || k == j) continue;
-        enc.cnf.add_ternary(~order_lit(i, j), ~order_lit(j, k), order_lit(i, k));
+        ctx.add_ternary(~order_lit(i, j), ~order_lit(j, k), order_lit(i, k));
       }
     }
 
@@ -102,7 +105,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
     for (std::uint32_t i = 0; i < exec.history(p).size(); ++i) {
       const std::size_t wi = write_index_of[p][i];
       if (wi == kInitial) continue;
-      if (prev != kInitial) enc.cnf.add_unit(order_lit(prev, wi));
+      if (prev != kInitial) ctx.add_unit(order_lit(prev, wi));
       prev = wi;
     }
   }
@@ -119,7 +122,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
     const std::size_t bi = index_of(before);
     const std::size_t ai = index_of(after);
     if (bi == kInitial || ai == kInitial || bi == ai) continue;
-    enc.cnf.add_unit(order_lit(bi, ai));
+    ctx.add_unit(order_lit(bi, ai));
   }
 
   // Collect read items with candidates.
@@ -164,11 +167,11 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
         enc.trivially_incoherent = true;
         enc.evidence =
             certify::unwritten_read(instance.addr, item.ref, item.value);
-        enc.cnf.add_clause({});
+        ctx.add_clause({});
         return enc;
       }
       for (std::size_t c = 0; c < item.candidates.size(); ++c)
-        item.map_vars.push_back(enc.cnf.new_var());
+        item.map_vars.push_back(ctx.new_var());
       items.push_back(std::move(item));
     }
   }
@@ -178,7 +181,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
     // At least one candidate observed.
     sat::Clause alo;
     for (const sat::Var v : item.map_vars) alo.push_back(sat::pos(v));
-    enc.cnf.add_clause(std::move(alo));
+    ctx.add_clause(std::move(alo));
 
     for (std::size_t c = 0; c < item.candidates.size(); ++c) {
       const std::size_t j = item.candidates[c];
@@ -189,13 +192,13 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
         if (j == kInitial) {
           // The RMW is the first write: everything else after it.
           for (std::size_t k = 0; k < w; ++k)
-            if (k != s) enc.cnf.add_binary(~m, order_lit(s, k));
+            if (k != s) ctx.add_binary(~m, order_lit(s, k));
         } else {
           // j immediately precedes the RMW's own write s.
-          enc.cnf.add_binary(~m, order_lit(j, s));
+          ctx.add_binary(~m, order_lit(j, s));
           for (std::size_t k = 0; k < w; ++k) {
             if (k == j || k == s) continue;
-            enc.cnf.add_ternary(~m, order_lit(k, j), order_lit(s, k));
+            ctx.add_ternary(~m, order_lit(k, j), order_lit(s, k));
           }
         }
         continue;
@@ -204,15 +207,15 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
       // Pure read.
       if (j == kInitial) {
         // Reads the initial value: impossible after an own write.
-        if (item.prev_write != kInitial) enc.cnf.add_unit(~m);
+        if (item.prev_write != kInitial) ctx.add_unit(~m);
         continue;
       }
       // (a) the last own write before the read must not follow the anchor.
       if (item.prev_write != kInitial && item.prev_write != j)
-        enc.cnf.add_binary(~m, order_lit(item.prev_write, j));
+        ctx.add_binary(~m, order_lit(item.prev_write, j));
       // (b) the anchor precedes the first own write after the read.
       if (item.next_write != kInitial)
-        enc.cnf.add_binary(~m, order_lit(j, item.next_write));
+        ctx.add_binary(~m, order_lit(j, item.next_write));
     }
   }
 
@@ -236,10 +239,10 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
           const std::size_t b = r2.candidates[c2];
           if (a == b || a == kInitial) continue;  // always monotone
           if (b == kInitial) {
-            enc.cnf.add_binary(sat::neg(r1.map_vars[c1]),
+            ctx.add_binary(sat::neg(r1.map_vars[c1]),
                                sat::neg(r2.map_vars[c2]));
           } else {
-            enc.cnf.add_ternary(sat::neg(r1.map_vars[c1]),
+            ctx.add_ternary(sat::neg(r1.map_vars[c1]),
                                 sat::neg(r2.map_vars[c2]), order_lit(a, b));
           }
         }
@@ -253,7 +256,7 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
       if (*fin != initial) {
         enc.trivially_incoherent = true;
         enc.evidence = certify::unwritable_final(instance.addr, *fin);
-        enc.cnf.add_clause({});
+        ctx.add_clause({});
         return enc;
       }
     } else {
@@ -264,17 +267,17 @@ VmcEncoding encode_vmc(const vmc::VmcInstance& instance,
       if (last_candidates.empty()) {
         enc.trivially_incoherent = true;
         enc.evidence = certify::unwritable_final(instance.addr, *fin);
-        enc.cnf.add_clause({});
+        ctx.add_clause({});
         return enc;
       }
       sat::Clause alo;
       for (const std::size_t j : last_candidates) {
-        const sat::Var l = enc.cnf.new_var();
+        const sat::Var l = ctx.new_var();
         alo.push_back(sat::pos(l));
         for (std::size_t k = 0; k < w; ++k)
-          if (k != j) enc.cnf.add_binary(sat::neg(l), order_lit(k, j));
+          if (k != j) ctx.add_binary(sat::neg(l), order_lit(k, j));
       }
-      enc.cnf.add_clause(std::move(alo));
+      ctx.add_clause(std::move(alo));
     }
   }
 

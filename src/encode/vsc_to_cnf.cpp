@@ -4,6 +4,9 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "encode/context.hpp"
+#include "encode/vsc_emit.hpp"
+
 namespace vermem::encode {
 
 Schedule VscEncoding::decode_schedule(const std::vector<bool>& model) const {
@@ -47,75 +50,32 @@ VscEncoding encode_vsc(const Execution& exec) {
     return i < j ? sat::pos(enc.order_var(i, j)) : sat::neg(enc.order_var(j, i));
   };
 
+  // The constraint emitters are shared with the incremental sweep
+  // (vsc_emit.hpp); the emission sequence here must stay deterministic
+  // because certify::check re-encodes this formula to replay RUP
+  // refutations against it.
+  EmitContext ctx(enc.cnf);
+
   // Transitivity over all ordered triples.
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      for (std::size_t l = 0; l < n; ++l) {
-        if (l == i || l == j) continue;
-        enc.cnf.add_ternary(~order_lit(i, j), ~order_lit(j, l), order_lit(i, l));
-      }
-    }
+  detail::emit_vsc_transitivity(ctx, n, 0, order_lit);
 
   // Program order.
   {
     std::size_t base = 0;
     for (std::uint32_t p = 0; p < exec.num_processes(); ++p) {
       for (std::size_t i = 0; i + 1 < exec.history(p).size(); ++i)
-        enc.cnf.add_unit(order_lit(base + i, base + i + 1));
+        ctx.add_unit(order_lit(base + i, base + i + 1));
       base += exec.history(p).size();
     }
   }
-
-  // Read semantics, per read, over its own address's writes.
   for (std::size_t node = 0; node < n; ++node) {
-    const Operation& op = exec.op(enc.ops[node]);
-    if (!op.reads_memory()) continue;
-    const Addr addr = op.addr;
-    const Value initial = exec.initial_value(addr);
-    const auto& addr_writes = writes_of[addr];
-
-    std::vector<std::size_t> candidates;
-    for (const std::size_t w : addr_writes) {
-      if (w == node) continue;  // an RMW cannot observe its own write
-      if (exec.op(enc.ops[w]).value_written != op.value_read) continue;
-      candidates.push_back(w);
-    }
-    const bool initial_ok = op.value_read == initial;
-    if (candidates.empty() && !initial_ok) {
+    if (!exec.op(enc.ops[node]).reads_memory()) continue;
+    const auto& addr_writes = writes_of[exec.op(enc.ops[node]).addr];
+    if (!detail::emit_vsc_read(ctx, exec, enc.ops, node, addr_writes, order_lit,
+                               enc.evidence)) {
       enc.trivially_unsatisfiable = true;
-      enc.evidence = certify::unwritten_read(addr, enc.ops[node], op.value_read);
       enc.cnf.add_clause({});
       return enc;
-    }
-
-    sat::Clause alo;
-    std::vector<sat::Var> map_vars(candidates.size());
-    for (auto& var : map_vars) {
-      var = enc.cnf.new_var();
-      alo.push_back(sat::pos(var));
-    }
-    sat::Var initial_var = 0;
-    if (initial_ok) {
-      initial_var = enc.cnf.new_var();
-      alo.push_back(sat::pos(initial_var));
-    }
-    enc.cnf.add_clause(std::move(alo));
-
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      const std::size_t w = candidates[c];
-      const sat::Lit m = sat::pos(map_vars[c]);
-      enc.cnf.add_binary(~m, order_lit(w, node));
-      for (const std::size_t other : addr_writes) {
-        if (other == w || other == node) continue;
-        enc.cnf.add_ternary(~m, order_lit(other, w), order_lit(node, other));
-      }
-    }
-    if (initial_ok) {
-      for (const std::size_t w : addr_writes) {
-        if (w == node) continue;
-        enc.cnf.add_binary(sat::neg(initial_var), order_lit(node, w));
-      }
     }
   }
 
@@ -124,32 +84,12 @@ VscEncoding encode_vsc(const Execution& exec) {
     const auto it = writes_of.find(addr);
     const auto& addr_writes =
         it == writes_of.end() ? std::vector<std::size_t>{} : it->second;
-    if (addr_writes.empty()) {
-      if (fin != exec.initial_value(addr)) {
-        enc.trivially_unsatisfiable = true;
-        enc.evidence = certify::unwritable_final(addr, fin);
-        enc.cnf.add_clause({});
-        return enc;
-      }
-      continue;
-    }
-    std::vector<std::size_t> last_candidates;
-    for (const std::size_t w : addr_writes)
-      if (exec.op(enc.ops[w]).value_written == fin) last_candidates.push_back(w);
-    if (last_candidates.empty()) {
+    if (!detail::emit_vsc_final(ctx, exec, enc.ops, addr, fin, addr_writes,
+                                order_lit, enc.evidence)) {
       enc.trivially_unsatisfiable = true;
-      enc.evidence = certify::unwritable_final(addr, fin);
       enc.cnf.add_clause({});
       return enc;
     }
-    sat::Clause alo;
-    for (const std::size_t w : last_candidates) {
-      const sat::Var l = enc.cnf.new_var();
-      alo.push_back(sat::pos(l));
-      for (const std::size_t other : addr_writes)
-        if (other != w) enc.cnf.add_binary(sat::neg(l), order_lit(other, w));
-    }
-    enc.cnf.add_clause(std::move(alo));
   }
   return enc;
 }

@@ -127,7 +127,11 @@ void append_record_json(std::ostream& out, const FlightRecord& record) {
       << ",\"arena_allocations\":" << e.arena_allocations
       << ",\"saturate_ran\":" << e.saturate_ran
       << ",\"saturate_decided\":" << e.saturate_decided
-      << ",\"saturate_edges\":" << e.saturate_edges << '}';
+      << ",\"saturate_edges\":" << e.saturate_edges
+      << ",\"portfolio_races\":" << e.portfolio_races
+      << ",\"portfolio_wasted_states\":" << e.portfolio_wasted_states
+      << ",\"portfolio_wasted_transitions\":" << e.portfolio_wasted_transitions
+      << '}';
   out << ",\"events\":[";
   for (std::uint32_t i = 0; i < record.num_events; ++i) {
     if (i != 0) out << ',';

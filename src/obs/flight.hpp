@@ -129,6 +129,14 @@ struct FlightEffort {
   std::uint64_t saturate_ran = 0;
   std::uint64_t saturate_decided = 0;
   std::uint64_t saturate_edges = 0;
+  /// Exact-tier portfolio races behind this request, and the cancelled
+  /// losers' effort. The states/transitions fields above stay
+  /// winner-only; the race overhead is kept separate so a flight record
+  /// explains latency honestly (the per-race winner is in the
+  /// tier_verdict events).
+  std::uint64_t portfolio_races = 0;
+  std::uint64_t portfolio_wasted_states = 0;
+  std::uint64_t portfolio_wasted_transitions = 0;
 };
 
 /// One span captured into a record (parents unresolvable within the

@@ -1,517 +1,24 @@
 #include "sat/solver.hpp"
 
-#include <algorithm>
-#include <cassert>
 #include <cstdlib>
-#include <limits>
 
-#include "obs/flight.hpp"
-#include "obs/log.hpp"
+#include "obs/span.hpp"
 #include "sat/effort.hpp"
+#include "sat/incremental.hpp"
 
 namespace vermem::sat {
 
-namespace {
-
-constexpr std::uint32_t kNoReason = std::numeric_limits<std::uint32_t>::max();
-constexpr int kUndef = 0, kTrue = 1, kFalse = -1;
-
-/// Luby restart sequence: 1,1,2,1,1,2,4,...
-std::uint64_t luby(std::uint64_t i) {
-  // Find the subsequence containing index i (1-based) and its position.
-  std::uint64_t size = 1, seq = 0;
-  while (size < i + 1) {
-    ++seq;
-    size = 2 * size + 1;
-  }
-  while (size - 1 != i) {
-    size = (size - 1) / 2;
-    --seq;
-    i = i % size;
-  }
-  return std::uint64_t{1} << seq;
-}
-
-/// Indexed max-heap over variable activities (MiniSat-style order heap).
-class ActivityHeap {
- public:
-  explicit ActivityHeap(const std::vector<double>& activity) : activity_(activity) {}
-
-  void grow(Var n) { position_.resize(n, -1); }
-
-  [[nodiscard]] bool contains(Var v) const { return position_[v] >= 0; }
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-
-  void insert(Var v) {
-    if (contains(v)) return;
-    position_[v] = static_cast<int>(heap_.size());
-    heap_.push_back(v);
-    sift_up(heap_.size() - 1);
-  }
-
-  Var pop() {
-    const Var top = heap_[0];
-    position_[top] = -1;
-    heap_[0] = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) {
-      position_[heap_[0]] = 0;
-      sift_down(0);
-    }
-    return top;
-  }
-
-  /// Re-heapify after v's activity increased.
-  void increased(Var v) {
-    if (contains(v)) sift_up(static_cast<std::size_t>(position_[v]));
-  }
-
- private:
-  [[nodiscard]] bool less(Var a, Var b) const { return activity_[a] < activity_[b]; }
-
-  void sift_up(std::size_t i) {
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!less(heap_[parent], heap_[i])) break;
-      swap_nodes(i, parent);
-      i = parent;
-    }
-  }
-  void sift_down(std::size_t i) {
-    while (true) {
-      const std::size_t left = 2 * i + 1, right = 2 * i + 2;
-      std::size_t best = i;
-      if (left < heap_.size() && less(heap_[best], heap_[left])) best = left;
-      if (right < heap_.size() && less(heap_[best], heap_[right])) best = right;
-      if (best == i) break;
-      swap_nodes(i, best);
-      i = best;
-    }
-  }
-  void swap_nodes(std::size_t a, std::size_t b) {
-    std::swap(heap_[a], heap_[b]);
-    position_[heap_[a]] = static_cast<int>(a);
-    position_[heap_[b]] = static_cast<int>(b);
-  }
-
-  const std::vector<double>& activity_;
-  std::vector<Var> heap_;
-  std::vector<int> position_;  ///< -1 when absent
-};
-
-class Cdcl {
- public:
-  Cdcl(const Cnf& cnf, const SolverOptions& options)
-      : options_(options), num_vars_(cnf.num_vars), heap_(activity_) {
-    assigns_.assign(num_vars_, kUndef);
-    level_.assign(num_vars_, 0);
-    reason_.assign(num_vars_, kNoReason);
-    activity_.assign(num_vars_, 0.0);
-    saved_phase_.assign(num_vars_, false);
-    seen_.assign(num_vars_, 0);
-    watches_.assign(2 * num_vars_, {});
-    occurrences_.assign(2 * num_vars_, {});
-    heap_.grow(num_vars_);
-    for (Var v = 0; v < num_vars_; ++v) heap_.insert(v);
-    ok_ = load(cnf);
-  }
-
-  SolveResult run() {
-    SolveResult result;
-    if (!ok_) {
-      result.status = Status::kUnsat;
-      if (options_.log_proof) result.proof.push_back({});
-      result.stats = stats_;
-      return result;
-    }
-    std::uint64_t conflicts_until_restart = next_restart_budget();
-
-    while (true) {
-      const std::uint32_t conflict = propagate();
-      if (conflict != kNoReason) {
-        ++stats_.conflicts;
-        if (decision_level() == 0) {
-          result.status = Status::kUnsat;
-          if (options_.log_proof) proof_.push_back({});
-          break;
-        }
-        std::vector<Lit> learned;
-        int backtrack_level = 0;
-        analyze(conflict, learned, backtrack_level);
-        cancel_until(backtrack_level);
-        if (options_.log_proof) proof_.push_back(learned);
-        add_learned(learned);
-        decay_activities();
-        if (options_.max_conflicts != 0 && stats_.conflicts >= options_.max_conflicts) {
-          result.status = Status::kUnknown;
-          break;
-        }
-        if (conflicts_until_restart > 0) --conflicts_until_restart;
-      } else {
-        if (options_.use_restarts && conflicts_until_restart == 0 &&
-            decision_level() > 0) {
-          ++stats_.restarts;
-          obs::flight_event(obs::FlightEventKind::kSolverRestart,
-                            "luby restart", stats_.restarts,
-                            stats_.conflicts);
-          static const obs::LogSite restart_site =
-              obs::log_site("sat.restart", 4.0, 8.0);
-          if (restart_site.should(obs::LogLevel::kDebug))
-            obs::LogLine(restart_site, obs::LogLevel::kDebug, "CDCL restart")
-                .field("restarts", stats_.restarts)
-                .field("conflicts", stats_.conflicts)
-                .field("learned", stats_.learned_clauses);
-          cancel_until(0);
-          conflicts_until_restart = next_restart_budget();
-          continue;
-        }
-        if ((stats_.conflicts & 0x3ff) == 0 &&
-            (options_.deadline.expired() ||
-             (options_.cancel && options_.cancel->cancelled()))) {
-          result.status = Status::kUnknown;
-          break;
-        }
-        const Lit decision = pick_branch();
-        if (decision == Lit{} && trail_.size() == num_vars_) {
-          result.status = Status::kSat;
-          result.model.resize(num_vars_);
-          for (Var v = 0; v < num_vars_; ++v) result.model[v] = assigns_[v] == kTrue;
-          break;
-        }
-        ++stats_.decisions;
-        trail_limits_.push_back(trail_.size());
-        enqueue(decision, kNoReason);
-      }
-    }
-    if (options_.log_proof) result.proof = std::move(proof_);
-    result.stats = stats_;
-    return result;
-  }
-
- private:
-  [[nodiscard]] int decision_level() const {
-    return static_cast<int>(trail_limits_.size());
-  }
-  [[nodiscard]] int value(Lit l) const {
-    const int v = assigns_[l.var()];
-    return l.negated() ? -v : v;
-  }
-
-  std::uint64_t next_restart_budget() {
-    if (!options_.use_restarts) return std::numeric_limits<std::uint64_t>::max();
-    return 128 * luby(restart_index_++);
-  }
-
-  bool load(const Cnf& cnf) {
-    for (const Clause& input : cnf.clauses) {
-      Clause clause = input;
-      std::sort(clause.begin(), clause.end());
-      clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
-      bool tautology = false;
-      for (std::size_t i = 0; i + 1 < clause.size(); ++i)
-        if (clause[i].var() == clause[i + 1].var()) tautology = true;
-      if (tautology) continue;
-      if (clause.empty()) return false;
-      if (clause.size() == 1) {
-        if (value(clause[0]) == kFalse) return false;
-        if (value(clause[0]) == kUndef) enqueue(clause[0], kNoReason);
-        continue;
-      }
-      attach(std::move(clause));
-    }
-    // Top-level propagation of input units.
-    return propagate() == kNoReason;
-  }
-
-  std::uint32_t attach(Clause clause) {
-    const auto ref = static_cast<std::uint32_t>(clauses_.size());
-    if (options_.use_watched_literals) {
-      watches_[(~clause[0]).code()].push_back(ref);
-      watches_[(~clause[1]).code()].push_back(ref);
-    } else {
-      for (const Lit l : clause) occurrences_[(~l).code()].push_back(ref);
-    }
-    clauses_.push_back(std::move(clause));
-    return ref;
-  }
-
-  void enqueue(Lit l, std::uint32_t reason) {
-    assert(value(l) == kUndef);
-    assigns_[l.var()] = l.negated() ? kFalse : kTrue;
-    level_[l.var()] = decision_level();
-    reason_[l.var()] = reason;
-    trail_.push_back(l);
-  }
-
-  /// Returns a conflicting clause ref, or kNoReason if propagation reached
-  /// a fixpoint.
-  std::uint32_t propagate() {
-    return options_.use_watched_literals ? propagate_watched() : propagate_naive();
-  }
-
-  std::uint32_t propagate_watched() {
-    while (propagate_head_ < trail_.size()) {
-      const Lit p = trail_[propagate_head_++];  // p became true
-      ++stats_.propagations;
-      auto& watch_list = watches_[p.code()];
-      std::size_t keep = 0;
-      for (std::size_t i = 0; i < watch_list.size(); ++i) {
-        const std::uint32_t ref = watch_list[i];
-        Clause& clause = clauses_[ref];
-        // Normalize: the falsified literal (~p) goes to slot 1.
-        const Lit false_lit = ~p;
-        if (clause[0] == false_lit) std::swap(clause[0], clause[1]);
-        assert(clause[1] == false_lit);
-        if (value(clause[0]) == kTrue) {
-          watch_list[keep++] = ref;  // clause satisfied; keep watch
-          continue;
-        }
-        // Look for a new literal to watch.
-        bool moved = false;
-        for (std::size_t k = 2; k < clause.size(); ++k) {
-          if (value(clause[k]) != kFalse) {
-            std::swap(clause[1], clause[k]);
-            watches_[(~clause[1]).code()].push_back(ref);
-            moved = true;
-            break;
-          }
-        }
-        if (moved) continue;
-        // Unit or conflicting.
-        watch_list[keep++] = ref;
-        if (value(clause[0]) == kFalse) {
-          // Conflict: restore remaining watches and report.
-          for (std::size_t j = i + 1; j < watch_list.size(); ++j)
-            watch_list[keep++] = watch_list[j];
-          watch_list.resize(keep);
-          propagate_head_ = trail_.size();
-          return ref;
-        }
-        enqueue(clause[0], ref);
-      }
-      watch_list.resize(keep);
-    }
-    return kNoReason;
-  }
-
-  std::uint32_t propagate_naive() {
-    while (propagate_head_ < trail_.size()) {
-      const Lit p = trail_[propagate_head_++];
-      ++stats_.propagations;
-      for (const std::uint32_t ref : occurrences_[p.code()]) {
-        Clause& clause = clauses_[ref];
-        Lit unassigned{};
-        int num_unassigned = 0;
-        bool satisfied = false;
-        for (const Lit l : clause) {
-          const int val = value(l);
-          if (val == kTrue) {
-            satisfied = true;
-            break;
-          }
-          if (val == kUndef) {
-            ++num_unassigned;
-            unassigned = l;
-          }
-        }
-        if (satisfied) continue;
-        if (num_unassigned == 0) {
-          propagate_head_ = trail_.size();
-          return ref;
-        }
-        if (num_unassigned == 1) {
-          // Move the implied literal to slot 0 so analyze() finds the
-          // asserting literal where it expects it.
-          auto it = std::find(clause.begin(), clause.end(), unassigned);
-          std::iter_swap(clause.begin(), it);
-          enqueue(unassigned, ref);
-        }
-      }
-    }
-    return kNoReason;
-  }
-
-  /// First-UIP conflict analysis; produces the learned clause (asserting
-  /// literal in slot 0) and the backtrack level.
-  void analyze(std::uint32_t conflict, std::vector<Lit>& learned, int& backtrack_level) {
-    learned.clear();
-    learned.push_back(Lit{});  // placeholder for the asserting literal
-    int counter = 0;
-    Lit p{};
-    bool have_p = false;
-    std::size_t trail_index = trail_.size();
-    to_clear_.clear();
-
-    std::uint32_t reason_ref = conflict;
-    while (true) {
-      assert(reason_ref != kNoReason);
-      const Clause& clause = clauses_[reason_ref];
-      const std::size_t start = have_p ? 1 : 0;  // skip the asserting literal
-      for (std::size_t i = start; i < clause.size(); ++i) {
-        const Lit q = clause[i];
-        if (have_p && q == p) continue;
-        if (seen_[q.var()] || level_[q.var()] == 0) continue;
-        seen_[q.var()] = 1;
-        to_clear_.push_back(q.var());
-        bump_activity(q.var());
-        if (level_[q.var()] == decision_level())
-          ++counter;
-        else
-          learned.push_back(q);
-      }
-      // Select next literal to expand: most recent trail entry that is seen.
-      while (!seen_[trail_[trail_index - 1].var()]) --trail_index;
-      p = trail_[--trail_index];
-      have_p = true;
-      seen_[p.var()] = 0;
-      reason_ref = reason_[p.var()];
-      if (--counter == 0) break;
-    }
-    learned[0] = ~p;
-
-    if (options_.minimize_learned) minimize(learned);
-    stats_.learned_literals += learned.size();
-
-    // Compute backtrack level = second-highest level in the clause.
-    if (learned.size() == 1) {
-      backtrack_level = 0;
-    } else {
-      std::size_t max_i = 1;
-      for (std::size_t i = 2; i < learned.size(); ++i)
-        if (level_[learned[i].var()] > level_[learned[max_i].var()]) max_i = i;
-      std::swap(learned[1], learned[max_i]);
-      backtrack_level = level_[learned[1].var()];
-    }
-    for (const Var v : to_clear_) seen_[v] = 0;
-  }
-
-  /// Recursive learned-clause minimization (MiniSat's litRedundant).
-  void minimize(std::vector<Lit>& learned) {
-    // seen_ is 1 for every var currently in `learned` (cleared by caller
-    // afterwards); mark them so redundancy checks can use the set.
-    for (const Lit l : learned) seen_[l.var()] = 1;
-    std::size_t kept = 1;
-    for (std::size_t i = 1; i < learned.size(); ++i) {
-      if (reason_[learned[i].var()] == kNoReason || !redundant(learned[i])) {
-        learned[kept++] = learned[i];
-      } else {
-        ++stats_.minimized_literals;
-      }
-    }
-    learned.resize(kept);
-  }
-
-  bool redundant(Lit p) {
-    std::vector<Lit> stack{p};
-    std::vector<Var> marked;
-    while (!stack.empty()) {
-      const Lit q = stack.back();
-      stack.pop_back();
-      const std::uint32_t ref = reason_[q.var()];
-      if (ref == kNoReason) {
-        for (const Var v : marked) seen_[v] = 0;
-        return false;
-      }
-      const Clause& clause = clauses_[ref];
-      for (std::size_t i = 1; i < clause.size(); ++i) {
-        const Lit l = clause[i];
-        if (seen_[l.var()] || level_[l.var()] == 0) continue;
-        if (reason_[l.var()] == kNoReason) {
-          for (const Var v : marked) seen_[v] = 0;
-          return false;
-        }
-        seen_[l.var()] = 1;
-        marked.push_back(l.var());
-        stack.push_back(l);
-      }
-    }
-    // The marked vars stay seen (they are provably redundant too); record
-    // them so analyze() clears the flags when it finishes.
-    to_clear_.insert(to_clear_.end(), marked.begin(), marked.end());
-    return true;
-  }
-
-  void add_learned(const std::vector<Lit>& learned) {
-    ++stats_.learned_clauses;
-    if (learned.size() == 1) {
-      enqueue(learned[0], kNoReason);
-      return;
-    }
-    const std::uint32_t ref = attach(learned);
-    enqueue(learned[0], ref);
-  }
-
-  void cancel_until(int target_level) {
-    if (decision_level() <= target_level) return;
-    const std::size_t floor = trail_limits_[target_level];
-    for (std::size_t i = trail_.size(); i > floor; --i) {
-      const Var v = trail_[i - 1].var();
-      if (options_.use_phase_saving) saved_phase_[v] = assigns_[v] == kTrue;
-      assigns_[v] = kUndef;
-      reason_[v] = kNoReason;
-      heap_.insert(v);
-    }
-    trail_.resize(floor);
-    trail_limits_.resize(target_level);
-    propagate_head_ = floor;
-  }
-
-  Lit pick_branch() {
-    if (options_.use_vsids) {
-      while (!heap_.empty()) {
-        const Var v = heap_.pop();
-        if (assigns_[v] == kUndef) return Lit(v, !saved_phase_[v]);
-      }
-      return Lit{};
-    }
-    for (Var v = 0; v < num_vars_; ++v)
-      if (assigns_[v] == kUndef) return Lit(v, !saved_phase_[v]);
-    return Lit{};
-  }
-
-  void bump_activity(Var v) {
-    activity_[v] += activity_increment_;
-    if (activity_[v] > 1e100) {
-      for (auto& a : activity_) a *= 1e-100;
-      activity_increment_ *= 1e-100;
-    }
-    heap_.increased(v);
-  }
-  void decay_activities() { activity_increment_ /= 0.95; }
-
-  SolverOptions options_;
-  Var num_vars_;
-  bool ok_ = true;
-
-  std::vector<Clause> clauses_;
-  std::vector<std::vector<std::uint32_t>> watches_;      ///< by literal code
-  std::vector<std::vector<std::uint32_t>> occurrences_;  ///< naive mode
-
-  std::vector<int> assigns_;  ///< kUndef / kTrue / kFalse per var
-  std::vector<int> level_;
-  std::vector<std::uint32_t> reason_;
-  std::vector<Lit> trail_;
-  std::vector<std::size_t> trail_limits_;
-  std::size_t propagate_head_ = 0;
-
-  std::vector<double> activity_;
-  double activity_increment_ = 1.0;
-  ActivityHeap heap_;
-  std::vector<bool> saved_phase_;
-  std::vector<char> seen_;
-  std::vector<Var> to_clear_;
-
-  std::uint64_t restart_index_ = 0;
-  std::vector<Clause> proof_;
-  SolverStats stats_;
-};
-
-}  // namespace
-
+// One-shot façade over the persistent engine: fresh IncrementalSolver,
+// load, single solve with no assumptions. certify::check()'s RUP replay
+// path depends on this exact contract (per-call proof against the plain
+// input formula), so it must stay a pure wrapper.
 SolveResult solve(const Cnf& cnf, const SolverOptions& options) {
   obs::Span span("sat.cdcl");
-  Cdcl solver(cnf, options);
-  SolveResult result = solver.run();
+  SolverOptions inner = options;
+  inner.verify_models = false;  // verified below against the caller's Cnf
+  IncrementalSolver solver(inner);
+  (void)solver.add_cnf(cnf);
+  SolveResult result = solver.solve();
   if (result.status == Status::kSat && !cnf.satisfied_by(result.model)) {
     // A model that does not satisfy the input is a solver bug; fail loudly
     // rather than report a wrong answer.

@@ -13,6 +13,13 @@
 // kept for the lifetime of the solve — instance sizes in this repository
 // do not warrant database reduction, and omitting it keeps the solver
 // auditable.
+//
+// solve() below is a thin one-shot wrapper over sat::IncrementalSolver
+// (incremental.hpp), which owns the CDCL engine and additionally offers
+// solve-under-assumptions, learned-clause retention across calls, and
+// push/pop constraint frames. The wrapper's contract is unchanged:
+// fresh solver per call, model verified against the input, per-call RUP
+// proof when log_proof is set.
 
 #include <cstdint>
 #include <vector>
@@ -47,6 +54,16 @@ struct SolverOptions {
   /// Log every learned clause so kUnsat results carry an RUP refutation
   /// (verify with sat::check_rup_proof). Costs memory, off by default.
   bool log_proof = false;
+  /// Verify kSat models against the formula before returning (abort on
+  /// mismatch). IncrementalSolver honors this per call; callers whose
+  /// models are certified downstream anyway (e.g. decoded schedules that
+  /// go through the schedule validator) may disable it on hot sweeps.
+  bool verify_models = true;
+  /// Opt DPLL into analysis-router portfolio racing. Off by default:
+  /// DPLL has no incremental support, no learned-clause retention, and
+  /// no cancellation hook, so racing it burns a thread that almost never
+  /// wins outside tiny instances (see sat/dpll.hpp).
+  bool race_dpll = false;
 };
 
 struct SolverStats {
@@ -63,8 +80,13 @@ struct SolveResult {
   Status status = Status::kUnknown;
   std::vector<bool> model;  ///< per-variable assignment; valid when kSat
   /// RUP refutation when kUnsat and log_proof was set (ends with the
-  /// empty clause).
+  /// empty clause). For an incremental solve under assumptions, check it
+  /// against IncrementalSolver::formula_with(assumptions).
   std::vector<Clause> proof;
+  /// Failed-assumption core when an incremental solve was kUnsat under
+  /// assumptions: the clause {~a : a in core}, empty when the formula is
+  /// UNSAT regardless of assumptions. Always empty for one-shot solve().
+  std::vector<Lit> conflict;
   SolverStats stats;
 };
 

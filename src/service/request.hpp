@@ -10,12 +10,14 @@
 // (cache hit, fingerprint), and timing, so a front-end can emit one
 // self-contained record per trace.
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/router.hpp"
 #include "certify/certificate.hpp"
 #include "models/model.hpp"
 #include "trace/execution.hpp"
@@ -51,6 +53,34 @@ struct EffortBudget {
   std::uint64_t max_transitions = 0;
 };
 
+/// How the exact tier decides instances that survive the polynomial
+/// routes. Verdicts are identical across choices by construction (the
+/// differential suites enforce it); the choice trades latency profiles.
+enum class SolverChoice : std::uint8_t {
+  /// Routed cascade with the memoized frontier search on the exact tier
+  /// (the default, single-engine path).
+  kAuto,
+  /// Race exact search / CDCL / bounded-k (and DPLL when opted in) on
+  /// every exact-tier instance; first definite verdict wins, losers are
+  /// cancelled cooperatively.
+  kPortfolio,
+  /// Force the CDCL arm alone on the exact tier.
+  kCdcl,
+  /// Force the chronological DPLL arm alone (reference oracle; no
+  /// conflict learning — see sat/dpll.hpp).
+  kDpll,
+};
+
+[[nodiscard]] constexpr const char* to_string(SolverChoice choice) noexcept {
+  switch (choice) {
+    case SolverChoice::kAuto: return "auto";
+    case SolverChoice::kPortfolio: return "portfolio";
+    case SolverChoice::kCdcl: return "cdcl";
+    case SolverChoice::kDpll: return "dpll";
+  }
+  return "?";
+}
+
 struct VerificationRequest {
   Execution execution;
   /// Per-address write serialization orders in original-execution
@@ -61,6 +91,9 @@ struct VerificationRequest {
   /// Which model to decide when mode == kConsistency.
   models::Model model = models::Model::kSc;
   EffortBudget budget;
+  /// Exact-tier engine policy (portfolio race / forced engine). Applies
+  /// to coherence-bearing modes; kConsistency ignores it.
+  SolverChoice solver = SolverChoice::kAuto;
   /// Wall-clock budget measured from submission; a request that cannot
   /// finish in time resolves to kUnknown with timed_out set. nullopt =
   /// unbounded.
@@ -109,6 +142,19 @@ struct VerificationResponse {
   /// when every address routed polynomially (the cheap-path signature)
   /// and for cache hits.
   vmc::SearchStats effort;
+  /// Portfolio provenance (kCoherence with solver != kAuto): how many
+  /// addresses were decided by a race, which engine won each, and the
+  /// cancelled losers' merged effort. `effort` above stays winner-only;
+  /// the waste is surfaced here so latency-explaining tallies stay
+  /// honest.
+  std::uint64_t portfolio_races = 0;
+  std::array<std::uint64_t, analysis::kNumEngines> engine_wins{};
+  vmc::SearchStats wasted_effort;
+  /// kVscc: the per-address sweep ran on the service's retained warm
+  /// incremental solver, and whether that solver's state was carried
+  /// over from a previous trace of which this one is a suffix extension.
+  bool warm_sweep = false;
+  bool suffix_extension = false;
   /// Per-address detail for coherence-bearing modes; empty for cache hits
   /// and consistency-mode requests.
   vmc::CoherenceReport coherence;

@@ -129,6 +129,20 @@ std::string ServiceStats::to_prometheus() const {
   counter("vermem_service_saturate_cycles_total", saturate_cycles);
   counter("vermem_service_saturate_forced_total", saturate_forced);
   counter("vermem_service_saturate_edges_total", saturate_edges);
+  counter("vermem_service_portfolio_races_total", portfolio_races);
+  out += "# TYPE vermem_service_portfolio_wins_total counter\n";
+  for (std::size_t e = 0; e < analysis::kNumEngines; ++e) {
+    out += "vermem_service_portfolio_wins_total{engine=\"";
+    out += to_string(static_cast<analysis::Engine>(e));
+    out += "\"} " + std::to_string(engine_wins[e]) + "\n";
+  }
+  counter("vermem_service_wasted_effort_states_total",
+          wasted_effort.states_visited);
+  counter("vermem_service_wasted_effort_transitions_total",
+          wasted_effort.transitions);
+  counter("vermem_service_vscc_sweeps_total", vscc_sweeps);
+  counter("vermem_service_vscc_sweep_extended_total", vscc_sweep_extended);
+  counter("vermem_service_vscc_sweep_reused_total", vscc_sweep_reused);
   counter("vermem_service_lint_warnings_total", lint_warnings);
   counter("vermem_service_streamed_total", streamed);
   counter("vermem_service_stream_events_total", stream_events);
@@ -387,19 +401,42 @@ VerificationResponse VerificationService::execute(Slot& slot) {
       // its Figure 5.3 fragment and decide it with the dedicated
       // polynomial checker; only general-shaped instances reach the
       // exact search. Verdicts match the plain vmc cascade.
+      analysis::PortfolioOptions portfolio;
+      switch (slot.request.solver) {
+        case SolverChoice::kAuto: break;
+        case SolverChoice::kPortfolio: portfolio.enabled = true; break;
+        case SolverChoice::kCdcl:
+          portfolio.enabled = true;
+          portfolio.only = analysis::Engine::kCdcl;
+          break;
+        case SolverChoice::kDpll:
+          portfolio.enabled = true;
+          portfolio.only = analysis::Engine::kDpll;
+          break;
+      }
       analysis::RoutedReport routed = analysis::verify_coherence_routed(
           *slot.index,
           slot.request.write_orders ? &*slot.request.write_orders : nullptr,
-          exact);
+          exact, portfolio);
       response.verdict = routed.report.verdict;
       response.reason = reason_for(routed.report);
       // Effort (including arena counters and peak provenance) was merged
       // once at aggregation time; reuse it rather than re-summing here.
+      // Portfolio races kept it winner-only: cancelled losers land in
+      // wasted_effort, never in the latency-explaining tallies.
       response.effort = routed.report.effort;
+      response.portfolio_races = routed.portfolio_races;
+      response.engine_wins = routed.engine_wins;
+      response.wasted_effort = routed.wasted_effort;
       response.coherence = std::move(routed.report);
       flight_effort.saturate_ran = routed.saturate_ran;
       flight_effort.saturate_decided = routed.saturate_decided;
       flight_effort.saturate_edges = routed.saturate_edges;
+      flight_effort.portfolio_races = routed.portfolio_races;
+      flight_effort.portfolio_wasted_states =
+          routed.wasted_effort.states_visited;
+      flight_effort.portfolio_wasted_transitions =
+          routed.wasted_effort.transitions;
       {
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t f = 0; f < analysis::kNumFragments; ++f)
@@ -411,6 +448,10 @@ VerificationResponse VerificationService::execute(Slot& slot) {
         counters_.saturate_cycles += routed.saturate_cycles;
         counters_.saturate_forced += routed.saturate_forced;
         counters_.saturate_edges += routed.saturate_edges;
+        counters_.portfolio_races += routed.portfolio_races;
+        for (std::size_t e = 0; e < analysis::kNumEngines; ++e)
+          counters_.engine_wins[e] += routed.engine_wins[e];
+        counters_.wasted_effort.merge(routed.wasted_effort);
       }
       break;
     }
@@ -421,9 +462,33 @@ VerificationResponse VerificationService::execute(Slot& slot) {
       vscc.sc.max_transitions = slot.request.budget.max_transitions;
       vscc.sc.deadline = slot.deadline;
       vscc.sc.cancel = slot.token.get();
+      vscc.solver.deadline = slot.deadline;
+      vscc.solver.cancel = slot.token.get();
       if (slot.request.write_orders)
         vscc.write_orders = &*slot.request.write_orders;
+      // Warm sweep: the retained incremental solver serves one request
+      // at a time. A contended request falls back to the cold
+      // per-address pipeline (identical verdicts) instead of convoying
+      // behind the holder.
+      std::unique_lock<std::mutex> sweep_lock(sweep_mutex_, std::try_to_lock);
+      if (sweep_lock.owns_lock()) {
+        vscc.use_sat_sweep = true;
+        vscc.sweep = &sweep_;
+      }
       vsc::VsccReport report = vsc::check_vscc(*slot.index, vscc);
+      sweep_lock = {};
+      response.warm_sweep = report.used_sat_sweep;
+      response.suffix_extension =
+          report.used_sat_sweep &&
+          report.sweep_prepare != encode::VscSweep::Prepare::kFresh;
+      if (report.used_sat_sweep) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.vscc_sweeps;
+        if (report.sweep_prepare == encode::VscSweep::Prepare::kExtended)
+          ++counters_.vscc_sweep_extended;
+        else if (report.sweep_prepare == encode::VscSweep::Prepare::kReused)
+          ++counters_.vscc_sweep_reused;
+      }
       response.verdict = report.sc.verdict;
       response.reason = report.sc.reason();
       response.effort = report.coherence.effort;
@@ -507,10 +572,17 @@ VerificationResponse VerificationService::execute(Slot& slot) {
     const std::uint64_t saturate_ran = flight_effort.saturate_ran;
     const std::uint64_t saturate_decided = flight_effort.saturate_decided;
     const std::uint64_t saturate_edges = flight_effort.saturate_edges;
+    const std::uint64_t portfolio_races = flight_effort.portfolio_races;
+    const std::uint64_t wasted_states = flight_effort.portfolio_wasted_states;
+    const std::uint64_t wasted_transitions =
+        flight_effort.portfolio_wasted_transitions;
     flight_effort = flight_effort_of(response.effort);
     flight_effort.saturate_ran = saturate_ran;
     flight_effort.saturate_decided = saturate_decided;
     flight_effort.saturate_edges = saturate_edges;
+    flight_effort.portfolio_races = portfolio_races;
+    flight_effort.portfolio_wasted_states = wasted_states;
+    flight_effort.portfolio_wasted_transitions = wasted_transitions;
     obs::FlightScope::Summary summary;
     summary.verdict = vmc::to_string(response.verdict);
     summary.unknown = response.verdict == vmc::Verdict::kUnknown;

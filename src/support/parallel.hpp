@@ -32,15 +32,28 @@ namespace vermem {
 
 /// Shared flag a task flips to stop further scheduling. Reusable only per
 /// sweep: construct a fresh token for each parallel_for_each_cancellable.
+///
+/// Tokens can be linked: a token constructed with a parent reports
+/// cancelled when either it or the parent is. The analysis portfolio
+/// uses this to race engines under one local token (first definite
+/// verdict cancels the losers) while still honoring the request-level
+/// token of the enclosing service call. The parent is not owned and must
+/// outlive the child.
 class CancellationToken {
  public:
+  CancellationToken() = default;
+  explicit CancellationToken(const CancellationToken* parent) noexcept
+      : parent_(parent) {}
+
   void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
   [[nodiscard]] bool cancelled() const noexcept {
-    return cancelled_.load(std::memory_order_acquire);
+    return cancelled_.load(std::memory_order_acquire) ||
+           (parent_ != nullptr && parent_->cancelled());
   }
 
  private:
   std::atomic<bool> cancelled_{false};
+  const CancellationToken* parent_ = nullptr;
 };
 
 /// Applies `work(index)` for every index in [0, count) unless `token` is

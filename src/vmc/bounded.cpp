@@ -88,9 +88,14 @@ CheckResult check_bounded_k(const VmcInstance& instance,
       if (options.max_states != 0 && stats.states_visited >= options.max_states)
         return with_arena(CheckResult::unknown(
             certify::UnknownReason::kBudget, "state budget exhausted", stats));
-      if ((stats.transitions & 0xff) == 0 && options.deadline.expired())
-        return with_arena(CheckResult::unknown(
-            certify::UnknownReason::kDeadline, "deadline exceeded", stats));
+      if ((stats.transitions & 0xff) == 0) {
+        if (options.deadline.expired())
+          return with_arena(CheckResult::unknown(
+              certify::UnknownReason::kDeadline, "deadline exceeded", stats));
+        if (options.cancel && options.cancel->cancelled())
+          return with_arena(CheckResult::unknown(
+              certify::UnknownReason::kSkipped, "cancelled", stats));
+      }
 
       unpack(id);
       std::copy(positions.begin(), positions.end(), key_buf.begin());

@@ -10,6 +10,7 @@
 // keeps whole levels alive) and code path — which is exactly what makes
 // it valuable as a cross-check oracle in the property tests.
 
+#include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
 #include "vmc/instance.hpp"
 #include "vmc/result.hpp"
@@ -23,6 +24,10 @@ struct BoundedKOptions {
   std::size_t max_histories = 0;
   std::uint64_t max_states = 0;
   Deadline deadline = Deadline::never();
+  /// External cooperative cancellation (e.g. another portfolio engine
+  /// already produced a definite verdict). Checked at the same cadence
+  /// as the deadline; a cancelled run returns kUnknown. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Decides VMC by level-synchronous BFS over frontier states. kCoherent

@@ -11,6 +11,7 @@
 // gap between the merge heuristic and the exact answer is measurable
 // (bench_fig62_vscc).
 
+#include "encode/sweep.hpp"
 #include "vmc/checker.hpp"
 #include "vsc/conflict.hpp"
 #include "vsc/exact.hpp"
@@ -26,6 +27,21 @@ struct VsccOptions {
   /// the "information that makes verifying coherence tractable" setting
   /// in which VSCC is *still* NP-complete.
   const vmc::WriteOrderMap* write_orders = nullptr;
+  /// Run stage 1's per-address queries and the stage-3 SC fallback on
+  /// ONE warm incremental SAT solver (encode::VscSweep): the O(n^3)
+  /// trace skeleton is encoded once and every query reuses the learned
+  /// clauses of the previous ones, instead of m+n+1 cold solver runs.
+  /// Warm answers keep the certification discipline: SAT witnesses are
+  /// schedule-validated, and UNSAT answers re-derive typed (per-address)
+  /// or RUP-certified (whole-trace) evidence through the cold paths.
+  bool use_sat_sweep = false;
+  /// Budget knobs (deadline / cancel / max_conflicts) for sweep solves.
+  sat::SolverOptions solver;
+  /// Optional caller-retained sweep, e.g. the verification service's
+  /// per-session instance: suffix extensions of the previous trace then
+  /// re-solve from retained clauses instead of re-encoding. When null
+  /// (and use_sat_sweep is set) a call-local sweep is built.
+  encode::VscSweep* sweep = nullptr;
 };
 
 struct VsccReport {
@@ -37,6 +53,12 @@ struct VsccReport {
   /// Final answer on "is the execution sequentially consistent".
   vmc::CheckResult sc;
   bool used_exact_fallback = false;
+  /// Stages ran on the warm incremental solver (options.use_sat_sweep).
+  bool used_sat_sweep = false;
+  /// What the sweep did with the trace (meaningful when used_sat_sweep):
+  /// kFresh = encoded from scratch, kExtended = suffix extension reused
+  /// the previous skeleton, kReused = identical trace, nothing re-emitted.
+  encode::VscSweep::Prepare sweep_prepare = encode::VscSweep::Prepare::kFresh;
 };
 
 [[nodiscard]] VsccReport check_vscc(const Execution& exec,

@@ -117,6 +117,44 @@ TEST(Saturate, IndependentChainsStayPartial) {
   EXPECT_FALSE(saturate::reaches(result, b, a));
 }
 
+TEST(Saturate, SccCondensationCollapsesTransientCycle) {
+  // P0/P1's reads pin each other's write into a two-node cycle mid-round
+  // (the classic CrossReadCycle shape); P1's trailing R(0,3) then issues
+  // an R2 reachability query with two candidates {P2, P3}. That query
+  // runs on the SCC condensation built AFTER the cycle-closing pin, so
+  // the four writes collapse to three components: {W(0,1), W(0,2)} as
+  // one cluster plus the two W(0,3) singletons. The post-round cycle
+  // check still refutes the address.
+  const Execution exec = ExecutionBuilder()
+                             .process(W(0, 1), R(0, 2))
+                             .process(W(0, 2), R(0, 1), R(0, 3))
+                             .process(W(0, 3))
+                             .process(W(0, 3))
+                             .build();
+  const auto result = saturate_addr(exec, 0);
+  ASSERT_EQ(result.status, Status::kCycle);
+  EXPECT_EQ(result.num_writes(), 4u);
+  EXPECT_GE(result.reach_queries, 1u);
+  ASSERT_GE(result.scc_builds, 1u);
+  EXPECT_EQ(result.scc_components, 3u);
+}
+
+TEST(Saturate, SccCondensationTrivialOnAcyclicGraph) {
+  // Same query shape without the cycle: every write is its own
+  // component, so the condensation is the graph itself and R2 pruning
+  // behaves exactly as the raw walk did.
+  const Execution exec = ExecutionBuilder()
+                             .process(W(0, 1), R(0, 2), W(0, 3))
+                             .process(W(0, 2))
+                             .process(W(0, 3))
+                             .process(W(0, 5), R(0, 3))
+                             .build();
+  const auto result = saturate_addr(exec, 0);
+  ASSERT_EQ(result.status, Status::kPartial);
+  ASSERT_GE(result.scc_builds, 1u);
+  EXPECT_EQ(result.scc_components, result.num_writes());
+}
+
 TEST(Saturate, ContradictionKinds) {
   {
     const Execution exec = ExecutionBuilder().process(R(0, 5)).build();

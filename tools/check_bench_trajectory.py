@@ -49,6 +49,8 @@ HOTPATH_MIN_ALLOC_BOUND_SPEEDUP = 2.0
 STREAM_MIN_SUSTAINED_OPS_PER_SEC = 1.0e6
 SATURATE_MAX_ROUTED_SLOPE = 1.45
 SATURATE_MIN_PRUNE_SPEEDUP = 2.0
+SAT_MIN_WARM_SPEEDUP = 2.0
+SAT_MIN_PORTFOLIO_RATIO = 0.25
 
 
 def flatten(value, prefix=""):
@@ -214,6 +216,45 @@ def saturate_gates(current):
     return failures
 
 
+def sat_gates(current):
+    """Baseline-independent floors for the incremental SAT core.
+
+    The warm kVscc sweep bought >= 2x over per-query cold re-encodes at
+    the largest bench point; that margin is a hard floor, not baseline
+    slack. differential_ok covers warm-vs-cold statuses, the suffix
+    extension, and portfolio verdict equality — a speedup from changed
+    semantics never passes. The portfolio race is tail-latency
+    insurance, so it is allowed to cost wall clock on instances a single
+    engine handles well, but only up to a 4x overhead ceiling
+    (default/race ratio >= 0.25)."""
+    failures = []
+    if current.get("differential_ok") is not True:
+        failures.append("sat_incremental: differential_ok is not true — warm "
+                        "sweep, suffix extension, or portfolio verdicts "
+                        "diverged from the cold paths")
+    speedup = current.get("warm_speedup_largest")
+    if not isinstance(speedup, (int, float)) or math.isnan(float(speedup)):
+        failures.append("sat_incremental: warm_speedup_largest missing")
+    elif speedup < SAT_MIN_WARM_SPEEDUP:
+        failures.append(
+            f"sat_incremental: warm sweep speedup {speedup:.2f}x at the "
+            f"largest kVscc point is below the {SAT_MIN_WARM_SPEEDUP}x floor")
+    ratio = current.get("portfolio_default_over_race")
+    if not isinstance(ratio, (int, float)) or math.isnan(float(ratio)):
+        failures.append("sat_incremental: portfolio_default_over_race missing")
+    elif ratio < SAT_MIN_PORTFOLIO_RATIO:
+        failures.append(
+            f"sat_incremental: portfolio race costs {1 / ratio:.1f}x the "
+            f"default exact tier — above the "
+            f"{1 / SAT_MIN_PORTFOLIO_RATIO:.0f}x overhead ceiling")
+    for point in current.get("points", []):
+        if point.get("differential_ok") is not True:
+            failures.append(
+                f"sat_incremental: point '{point.get('name')}' warm statuses "
+                "diverged from the cold re-encodes")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baselines", default="bench/baselines",
@@ -258,6 +299,8 @@ def main():
             failures.extend(stream_gates(current))
         if name == "BENCH_saturate.json":
             failures.extend(saturate_gates(current))
+        if name == "BENCH_sat_incremental.json":
+            failures.extend(sat_gates(current))
         compared += 1
 
     # Surface new artifacts that have no baseline yet (informational).

@@ -35,7 +35,8 @@ EFFORT_KEYS = {'states', 'transitions', 'max_frontier', 'prunes',
                'oracle_prunes', 'sat_decisions', 'sat_propagations',
                'sat_backtracks', 'sat_restarts', 'arena_reserved',
                'arena_high_water', 'arena_allocations', 'saturate_ran',
-               'saturate_decided', 'saturate_edges'}
+               'saturate_decided', 'saturate_edges', 'portfolio_races',
+               'portfolio_wasted_states', 'portfolio_wasted_transitions'}
 
 
 def fail(where, message):

@@ -26,6 +26,15 @@
 // Streamed traces support coherence mode only, and --analyze/--certify
 // do not apply to them.
 //
+// --solver selects the exact-tier engine policy for text traces:
+// "portfolio" races the frontier search, CDCL, and bounded-k per
+// hard address (first definite verdict wins, losers are cancelled);
+// "cdcl"/"dpll" force one engine. Default "auto" keeps the
+// single-engine routed cascade. The per-trace JSON gains a
+// "portfolio" object whenever at least one race ran, and kVscc
+// responses report "warm_sweep"/"suffix_extension" when served from
+// the service's retained incremental solver.
+//
 // --deadline-ms bounds each request's wall-clock latency (late requests
 // report "unknown" with "timed_out": true). --repeat submits the input
 // set N times, demonstrating the result cache. --analyze additionally
@@ -98,6 +107,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: vermemd [--mode=coherence|vscc|sc|tso|pso|coherence-only]\n"
+      "               [--solver=auto|portfolio|cdcl|dpll]\n"
       "               [--workers=N] [--batch=N] [--cache=N]\n"
       "               [--deadline-ms=N] [--repeat=N] [--binary]\n"
       "               [--shards=N] [--analyze] [--certify] [--stats]\n"
@@ -200,6 +210,26 @@ void print_response(const std::string& tag,
       static_cast<unsigned long long>(response.effort.arena_reserved),
       static_cast<unsigned long long>(response.effort.arena_high_water),
       static_cast<unsigned long long>(response.effort.arena_allocations));
+  if (response.portfolio_races > 0) {
+    std::string wins;
+    for (std::size_t e = 0; e < analysis::kNumEngines; ++e) {
+      if (response.engine_wins[e] == 0) continue;
+      if (!wins.empty()) wins += ",";
+      wins += "\"";
+      wins += to_string(static_cast<analysis::Engine>(e));
+      wins += "\":" + std::to_string(response.engine_wins[e]);
+    }
+    std::printf(
+        ",\"portfolio\":{\"races\":%llu,\"wins\":{%s},"
+        "\"wasted_states\":%llu,\"wasted_transitions\":%llu}",
+        static_cast<unsigned long long>(response.portfolio_races), wins.c_str(),
+        static_cast<unsigned long long>(
+            response.wasted_effort.states_visited),
+        static_cast<unsigned long long>(response.wasted_effort.transitions));
+  }
+  if (response.warm_sweep)
+    std::printf(",\"warm_sweep\":true,\"suffix_extension\":%s",
+                response.suffix_extension ? "true" : "false");
   if (response.analyzed)
     std::printf(",\"analysis\":%s",
                 tools::analysis_json(response.analysis).c_str());
@@ -219,6 +249,7 @@ void print_response(const std::string& tag,
 
 int main(int argc, char** argv) {
   std::string mode = "coherence";
+  std::string solver = "auto";
   std::size_t workers = 0;
   std::size_t batch = 16;
   std::size_t cache = 1024;
@@ -237,6 +268,8 @@ int main(int argc, char** argv) {
     bool ok = true;
     if (arg.rfind("--mode=", 0) == 0)
       mode = arg.substr(7);
+    else if (arg.rfind("--solver=", 0) == 0)
+      solver = arg.substr(9);
     else if (arg.rfind("--workers=", 0) == 0)
       ok = tools::parse_size_arg(arg, 10, workers);
     else if (arg.rfind("--batch=", 0) == 0)
@@ -309,6 +342,19 @@ int main(int argc, char** argv) {
             : mode == "tso" ? models::Model::kTso
             : mode == "pso" ? models::Model::kPso
                             : models::Model::kCoherenceOnly;
+  } else {
+    return usage();
+  }
+
+  service::SolverChoice solver_choice = service::SolverChoice::kAuto;
+  if (solver == "auto") {
+    solver_choice = service::SolverChoice::kAuto;
+  } else if (solver == "portfolio") {
+    solver_choice = service::SolverChoice::kPortfolio;
+  } else if (solver == "cdcl") {
+    solver_choice = service::SolverChoice::kCdcl;
+  } else if (solver == "dpll") {
+    solver_choice = service::SolverChoice::kDpll;
   } else {
     return usage();
   }
@@ -396,6 +442,7 @@ int main(int argc, char** argv) {
     }
     request.mode = check_mode;
     request.model = model;
+    request.solver = solver_choice;
     if (deadline_ms != 0)
       request.deadline = std::chrono::milliseconds(deadline_ms);
     request.analyze = analyze;
@@ -461,6 +508,14 @@ int main(int argc, char** argv) {
       fragments += to_string(static_cast<analysis::Fragment>(f));
       fragments += "\":" + std::to_string(stats.fragments[f]);
     }
+    std::string wins;
+    for (std::size_t e = 0; e < analysis::kNumEngines; ++e) {
+      if (stats.engine_wins[e] == 0) continue;
+      if (!wins.empty()) wins += ",";
+      wins += "\"";
+      wins += to_string(static_cast<analysis::Engine>(e));
+      wins += "\":" + std::to_string(stats.engine_wins[e]);
+    }
     std::fprintf(stderr,
                  "{\"submitted\":%llu,\"completed\":%llu,\"cache_hits\":%llu,"
                  "\"cache_hit_rate\":%.3f,\"timed_out\":%llu,"
@@ -470,6 +525,10 @@ int main(int argc, char** argv) {
                  "\"saturate_ran\":%llu,\"saturate_decided\":%llu,"
                  "\"saturate_cycles\":%llu,\"saturate_forced\":%llu,"
                  "\"saturate_edges\":%llu,"
+                 "\"portfolio_races\":%llu,\"engine_wins\":{%s},"
+                 "\"wasted_states\":%llu,\"wasted_transitions\":%llu,"
+                 "\"vscc_sweeps\":%llu,\"vscc_sweep_extended\":%llu,"
+                 "\"vscc_sweep_reused\":%llu,"
                  "\"lint_warnings\":%llu,"
                  "\"streamed\":%llu,\"stream_events\":%llu,"
                  "\"stream_shed\":%llu,\"fragments\":{%s}}\n",
@@ -489,6 +548,15 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.saturate_cycles),
                  static_cast<unsigned long long>(stats.saturate_forced),
                  static_cast<unsigned long long>(stats.saturate_edges),
+                 static_cast<unsigned long long>(stats.portfolio_races),
+                 wins.c_str(),
+                 static_cast<unsigned long long>(
+                     stats.wasted_effort.states_visited),
+                 static_cast<unsigned long long>(
+                     stats.wasted_effort.transitions),
+                 static_cast<unsigned long long>(stats.vscc_sweeps),
+                 static_cast<unsigned long long>(stats.vscc_sweep_extended),
+                 static_cast<unsigned long long>(stats.vscc_sweep_reused),
                  static_cast<unsigned long long>(stats.lint_warnings),
                  static_cast<unsigned long long>(stats.streamed),
                  static_cast<unsigned long long>(stats.stream_events),
